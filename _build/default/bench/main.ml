@@ -1,0 +1,248 @@
+(* The benchmark harness.
+
+   Two halves:
+
+   1. Reproduction: regenerate every table and figure of the paper's
+      evaluation (Figures 4-6, Tables 1-6) with the full simulation,
+      printing measured values next to the published ones. This is the
+      output recorded in EXPERIMENTS.md.
+
+   2. Bechamel micro-benchmarks: one [Test.make] per paper artifact
+      (a scaled-down single-cell version of that experiment, so its
+      cost can be tracked over time), plus a group covering the cache
+      hot paths (hit, miss/evict under each allocation policy, the
+      control calls) and the underlying data structures.
+
+   Usage:
+     main.exe                 everything (full reproduction + micro)
+     main.exe fig4 table1     selected artifacts only
+     main.exe micro           micro-benchmarks only
+     main.exe --quick         1 run and 2 cache sizes per artifact
+     main.exe --runs N        cold-start runs per data point (default 3)
+*)
+
+module Config = Acfc_core.Config
+module Cache = Acfc_core.Cache
+module Policy = Acfc_core.Policy
+module Block = Acfc_core.Block
+module Dll = Acfc_core.Dll
+open Acfc_experiments
+
+let pid0 = Acfc_core.Pid.make 0
+
+(* {2 Micro-benchmarks} *)
+
+let cache_hit_test =
+  let cache = Cache.create (Config.make ~capacity_blocks:1024 ()) in
+  ignore (Cache.read cache ~pid:pid0 (Block.make ~file:0 ~index:0));
+  Bechamel.Test.make ~name:"cache/hit"
+    (Bechamel.Staged.stage @@ fun () ->
+     ignore (Cache.read cache ~pid:pid0 (Block.make ~file:0 ~index:0)))
+
+let cache_miss_test ~name ~alloc_policy ~smart =
+  let cache = Cache.create (Config.make ~alloc_policy ~capacity_blocks:1024 ()) in
+  if smart then begin
+    (match Cache.register_manager cache pid0 with Ok () -> () | Error _ -> assert false);
+    match Cache.set_policy cache pid0 ~prio:0 Policy.Mru with
+    | Ok () -> ()
+    | Error _ -> assert false
+  end;
+  (* Fill so that every further read evicts. *)
+  for i = 0 to 1023 do
+    ignore (Cache.read cache ~pid:pid0 (Block.make ~file:0 ~index:i))
+  done;
+  let next = ref 1024 in
+  Bechamel.Test.make ~name
+    (Bechamel.Staged.stage @@ fun () ->
+     ignore (Cache.read cache ~pid:pid0 (Block.make ~file:0 ~index:!next));
+     incr next)
+
+let cache_miss_upcall_test =
+  let cache = Cache.create (Config.make ~capacity_blocks:1024 ()) in
+  (match Cache.register_manager cache pid0 with Ok () -> () | Error _ -> assert false);
+  (* An upcall handler doing the same work as the MRU pool, but through
+     the general mechanism: the paper's flexibility-vs-overhead trade. *)
+  (match
+     Cache.set_chooser cache pid0
+       (Some (fun ~candidate ~resident:_ -> Some candidate))
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  for i = 0 to 1023 do
+    ignore (Cache.read cache ~pid:pid0 (Block.make ~file:0 ~index:i))
+  done;
+  let next = ref 1024 in
+  Bechamel.Test.make ~name:"cache/miss-evict-upcall"
+    (Bechamel.Staged.stage @@ fun () ->
+     ignore (Cache.read cache ~pid:pid0 (Block.make ~file:0 ~index:!next));
+     incr next)
+
+let set_temppri_test =
+  let cache = Cache.create (Config.make ~capacity_blocks:1024 ()) in
+  (match Cache.register_manager cache pid0 with Ok () -> () | Error _ -> assert false);
+  for i = 0 to 1023 do
+    ignore (Cache.read cache ~pid:pid0 (Block.make ~file:0 ~index:i))
+  done;
+  let flip = ref 0 in
+  Bechamel.Test.make ~name:"control/set_temppri"
+    (Bechamel.Staged.stage @@ fun () ->
+     flip := (!flip + 1) land 1023;
+     ignore (Cache.set_temppri cache pid0 ~file:0 ~first:!flip ~last:!flip ~prio:(-1)))
+
+let dll_test =
+  let l = Dll.create () in
+  let node = ref (Dll.push_front l 0) in
+  Bechamel.Test.make ~name:"dll/remove+push"
+    (Bechamel.Staged.stage @@ fun () ->
+     Dll.remove l !node;
+     node := Dll.push_front l 0)
+
+let heap_test =
+  let h = Acfc_sim.Heap.create ~leq:(fun (a : float) b -> a <= b) () in
+  for i = 0 to 255 do
+    Acfc_sim.Heap.push h (float_of_int i)
+  done;
+  Bechamel.Test.make ~name:"heap/push+pop"
+    (Bechamel.Staged.stage @@ fun () ->
+     Acfc_sim.Heap.push h 128.0;
+     ignore (Acfc_sim.Heap.pop h))
+
+let engine_event_test =
+  Bechamel.Test.make ~name:"engine/delay-roundtrip"
+    (Bechamel.Staged.stage @@ fun () ->
+     let e = Acfc_sim.Engine.create () in
+     Acfc_sim.Engine.spawn e (fun () -> Acfc_sim.Engine.delay e 1.0);
+     Acfc_sim.Engine.run e)
+
+let policy_sim_test ~name policy =
+  let trace = Acfc_replacement.Trace.cyclic ~file:0 ~blocks:512 ~passes:4 in
+  Bechamel.Test.make ~name
+    (Bechamel.Staged.stage @@ fun () ->
+     ignore (Acfc_replacement.Policy_sim.run policy ~capacity:256 trace))
+
+(* One Test.make per paper artifact: a single-cell scaled version. *)
+let artifact_tests =
+  let quick f = Bechamel.Staged.stage @@ fun () -> ignore (f ()) in
+  [
+    Bechamel.Test.make ~name:"fig4/din-6.4MB"
+      (quick (fun () -> Single.run ~runs:1 ~sizes:[ 6.4 ] ~apps:[ "din" ] ()));
+    Bechamel.Test.make ~name:"table5/cs1-6.4MB"
+      (quick (fun () -> Single.run ~runs:1 ~sizes:[ 6.4 ] ~apps:[ "cs1" ] ()));
+    Bechamel.Test.make ~name:"table6/ldk-6.4MB"
+      (quick (fun () -> Single.run ~runs:1 ~sizes:[ 6.4 ] ~apps:[ "ldk" ] ()));
+    Bechamel.Test.make ~name:"fig5/cs3+ldk-6.4MB"
+      (quick (fun () ->
+           Multi.run ~runs:1 ~sizes:[ 6.4 ] ~combos:[ [ "cs3"; "ldk" ] ] ()));
+    Bechamel.Test.make ~name:"fig6/cs2+gli-6.4MB"
+      (quick (fun () ->
+           Alloc_lru.run ~runs:1 ~sizes:[ 6.4 ] ~combos:[ [ "cs2"; "gli" ] ] ()));
+    Bechamel.Test.make ~name:"table1/read500"
+      (quick (fun () -> Placeholders.run ~runs:1 ~ns:[ 500 ] ()));
+    Bechamel.Test.make ~name:"table2/din"
+      (quick (fun () -> Foolish.run ~runs:1 ~apps:[ "din" ] ()));
+    Bechamel.Test.make ~name:"table3/din"
+      (quick (fun () -> Smart_oblivious.run ~runs:1 ~apps:[ "din" ] ~two_disks:false ()));
+    Bechamel.Test.make ~name:"table4/din"
+      (quick (fun () -> Smart_oblivious.run ~runs:1 ~apps:[ "din" ] ~two_disks:true ()));
+  ]
+
+let micro_tests =
+  [
+    cache_hit_test;
+    cache_miss_test ~name:"cache/miss-evict-global-lru" ~alloc_policy:Config.Global_lru
+      ~smart:false;
+    cache_miss_test ~name:"cache/miss-evict-lru-sp-overrule" ~alloc_policy:Config.Lru_sp
+      ~smart:true;
+    cache_miss_upcall_test;
+    set_temppri_test;
+    dll_test;
+    heap_test;
+    engine_event_test;
+    policy_sim_test ~name:"policy-sim/lru-cyclic" (module Acfc_replacement.Policies.Lru);
+    policy_sim_test ~name:"policy-sim/opt-cyclic" (module Acfc_replacement.Policies.Opt);
+  ]
+
+let run_bechamel ~quota_s tests =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~kde:None ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"" [ test ]) in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let name =
+            if String.length name > 0 && name.[0] = '/' then
+              String.sub name 1 (String.length name - 1)
+            else name
+          in
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> e
+            | Some _ | None -> Float.nan
+          in
+          let r2 = Option.value (Analyze.OLS.r_square ols_result) ~default:Float.nan in
+          let value, unit_ =
+            if estimate > 1e9 then (estimate /. 1e9, "s")
+            else if estimate > 1e6 then (estimate /. 1e6, "ms")
+            else if estimate > 1e3 then (estimate /. 1e3, "us")
+            else (estimate, "ns")
+          in
+          Format.printf "  %-36s %10.2f %s/run   (r²=%.3f)@." name value unit_ r2)
+        analyzed)
+    tests
+
+let run_micro () =
+  Format.printf "@.%s@." (String.make 74 '=');
+  Format.printf "Bechamel micro-benchmarks: paper artifacts (single-cell, scaled)@.";
+  run_bechamel ~quota_s:2.0 artifact_tests;
+  Format.printf "@.Bechamel micro-benchmarks: cache hot paths and substrates@.";
+  run_bechamel ~quota_s:0.5 micro_tests
+
+(* {2 Driver} *)
+
+let () =
+  let quick = ref false in
+  let runs = ref 3 in
+  let selected = ref [] in
+  let spec =
+    [
+      ("--quick", Arg.Set quick, "1 run, 2 cache sizes per artifact");
+      ("--runs", Arg.Set_int runs, "N cold-start runs per data point (default 3)");
+    ]
+  in
+  let usage =
+    "main.exe [--quick] [--runs N] \
+     [all|micro|ablations|criteria|fig4|fig5|fig6|table1..table6]*"
+  in
+  Arg.parse spec (fun a -> selected := a :: !selected) usage;
+  let selected = if !selected = [] then [ "all"; "micro" ] else List.rev !selected in
+  let opts =
+    if !quick then Report.quick else { Report.default with runs = !runs }
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun artifact ->
+      match artifact with
+      | "micro" -> run_micro ()
+      | "ablations" ->
+        Format.printf "@.%s@.@." (String.make 74 '=');
+        Ablations.print_all ~runs:opts.Report.runs Format.std_formatter ()
+      | "criteria" ->
+        Format.printf "@.%s@.@." (String.make 74 '=');
+        Criteria.print Format.std_formatter (Criteria.run_all ~runs:opts.Report.runs ())
+      | "all" ->
+        Report.run_all opts Format.std_formatter;
+        Format.printf "@.%s@.@." (String.make 74 '=');
+        Ablations.print_all ~runs:opts.Report.runs Format.std_formatter ();
+        Format.printf "@.%s@.@." (String.make 74 '=');
+        Criteria.print Format.std_formatter (Criteria.run_all ~runs:opts.Report.runs ())
+      | name -> Report.run_artifact opts Format.std_formatter name)
+    selected;
+  Format.printf "@.[bench completed in %.1fs]@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,227 @@
+(* acfc-run: command-line driver for the application-controlled file
+   caching simulator.
+
+   Subcommands:
+     run        one or more applications over a shared cache
+     report     regenerate the paper's tables and figures
+     policies   trace-driven replacement-policy comparison *)
+
+open Cmdliner
+module Config = Acfc_core.Config
+module Runner = Acfc_workload.Runner
+module Experiments = Acfc_experiments
+
+(* {2 Shared arguments} *)
+
+let cache_mb =
+  let doc = "Buffer cache size in MB (the paper uses 6.4, 8, 12, 16)." in
+  Arg.(value & opt float 6.4 & info [ "c"; "cache-mb" ] ~docv:"MB" ~doc)
+
+let policy =
+  let parse s =
+    match Config.alloc_policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg ("unknown allocation policy: " ^ s))
+  in
+  let print ppf p = Config.pp_alloc_policy ppf p in
+  Arg.conv (parse, print)
+
+let alloc_policy =
+  let doc =
+    "Kernel allocation policy: global-lru (the original kernel), alloc-lru, \
+     lru-s, or lru-sp."
+  in
+  Arg.(value & opt policy Config.Lru_sp & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+
+let seed =
+  let doc = "Random seed (runs are deterministic for a given seed)." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+
+let runs =
+  let doc = "Cold-start runs to average per data point." in
+  Arg.(value & opt int 3 & info [ "r"; "runs" ] ~docv:"N" ~doc)
+
+(* {2 run} *)
+
+let app_names =
+  let all = List.map (fun (n, _, _) -> n) Experiments.Registry.apps in
+  let doc =
+    "Applications to run concurrently. Available: "
+    ^ String.concat ", " all
+    ^ ", plus readN and readN! (oblivious / foolish-MRU ReadN, e.g. read300!)."
+  in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"APP" ~doc)
+
+let oblivious =
+  let doc = "Run the applications without their caching strategies." in
+  Arg.(value & flag & info [ "oblivious" ] ~doc)
+
+let parse_app name =
+  match Experiments.Registry.find name with
+  | app, disk -> (app, disk, true)
+  | exception Not_found ->
+    let foolish = String.length name > 0 && name.[String.length name - 1] = '!' in
+    let base = if foolish then String.sub name 0 (String.length name - 1) else name in
+    (match
+       if String.length base > 4 && String.sub base 0 4 = "read" then
+         int_of_string_opt (String.sub base 4 (String.length base - 4))
+       else None
+     with
+    | Some n ->
+      let mode = if foolish then `Foolish else `Oblivious in
+      (Acfc_workload.Readn.app ~n ~mode (), 0, foolish)
+    | None -> failwith ("unknown application: " ^ name))
+
+let run_cmd =
+  let go cache_mb alloc_policy seed oblivious names =
+    let specs =
+      List.map
+        (fun name ->
+          let app, disk, smart_default = parse_app name in
+          Runner.Spec.make ~smart:((not oblivious) && smart_default) ~disk app)
+        names
+    in
+    let result =
+      Runner.run ~seed ~cache_blocks:(Runner.blocks_of_mb cache_mb) ~alloc_policy specs
+    in
+    Format.printf "%a" Runner.pp result;
+    Format.printf
+      "cache: %d hits, %d misses; %d overrules, %d placeholders (%d used)@."
+      result.Runner.cache_hits result.Runner.cache_misses result.Runner.overrules
+      result.Runner.placeholders_created result.Runner.placeholders_used
+  in
+  let term = Term.(const go $ cache_mb $ alloc_policy $ seed $ oblivious $ app_names) in
+  let info =
+    Cmd.info "run" ~doc:"Run applications over the application-controlled cache"
+  in
+  Cmd.v info term
+
+(* {2 report} *)
+
+let artifact =
+  let doc =
+    "Artifact to regenerate: " ^ String.concat ", " Experiments.Report.artifacts
+    ^ ", ablations, criteria, or 'all'."
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"ARTIFACT" ~doc)
+
+let quick =
+  let doc = "Single run, two cache sizes (fast smoke mode)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let report_cmd =
+  let go runs quick artifact =
+    let opts =
+      if quick then Experiments.Report.quick
+      else { Experiments.Report.default with runs }
+    in
+    (match artifact with
+    | "all" -> Experiments.Report.run_all opts Format.std_formatter
+    | "ablations" ->
+      Experiments.Ablations.print_all ~runs:opts.Experiments.Report.runs
+        Format.std_formatter ()
+    | "criteria" ->
+      Experiments.Criteria.print Format.std_formatter
+        (Experiments.Criteria.run_all ~runs:opts.Experiments.Report.runs ())
+    | name -> Experiments.Report.run_artifact opts Format.std_formatter name);
+    Format.printf "@."
+  in
+  let term = Term.(const go $ runs $ quick $ artifact) in
+  let info = Cmd.info "report" ~doc:"Regenerate the paper's tables and figures" in
+  Cmd.v info term
+
+(* {2 record} *)
+
+let record_cmd =
+  let out =
+    let doc = "Output trace file." in
+    Cmdliner.Arg.(value & opt string "acfc.trace" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let go cache_mb alloc_policy seed oblivious out names =
+    let recorder = Acfc_replacement.Recorder.create () in
+    let specs =
+      List.map
+        (fun name ->
+          let app, disk, smart_default = parse_app name in
+          Runner.Spec.make ~smart:((not oblivious) && smart_default) ~disk app)
+        names
+    in
+    let result =
+      Runner.run ~seed
+        ~tracer:(Acfc_replacement.Recorder.tracer recorder)
+        ~cache_blocks:(Runner.blocks_of_mb cache_mb)
+        ~alloc_policy specs
+    in
+    let oc = open_out out in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        Acfc_replacement.Recorder.save recorder oc);
+    Format.printf "%a" Runner.pp result;
+    Format.printf "recorded %d references to %s@."
+      (Acfc_replacement.Recorder.length recorder)
+      out
+  in
+  let term = Term.(const go $ cache_mb $ alloc_policy $ seed $ oblivious $ out $ app_names) in
+  let info =
+    Cmd.info "record" ~doc:"Run applications and record the block reference trace"
+  in
+  Cmd.v info term
+
+(* {2 policies} *)
+
+let pattern =
+  let doc = "Synthetic trace: cyclic, sequential, random, hot-cold or zipf." in
+  Arg.(value & opt string "cyclic" & info [ "t"; "trace" ] ~docv:"PATTERN" ~doc)
+
+let blocks =
+  let doc = "Working-set size in blocks." in
+  Arg.(value & opt int 1200 & info [ "blocks" ] ~docv:"N" ~doc)
+
+let capacity =
+  let doc = "Cache capacity in blocks." in
+  Arg.(value & opt int 819 & info [ "capacity" ] ~docv:"N" ~doc)
+
+let trace_file =
+  let doc = "Replay a recorded trace file instead of a synthetic pattern." in
+  Arg.(value & opt (some string) None & info [ "f"; "trace-file" ] ~docv:"FILE" ~doc)
+
+let policies_cmd =
+  let go pattern blocks capacity seed trace_file =
+    let rng = Acfc_sim.Rng.create seed in
+    let module Trace = Acfc_replacement.Trace in
+    let trace =
+      match trace_file with
+      | Some path ->
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+            Acfc_replacement.Recorder.to_trace (Acfc_replacement.Recorder.load ic))
+      | None ->
+      match pattern with
+      | "cyclic" -> Trace.cyclic ~file:0 ~blocks ~passes:5
+      | "sequential" -> Trace.sequential ~file:0 ~blocks
+      | "random" -> Trace.random ~rng ~file:0 ~blocks ~length:(5 * blocks)
+      | "hot-cold" ->
+        Trace.hot_cold ~rng ~hot_file:0 ~hot_blocks:(blocks / 10) ~cold_file:1
+          ~cold_blocks:blocks ~hot_fraction:0.9 ~length:(5 * blocks)
+      | "zipf" -> Trace.zipf ~rng ~file:0 ~blocks ~skew:1.0 ~length:(5 * blocks)
+      | p -> failwith ("unknown trace pattern: " ^ p)
+    in
+    Format.printf "trace: %a@." Trace.pp_summary trace;
+    List.iter
+      (fun policy ->
+        let result = Acfc_replacement.Policy_sim.run policy ~capacity trace in
+        Format.printf "%a@." Acfc_replacement.Policy_sim.pp_result result)
+      Acfc_replacement.Policies.all
+  in
+  let term = Term.(const go $ pattern $ blocks $ capacity $ seed $ trace_file) in
+  let info =
+    Cmd.info "policies"
+      ~doc:"Compare replacement policies (incl. OPT) on a synthetic or recorded trace"
+  in
+  Cmd.v info term
+
+let () =
+  let info =
+    Cmd.info "acfc-run" ~version:"1.0.0"
+      ~doc:"Application-controlled file caching (OSDI '94) simulator"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; report_cmd; record_cmd; policies_cmd ]))

@@ -1,0 +1,1 @@
+examples/cyclic_scan.ml: Acfc_core Acfc_workload Format List Printf

@@ -1,0 +1,1 @@
+examples/cyclic_scan.mli:

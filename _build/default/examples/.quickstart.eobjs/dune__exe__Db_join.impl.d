@@ -1,0 +1,1 @@
+examples/db_join.ml: Acfc_core Acfc_workload Format List Printf

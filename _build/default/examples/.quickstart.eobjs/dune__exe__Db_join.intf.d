@@ -1,0 +1,1 @@
+examples/db_join.mli:

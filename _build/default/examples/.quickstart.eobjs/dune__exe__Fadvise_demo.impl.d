@@ -1,0 +1,1 @@
+examples/fadvise_demo.ml: Acfc_core Acfc_disk Acfc_fs Acfc_sim Engine Format

@@ -1,0 +1,1 @@
+examples/fadvise_demo.mli:

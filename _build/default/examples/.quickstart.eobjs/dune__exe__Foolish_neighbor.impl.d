@@ -1,0 +1,1 @@
+examples/foolish_neighbor.ml: Acfc_core Acfc_workload Format List Readn

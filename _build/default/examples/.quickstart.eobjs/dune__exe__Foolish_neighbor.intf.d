@@ -1,0 +1,1 @@
+examples/foolish_neighbor.mli:

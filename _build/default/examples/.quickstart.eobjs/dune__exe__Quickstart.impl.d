@@ -1,0 +1,1 @@
+examples/quickstart.ml: Acfc_core Acfc_disk Acfc_fs Acfc_sim Engine Format

@@ -1,0 +1,1 @@
+examples/trace_analysis.ml: Acfc_core Acfc_replacement Acfc_workload Array Format List

@@ -1,0 +1,1 @@
+examples/upcall_manager.ml: Acfc_core Format Hashtbl List Option

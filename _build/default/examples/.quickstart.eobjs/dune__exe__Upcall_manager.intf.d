@@ -1,0 +1,1 @@
+examples/upcall_manager.mli:

@@ -1,0 +1,1 @@
+examples/vm_paging.ml: Acfc_core Acfc_sim Format Rng

@@ -1,0 +1,68 @@
+(* The fadvise bridge: the paper's 1994 interface subsumes the access
+   advice that later reached POSIX as posix_fadvise — and one pattern
+   it cannot express (Cyclic/MRU), which is the paper's biggest win.
+
+   A scan-heavy "report generator" touches three files:
+   - a configuration file it rereads constantly       (hot)
+   - a log file it scans cyclically per report        (cyclic)
+   - an archive it streams through exactly once       (noreuse)
+
+   Run with:  dune exec examples/fadvise_demo.exe
+*)
+
+open Acfc_sim
+module Config = Acfc_core.Config
+module Control = Acfc_core.Control
+module Pid = Acfc_core.Pid
+module Fs = Acfc_fs.Fs
+module Advice = Acfc_fs.Advice
+module Disk = Acfc_disk.Disk
+
+let bb = Acfc_disk.Params.block_bytes
+
+let run ~advised =
+  let engine = Engine.create () in
+  let disk = Disk.create engine Acfc_disk.Params.rz56 in
+  let fs =
+    Fs.create engine ~config:(Config.make ~capacity_blocks:150 ()) ()
+  in
+  let pid = Pid.make 1 in
+  let config_file = Fs.create_file fs ~name:"report.conf" ~disk ~size_bytes:(10 * bb) () in
+  let log = Fs.create_file fs ~name:"events.log" ~disk ~size_bytes:(200 * bb) () in
+  let archive = Fs.create_file fs ~name:"archive.dat" ~disk ~size_bytes:(300 * bb) () in
+  Engine.spawn engine (fun () ->
+      if advised then begin
+        let c =
+          match Control.attach (Fs.cache fs) pid with
+          | Ok c -> c
+          | Error e -> failwith (Acfc_core.Error.to_string e)
+        in
+        let ok = function
+          | Ok () -> ()
+          | Error e -> failwith (Acfc_core.Error.to_string e)
+        in
+        ok (Advice.advise c log Advice.Cyclic);
+        ok (Advice.advise c archive Advice.Noreuse);
+        ok (Advice.advise c config_file (Advice.Willneed { first = 0; last = 9 }))
+      end;
+      for _report = 1 to 4 do
+        Fs.read fs ~pid config_file ~off:0 ~len:(10 * bb);
+        Fs.read fs ~pid log ~off:0 ~len:(200 * bb);
+        Fs.read fs ~pid archive ~off:0 ~len:0
+      done;
+      (* One final streaming pass over the archive. *)
+      Fs.read fs ~pid archive ~off:0 ~len:(300 * bb));
+  Engine.run engine;
+  (Fs.total_block_ios fs, Engine.now engine)
+
+let () =
+  let ios_plain, t_plain = run ~advised:false in
+  let ios_advised, t_advised = run ~advised:true in
+  Format.printf
+    "report generator over a 150-block cache (conf rereads + cyclic log scans@\n\
+    \ + one-shot archive stream)@\n";
+  Format.printf "  unadvised: %4d block I/Os, %6.1f s@\n" ios_plain t_plain;
+  Format.printf "  advised:   %4d block I/Os, %6.1f s@\n" ios_advised t_advised;
+  Format.printf
+    "advice used: Cyclic (MRU) on the log, Noreuse on the archive, Willneed@\n\
+     on the configuration blocks — all expressed with the paper's five calls@\n"

@@ -1,0 +1,37 @@
+(* Placeholders protecting you from a foolish neighbour (paper Sec. 6.1).
+
+   An oblivious ReadN shares the cache with a Read300 that installed a
+   disastrous MRU policy. Without placeholders (the LRU-S kernel) the
+   foolish process's mistakes push the oblivious process out of the
+   cache; with full LRU-SP the kernel redirects the foolish process's
+   own misses back at its own blocks, and counts every mistake —
+   enabling revocation. Run with:
+
+     dune exec examples/foolish_neighbor.exe
+*)
+
+module Config = Acfc_core.Config
+module Runner = Acfc_workload.Runner
+open Acfc_workload
+
+let experiment ~label ~alloc_policy ~revocation =
+  let fg = Readn.app ~n:490 ~mode:`Oblivious () in
+  let bg = Readn.app ~n:300 ~mode:`Foolish () in
+  let r =
+    Runner.run ~cache_blocks:819 ~alloc_policy ?revocation
+      [ Runner.Spec.make ~smart:false ~disk:0 fg; Runner.Spec.make ~smart:true ~disk:0 bg ]
+  in
+  let f = List.hd r.Runner.apps and b = List.nth r.Runner.apps 1 in
+  Format.printf
+    "%-28s victim: %4d I/Os %5.1fs | fool: %4d I/Os | mistakes caught: %d@." label
+    f.Runner.block_ios f.Runner.elapsed b.Runner.block_ios r.Runner.placeholders_used
+
+let () =
+  Format.printf "oblivious Read490 vs foolish (MRU) Read300, 6.4 MB cache@.";
+  experiment ~label:"LRU-S (no placeholders)" ~alloc_policy:Config.Lru_s
+    ~revocation:None;
+  experiment ~label:"LRU-SP (placeholders)" ~alloc_policy:Config.Lru_sp
+    ~revocation:None;
+  experiment ~label:"LRU-SP + revocation"
+    ~alloc_policy:Config.Lru_sp
+    ~revocation:(Some { Config.min_decisions = 50; mistake_ratio = 0.5 })

@@ -1,0 +1,69 @@
+(* Virtual-memory paging with application control (paper Sec. 7).
+
+   The paper argues its scheme carries over to VM page caches, whose
+   kernels keep a CLOCK list rather than true LRU: "one can swap
+   positions of pages on the two-hand-clock list, and can build
+   placeholders". The Clock_sp allocation policy is exactly that.
+
+   Here two "address spaces" (files standing in for segments) are paged
+   through a small memory: one process sweeps a large matrix cyclically
+   (an MRU-friendly pattern), the other touches a working set with
+   temporal locality that CLOCK handles well. We compare the stock
+   CLOCK kernel against CLOCK + application control.
+
+   Run with:  dune exec examples/vm_paging.exe
+*)
+
+open Acfc_sim
+module Config = Acfc_core.Config
+module Control = Acfc_core.Control
+module Cache = Acfc_core.Cache
+module Pid = Acfc_core.Pid
+module Block = Acfc_core.Block
+module Policy = Acfc_core.Policy
+
+let pages = 256  (* physical memory, in pages *)
+
+let matrix_pages = 400  (* the sweeping process's segment *)
+
+let hot_pages = 96  (* the interactive process's working set *)
+
+let run ~smart =
+  let cache = Cache.create (Config.make ~alloc_policy:Config.Clock_sp ~capacity_blocks:pages ()) in
+  let sweeper = Pid.make 1 and interactive = Pid.make 2 in
+  if smart then begin
+    match Control.attach cache sweeper with
+    | Error e -> failwith (Acfc_core.Error.to_string e)
+    | Ok c ->
+      (match Control.set_policy c ~prio:0 Policy.Mru with
+      | Ok () -> ()
+      | Error e -> failwith (Acfc_core.Error.to_string e))
+  end;
+  let rng = Rng.create 42 in
+  (* Interleave: the sweeper walks its matrix page by page; between its
+     references the interactive process touches random hot pages. *)
+  for _round = 1 to 6 do
+    for page = 0 to matrix_pages - 1 do
+      ignore (Cache.read cache ~pid:sweeper (Block.make ~file:0 ~index:page));
+      ignore
+        (Cache.read cache ~pid:interactive
+           (Block.make ~file:1 ~index:(Rng.int rng hot_pages)))
+    done
+  done;
+  ( Cache.pid_misses cache sweeper,
+    Cache.pid_misses cache interactive,
+    Cache.overrule_count cache )
+
+let () =
+  Format.printf
+    "VM paging, %d physical pages, CLOCK kernel (Clock-SP): a cyclic sweeper@\n\
+     (%d pages) vs an interactive process (%d-page working set)@.@." pages
+    matrix_pages hot_pages;
+  let s0, i0, _ = run ~smart:false in
+  let s1, i1, ov = run ~smart:true in
+  Format.printf "  stock CLOCK:        sweeper %4d faults, interactive %4d faults@." s0 i0;
+  Format.printf "  + MRU on sweeper:   sweeper %4d faults, interactive %4d faults@." s1 i1;
+  Format.printf
+    "@.the sweeper's manager overruled the clock hand %d times; both processes@\n\
+     fault less — the paper's Sec. 7 claim, demonstrated on a page cache@."
+    ov

@@ -1,0 +1,1 @@
+lib/core/acm.ml: Block Config Dll Entry Error Event Hashtbl List Option Pid Policy

@@ -1,0 +1,1 @@
+lib/core/acm.mli: Block Config Entry Error Event Pid Policy

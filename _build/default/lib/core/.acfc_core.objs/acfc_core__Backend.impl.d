@@ -1,0 +1,1 @@
+lib/core/backend.ml: Block

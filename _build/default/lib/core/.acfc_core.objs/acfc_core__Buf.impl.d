@@ -1,0 +1,1 @@
+lib/core/buf.ml: Acm Backend Block Config Dll Entry Event Fun Hashtbl List Option Pid Queue

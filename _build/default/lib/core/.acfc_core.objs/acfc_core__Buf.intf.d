@@ -1,0 +1,1 @@
+lib/core/buf.mli: Acm Backend Block Config Event Pid

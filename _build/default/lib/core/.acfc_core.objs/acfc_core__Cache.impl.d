@@ -1,0 +1,1 @@
+lib/core/cache.ml: Acm Backend Buf

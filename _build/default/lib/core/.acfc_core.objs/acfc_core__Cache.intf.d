@@ -1,0 +1,1 @@
+lib/core/cache.mli: Backend Block Config Error Event Pid Policy

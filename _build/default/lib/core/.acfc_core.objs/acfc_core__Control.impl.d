@@ -1,0 +1,1 @@
+lib/core/control.ml: Cache Pid

@@ -1,0 +1,1 @@
+lib/core/control.mli: Block Cache Error Pid Policy

@@ -1,0 +1,1 @@
+lib/core/entry.ml: Block Dll Format Pid

@@ -1,0 +1,1 @@
+lib/core/entry.mli: Block Dll Format Pid

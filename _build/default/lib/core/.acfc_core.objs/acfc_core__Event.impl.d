@@ -1,0 +1,1 @@
+lib/core/event.ml: Block Format Pid

@@ -1,0 +1,1 @@
+lib/core/pid.mli: Format

@@ -1,0 +1,128 @@
+(** Application Control Module.
+
+    ACM is the kernel half that "implements the interface calls and acts
+    as a proxy for the user-level managers" (paper Sec. 4). It keeps,
+    for every registered manager process: a set of priority levels, each
+    with a block list in recency order and an {!Policy.t}; the long-term
+    priorities of that manager's files; and the statistics the kernel
+    uses to detect foolish managers.
+
+    BUF notifies ACM through {!new_block}, {!block_gone},
+    {!block_accessed} and {!placeholder_used}, and asks it for decisions
+    through {!replace_block} — the paper's five procedure calls. *)
+
+type t
+
+val create : Config.t -> t
+
+val set_tracer : t -> (Event.t -> unit) option -> unit
+(** Install a callback receiving {!Event.Manager_revoked} events. *)
+
+(** {2 Manager lifecycle} *)
+
+val register : t -> Pid.t -> (unit, Error.t) result
+(** Allocate a manager structure for [pid]. From then on the process's
+    blocks are linked into its priority-level lists and the kernel
+    consults it on replacement. *)
+
+val unregister : t -> Pid.t -> unit
+(** Drop the manager structure; its blocks become unmanaged (plain
+    global-LRU blocks). No-op if not registered. *)
+
+val is_registered : t -> Pid.t -> bool
+
+val consults : t -> Pid.t -> bool
+(** Registered and not revoked: the kernel will ask this manager for
+    replacement decisions. *)
+
+val manager_count : t -> int
+
+(** {2 BUF → ACM notifications and queries (paper Sec. 4)} *)
+
+val new_block : t -> pid:Pid.t -> prefetched:bool -> Entry.t -> unit
+(** The block just entered the cache on behalf of [pid]; link it into
+    the appropriate level list based on its file's long-term priority
+    (if [pid] has a manager). A demand-fetched block takes the MRU
+    position; a [prefetched] (read-ahead) block has not been referenced
+    yet, so it enters at the end its level's policy replaces later and
+    gains recency only at its first real access. *)
+
+val block_gone : t -> Entry.t -> unit
+(** The block left the cache; unlink it from any manager lists. *)
+
+val block_accessed : t -> pid:Pid.t -> Entry.t -> unit
+(** The block was referenced by [pid]: expire any temporary priority
+    (reverting to the file's long-term priority), transfer the block to
+    [pid]'s manager if ownership moved between processes, and record the
+    reference by moving the block to the MRU end of its level list. *)
+
+val replace_block : t -> candidate:Entry.t -> missing:Block.t -> Entry.t
+(** Ask the manager of [candidate]'s owner which block to give up,
+    offering [candidate] as the kernel's suggestion. Returns the chosen
+    resident, unpinned entry — [candidate] itself when the owner has no
+    (consulted) manager or agrees with the kernel. The manager picks
+    from its lowest-priority non-empty level, at the end its policy
+    replaces first. *)
+
+val placeholder_used : t -> chooser:Pid.t -> missing:Block.t -> target:Entry.t -> unit
+(** A placeholder fired: the earlier decision by [chooser] to replace
+    [missing] (keeping [target]) was a mistake. Updates the mistake
+    statistics and, if configured, revokes a consistently foolish
+    manager. *)
+
+(** {2 The application interface (multiplexed by [fbehavior])} *)
+
+val set_priority : t -> Pid.t -> file:Block.file -> prio:int -> (unit, Error.t) result
+(** Set the long-term cache priority of a file. Cached, non-temporary
+    blocks of the file move to the new level immediately, entering at
+    the end that causes them to be replaced later. *)
+
+val get_priority : t -> Pid.t -> file:Block.file -> (int, Error.t) result
+
+val set_policy : t -> Pid.t -> prio:int -> Policy.t -> (unit, Error.t) result
+(** Set the replacement policy of a priority level (default LRU). *)
+
+val get_policy : t -> Pid.t -> prio:int -> (Policy.t, Error.t) result
+
+val set_temppri :
+  t -> Pid.t -> file:Block.file -> first:int -> last:int -> prio:int ->
+  (unit, Error.t) result
+(** Temporarily move the cached blocks [first..last] of [file] to level
+    [prio]; each block reverts to its long-term priority at its next
+    reference or replacement. *)
+
+val set_chooser :
+  t ->
+  Pid.t ->
+  (candidate:Block.t -> resident:Block.t list -> Block.t option) option ->
+  (unit, Error.t) result
+(** Install (or clear) an {e upcall} replacement handler for a manager:
+    instead of the priority-pool decision, the handler is consulted on
+    every replacement with the kernel's candidate and the manager's full
+    resident set, and may name any of its own blocks. Returning [None]
+    or an invalid block falls back to the pool decision. This is the
+    "totally general mechanism" of paper Sec. 3 / the upcall design of
+    Sec. 4 — flexible, but it pays to materialise the resident set on
+    every miss (the overhead the paper's primitive interface avoids;
+    see the micro-benchmarks). *)
+
+(** {2 Statistics} *)
+
+val decisions : t -> Pid.t -> int
+(** [replace_block] consultations answered by this manager. *)
+
+val overrules : t -> Pid.t -> int
+(** Consultations where the manager rejected the kernel's candidate. *)
+
+val mistakes : t -> Pid.t -> int
+(** Overrules later proven wrong by a placeholder. *)
+
+val revoked : t -> Pid.t -> bool
+
+(** {2 Testing support} *)
+
+val check_invariants : t -> unit
+(** Raise [Failure] if any internal invariant is broken. O(cache). *)
+
+val level_blocks : t -> Pid.t -> prio:int -> Block.t list
+(** Blocks of one level, MRU end first. Empty for absent levels. *)

@@ -1,0 +1,7 @@
+type t = {
+  read_block : Block.t -> unit;
+  write_block : Block.t -> unit;
+  evicted : Block.t -> unit;
+}
+
+let null = { read_block = ignore; write_block = ignore; evicted = ignore }

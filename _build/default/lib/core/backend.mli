@@ -1,0 +1,20 @@
+(** The storage interface below the buffer cache.
+
+    BUF calls these as plain (possibly blocking) functions when it needs
+    the device: the simulation's file-system layer implements them with
+    fiber-blocking disk I/O, while unit tests pass {!null}. BUF keeps
+    its own structures consistent {e before} every call, because other
+    simulated processes may re-enter the cache while a call blocks —
+    the same "called with no lock held" discipline the paper requires
+    of the BUF/ACM interface. *)
+
+type t = {
+  read_block : Block.t -> unit;  (** fetch a block from the device *)
+  write_block : Block.t -> unit;  (** write back a dirty block *)
+  evicted : Block.t -> unit;
+      (** the frame was released (after any write-back); the data layer
+          can drop its copy *)
+}
+
+val null : t
+(** No-op backend for algorithm-only use (tests, trace-driven runs). *)

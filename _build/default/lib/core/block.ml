@@ -1,0 +1,21 @@
+type file = int
+
+type t = { file : file; index : int }
+
+let make ~file ~index =
+  if file < 0 then invalid_arg "Block.make: negative file id";
+  if index < 0 then invalid_arg "Block.make: negative block index";
+  { file; index }
+
+let file t = t.file
+
+let index t = t.index
+
+let equal a b = a.file = b.file && a.index = b.index
+
+let compare a b =
+  match Int.compare a.file b.file with 0 -> Int.compare a.index b.index | c -> c
+
+let hash t = (t.file * 1000003) + t.index
+
+let pp ppf t = Format.fprintf ppf "f%d[%d]" t.file t.index

@@ -1,0 +1,25 @@
+(** Cache block identity.
+
+    A block is one 8 KB unit of one file: the pair (file id, block index
+    within the file). Files are named by integer ids handed out by the
+    file-system layer. *)
+
+type file = int
+(** File identifier. *)
+
+type t = { file : file; index : int }
+
+val make : file:file -> index:int -> t
+(** Raises [Invalid_argument] on a negative index or file id. *)
+
+val file : t -> file
+
+val index : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

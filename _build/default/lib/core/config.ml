@@ -1,0 +1,57 @@
+type alloc_policy = Global_lru | Alloc_lru | Lru_s | Lru_sp | Clock_sp
+
+type revocation = { min_decisions : int; mistake_ratio : float }
+
+type shared_files = Transfer | Sticky
+
+type t = {
+  capacity_blocks : int;
+  alloc_policy : alloc_policy;
+  max_managers : int;
+  max_levels : int;
+  max_file_records : int;
+  max_placeholders : int;
+  revocation : revocation option;
+  shared_files : shared_files;
+}
+
+let make ?(alloc_policy = Lru_sp) ?(max_managers = 64) ?(max_levels = 32)
+    ?(max_file_records = 1024) ?max_placeholders ?revocation
+    ?(shared_files = Transfer) ~capacity_blocks () =
+  if capacity_blocks <= 0 then invalid_arg "Config.make: capacity must be positive";
+  if max_managers <= 0 || max_levels <= 0 || max_file_records <= 0 then
+    invalid_arg "Config.make: limits must be positive";
+  (match revocation with
+  | Some r when r.min_decisions <= 0 || r.mistake_ratio <= 0.0 || r.mistake_ratio > 1.0 ->
+    invalid_arg "Config.make: bad revocation parameters"
+  | Some _ | None -> ());
+  let max_placeholders = Option.value max_placeholders ~default:capacity_blocks in
+  if max_placeholders < 0 then invalid_arg "Config.make: negative placeholder limit";
+  {
+    capacity_blocks;
+    alloc_policy;
+    max_managers;
+    max_levels;
+    max_file_records;
+    max_placeholders;
+    revocation;
+    shared_files;
+  }
+
+let alloc_policy_to_string = function
+  | Global_lru -> "global-lru"
+  | Alloc_lru -> "alloc-lru"
+  | Lru_s -> "lru-s"
+  | Lru_sp -> "lru-sp"
+  | Clock_sp -> "clock-sp"
+
+let alloc_policy_of_string s =
+  match String.lowercase_ascii s with
+  | "global-lru" | "global" | "original" -> Some Global_lru
+  | "alloc-lru" -> Some Alloc_lru
+  | "lru-s" -> Some Lru_s
+  | "lru-sp" -> Some Lru_sp
+  | "clock-sp" -> Some Clock_sp
+  | _ -> None
+
+let pp_alloc_policy ppf p = Format.pp_print_string ppf (alloc_policy_to_string p)

@@ -1,0 +1,69 @@
+(** Buffer-cache configuration. *)
+
+(** The kernel's global allocation policy. The paper's contribution is
+    [Lru_sp]; the others are the paper's baselines and ablations. *)
+type alloc_policy =
+  | Global_lru
+      (** The original kernel: plain global LRU, applications are never
+          consulted. *)
+  | Alloc_lru
+      (** Two-level replacement where the victim process is chosen by
+          straight LRU order — no swapping, no placeholders (Fig. 6). *)
+  | Lru_s
+      (** LRU-SP without placeholders — "unprotected" in Table 1. *)
+  | Lru_sp
+      (** The full policy: swapping + placeholders. *)
+  | Clock_sp
+      (** The paper's Sec. 7 virtual-memory variant: the kernel's global
+          order is a second-chance CLOCK (as VM page caches use) instead
+          of true LRU, with the same swapping and placeholder machinery
+          on top. *)
+
+(** Automatic revocation of consistently foolish managers (the
+    extension announced in the paper's footnote 7): once a manager has
+    made at least [min_decisions] overruling decisions, if the fraction
+    that placeholders later prove wrong reaches [mistake_ratio], the
+    kernel stops consulting it. *)
+type revocation = { min_decisions : int; mistake_ratio : float }
+
+(** What happens when a process references a block currently managed by
+    another process's manager. The paper leaves control of concurrently
+    shared files as future work (Sec. 8); both disciplines are offered:
+    - [Transfer]: the block follows its last accessor (the default —
+      matches the paper's private-file accounting);
+    - [Sticky]: the first manager to hold a block keeps it until the
+      block leaves the cache or the manager unregisters. *)
+type shared_files = Transfer | Sticky
+
+type t = {
+  capacity_blocks : int;  (** cache size in 8 KB blocks; positive *)
+  alloc_policy : alloc_policy;
+  max_managers : int;
+  max_levels : int;  (** per manager *)
+  max_file_records : int;  (** per manager, files with non-zero priority *)
+  max_placeholders : int;  (** oldest placeholders are recycled beyond this *)
+  revocation : revocation option;
+  shared_files : shared_files;
+}
+
+val make :
+  ?alloc_policy:alloc_policy ->
+  ?max_managers:int ->
+  ?max_levels:int ->
+  ?max_file_records:int ->
+  ?max_placeholders:int ->
+  ?revocation:revocation ->
+  ?shared_files:shared_files ->
+  capacity_blocks:int ->
+  unit ->
+  t
+(** Defaults: [Lru_sp], 64 managers, 32 levels, 1024 file records,
+    placeholders capped at [capacity_blocks], no revocation, [Transfer]
+    shared-file handling. Raises [Invalid_argument] on non-positive
+    capacity or limits. *)
+
+val alloc_policy_to_string : alloc_policy -> string
+
+val alloc_policy_of_string : string -> alloc_policy option
+
+val pp_alloc_policy : Format.formatter -> alloc_policy -> unit

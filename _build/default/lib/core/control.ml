@@ -1,0 +1,27 @@
+type t = { cache : Cache.t; pid : Pid.t }
+
+let attach cache pid =
+  match Cache.register_manager cache pid with
+  | Ok () -> Ok { cache; pid }
+  | Error _ as e -> e
+
+let detach t = Cache.unregister_manager t.cache t.pid
+
+let pid t = t.pid
+
+let cache t = t.cache
+
+let set_priority t ~file prio = Cache.set_priority t.cache t.pid ~file ~prio
+
+let get_priority t ~file = Cache.get_priority t.cache t.pid ~file
+
+let set_policy t ~prio policy = Cache.set_policy t.cache t.pid ~prio policy
+
+let get_policy t ~prio = Cache.get_policy t.cache t.pid ~prio
+
+let set_temppri t ~file ~first ~last ~prio =
+  Cache.set_temppri t.cache t.pid ~file ~first ~last ~prio
+
+let set_chooser t chooser = Cache.set_chooser t.cache t.pid chooser
+
+let revoked t = Cache.manager_revoked t.cache t.pid

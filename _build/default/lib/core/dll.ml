@@ -1,0 +1,115 @@
+type 'a node = {
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* toward front *)
+  mutable next : 'a node option;  (* toward back *)
+  mutable parent : 'a t option;
+}
+
+and 'a t = {
+  mutable front : 'a node option;
+  mutable back : 'a node option;
+  mutable size : int;
+}
+
+let create () = { front = None; back = None; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let value n = n.value
+
+let check_member t n =
+  match n.parent with
+  | Some p when p == t -> ()
+  | Some _ -> invalid_arg "Dll: node belongs to another list"
+  | None -> invalid_arg "Dll: node is detached"
+
+let push_front t v =
+  let n = { value = v; prev = None; next = t.front; parent = Some t } in
+  (match t.front with
+  | Some f -> f.prev <- Some n
+  | None -> t.back <- Some n);
+  t.front <- Some n;
+  t.size <- t.size + 1;
+  n
+
+let push_back t v =
+  let n = { value = v; prev = t.back; next = None; parent = Some t } in
+  (match t.back with
+  | Some b -> b.next <- Some n
+  | None -> t.front <- Some n);
+  t.back <- Some n;
+  t.size <- t.size + 1;
+  n
+
+let remove t n =
+  check_member t n;
+  (match n.prev with Some p -> p.next <- n.next | None -> t.front <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.back <- n.prev);
+  n.prev <- None;
+  n.next <- None;
+  n.parent <- None;
+  t.size <- t.size - 1
+
+let move_front t n =
+  check_member t n;
+  let is_front = match t.front with Some f -> f == n | None -> false in
+  if not is_front then begin
+    remove t n;
+    n.parent <- Some t;
+    n.prev <- None;
+    n.next <- t.front;
+    (match t.front with Some f -> f.prev <- Some n | None -> t.back <- Some n);
+    t.front <- Some n;
+    t.size <- t.size + 1
+  end
+
+let move_back t n =
+  check_member t n;
+  let is_back = match t.back with Some b -> b == n | None -> false in
+  if not is_back then begin
+    remove t n;
+    n.parent <- Some t;
+    n.next <- None;
+    n.prev <- t.back;
+    (match t.back with Some b -> b.next <- Some n | None -> t.front <- Some n);
+    t.back <- Some n;
+    t.size <- t.size + 1
+  end
+
+let front t = t.front
+
+let back t = t.back
+
+let next_toward_front n = n.prev
+
+let next_toward_back n = n.next
+
+let swap_values ~on_move t a b =
+  check_member t a;
+  check_member t b;
+  if a != b then begin
+    let va = a.value and vb = b.value in
+    a.value <- vb;
+    b.value <- va;
+    on_move vb a;
+    on_move va b
+  end
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+      let next = n.next in
+      f n.value;
+      go next
+  in
+  go t.front
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun v -> acc := v :: !acc) t;
+  List.rev !acc
+
+let contains t n = match n.parent with Some p -> p == t | None -> false

@@ -1,0 +1,44 @@
+type t = {
+  key : Block.t;
+  mutable owner : Pid.t;
+  mutable dirty : bool;
+  mutable pinned : int;
+  mutable referenced : bool;
+  mutable clock_ref : bool;
+  mutable global_node : t Dll.node option;
+  mutable level_node : t Dll.node option;
+  mutable level : int;
+  mutable temp : bool;
+  mutable managed_by : Pid.t option;
+  mutable incoming_placeholders : Block.t list;
+}
+
+let make ~key ~owner =
+  {
+    key;
+    owner;
+    dirty = false;
+    pinned = 0;
+    referenced = false;
+    clock_ref = false;
+    global_node = None;
+    level_node = None;
+    level = 0;
+    temp = false;
+    managed_by = None;
+    incoming_placeholders = [];
+  }
+
+let is_pinned t = t.pinned > 0
+
+let pin t = t.pinned <- t.pinned + 1
+
+let unpin t =
+  if t.pinned <= 0 then invalid_arg "Entry.unpin: not pinned";
+  t.pinned <- t.pinned - 1
+
+let pp ppf t =
+  Format.fprintf ppf "%a{owner=%a;lvl=%d%s%s%s}" Block.pp t.key Pid.pp t.owner t.level
+    (if t.temp then ";temp" else "")
+    (if t.dirty then ";dirty" else "")
+    (if t.pinned > 0 then ";pinned" else "")

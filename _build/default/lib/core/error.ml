@@ -1,0 +1,21 @@
+type t =
+  | Too_many_managers
+  | Too_many_levels
+  | Too_many_file_records
+  | Not_registered
+  | Already_registered
+  | Revoked
+  | Invalid_range
+
+let to_string = function
+  | Too_many_managers -> "too many managers"
+  | Too_many_levels -> "too many priority levels"
+  | Too_many_file_records -> "too many file records"
+  | Not_registered -> "process is not a registered manager"
+  | Already_registered -> "process is already a registered manager"
+  | Revoked -> "cache-control privilege revoked"
+  | Invalid_range -> "invalid block range"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal (a : t) b = a = b

@@ -1,0 +1,21 @@
+(** Failures of the application-control interface.
+
+    The paper's implementation "imposes a limit on kernel resources
+    consumed by these data structures and fails the calls if the limit
+    would be exceeded"; these are those failures, plus interface-misuse
+    cases. *)
+
+type t =
+  | Too_many_managers    (** manager-structure limit reached *)
+  | Too_many_levels      (** per-manager priority-level limit reached *)
+  | Too_many_file_records  (** per-manager non-default-priority file limit *)
+  | Not_registered       (** caller never registered as a manager *)
+  | Already_registered
+  | Revoked              (** caching-control privilege was revoked (Sec. 6.2) *)
+  | Invalid_range        (** bad block range in [set_temppri] *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,27 @@
+type t =
+  | Hit of { pid : Pid.t; block : Block.t }
+  | Miss of { pid : Pid.t; block : Block.t; prefetch : bool }
+  | Evict of { victim : Block.t; owner : Pid.t; candidate : Block.t; overruled : bool }
+  | Writeback of Block.t
+  | Placeholder_created of { replaced : Block.t; target : Block.t; chooser : Pid.t }
+  | Placeholder_used of { missing : Block.t; target : Block.t; chooser : Pid.t }
+  | Manager_revoked of Pid.t
+
+let pp ppf = function
+  | Hit { pid; block } -> Format.fprintf ppf "hit %a %a" Pid.pp pid Block.pp block
+  | Miss { pid; block; prefetch } ->
+    Format.fprintf ppf "miss%s %a %a"
+      (if prefetch then "(ra)" else "")
+      Pid.pp pid Block.pp block
+  | Evict { victim; owner; candidate; overruled } ->
+    Format.fprintf ppf "evict %a (owner %a, candidate %a%s)" Block.pp victim Pid.pp
+      owner Block.pp candidate
+      (if overruled then ", overruled" else "")
+  | Writeback b -> Format.fprintf ppf "writeback %a" Block.pp b
+  | Placeholder_created { replaced; target; chooser } ->
+    Format.fprintf ppf "placeholder+ %a -> %a (by %a)" Block.pp replaced Block.pp
+      target Pid.pp chooser
+  | Placeholder_used { missing; target; chooser } ->
+    Format.fprintf ppf "placeholder! %a -> %a (mistake by %a)" Block.pp missing
+      Block.pp target Pid.pp chooser
+  | Manager_revoked pid -> Format.fprintf ppf "revoked %a" Pid.pp pid

@@ -1,0 +1,21 @@
+(** Cache events, for tracing and tests.
+
+    A tracer callback installed on the cache receives one event per
+    state transition of interest. Production runs install none; tests
+    and the trace recorder use them to observe replacement decisions. *)
+
+type t =
+  | Hit of { pid : Pid.t; block : Block.t }
+  | Miss of { pid : Pid.t; block : Block.t; prefetch : bool }
+  | Evict of {
+      victim : Block.t;
+      owner : Pid.t;
+      candidate : Block.t;  (** the kernel's suggestion *)
+      overruled : bool;  (** did the manager pick a different block? *)
+    }
+  | Writeback of Block.t
+  | Placeholder_created of { replaced : Block.t; target : Block.t; chooser : Pid.t }
+  | Placeholder_used of { missing : Block.t; target : Block.t; chooser : Pid.t }
+  | Manager_revoked of Pid.t
+
+val pp : Format.formatter -> t -> unit

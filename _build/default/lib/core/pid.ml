@@ -1,0 +1,15 @@
+type t = int
+
+let make n =
+  if n < 0 then invalid_arg "Pid.make: negative pid";
+  n
+
+let to_int n = n
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let hash = Hashtbl.hash
+
+let pp ppf n = Format.fprintf ppf "pid%d" n

@@ -1,0 +1,18 @@
+(** Process identifiers.
+
+    The kernel allocates cache blocks to processes; a [Pid.t] names one
+    simulated process. *)
+
+type t = private int
+
+val make : int -> t
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

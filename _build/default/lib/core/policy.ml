@@ -1,0 +1,15 @@
+type t = Lru | Mru
+
+let default = Lru
+
+let equal a b = match (a, b) with Lru, Lru | Mru, Mru -> true | (Lru | Mru), _ -> false
+
+let to_string = function Lru -> "LRU" | Mru -> "MRU"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "LRU" -> Some Lru
+  | "MRU" -> Some Mru
+  | _ -> None

@@ -1,0 +1,19 @@
+(** Per-priority-level replacement policies.
+
+    The paper's interface offers two policies an application can attach
+    to a priority level: least-recently-used and most-recently-used. A
+    level's block list is always kept in recency order; the policy only
+    decides which end is replaced first. *)
+
+type t = Lru | Mru
+
+val default : t
+(** [Lru], as in the paper. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t option
+
+val to_string : t -> string

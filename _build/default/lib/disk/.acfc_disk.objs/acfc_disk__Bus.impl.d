@@ -1,0 +1,1 @@
+lib/disk/bus.ml: Acfc_sim Resource

@@ -1,0 +1,1 @@
+lib/disk/bus.mli: Acfc_sim

@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Acfc_sim Bus Engine Fun List Params Printf Rng

@@ -1,0 +1,1 @@
+lib/disk/disk.mli: Acfc_sim Bus Params

@@ -1,0 +1,1 @@
+lib/disk/params.ml: Float Format

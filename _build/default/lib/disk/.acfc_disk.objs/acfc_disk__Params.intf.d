@@ -1,0 +1,1 @@
+lib/disk/params.mli: Format

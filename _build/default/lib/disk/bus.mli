@@ -1,0 +1,19 @@
+(** Shared SCSI bus.
+
+    The paper's testbed connects both disks to a single SCSI bus. Disks
+    seek and rotate independently but hold the bus during data transfer,
+    so concurrent transfers serialise. One {!t} may be shared by any
+    number of {!Disk.t}. *)
+
+type t
+
+val create : Acfc_sim.Engine.t -> ?name:string -> unit -> t
+
+val transfer : t -> duration:float -> unit
+(** Hold the bus for [duration] seconds (blocking fiber call). *)
+
+val busy_time : t -> float
+(** Total bus-seconds of transfer so far. *)
+
+val contended_wait : t -> float
+(** Total time requests spent waiting for the bus. *)

@@ -1,0 +1,186 @@
+open Acfc_sim
+
+type kind = Read | Write
+
+type sched = Fcfs | Scan
+
+type waiter = {
+  w_addr : int;
+  w_seq : int;  (* arrival order, for FCFS and tie-breaks *)
+  enqueued_at : float;
+  resume : unit -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  bus : Bus.t option;
+  rng : Rng.t option;
+  sched : sched;
+  mutable busy : bool;
+  mutable queue : waiter list;  (* unsorted; short in practice *)
+  mutable next_seq : int;
+  mutable sweep_up : bool;  (* SCAN direction *)
+  mutable head : int;  (* block address after the last transfer *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable sequential_hits : int;
+  mutable blocks_transferred : int;
+  mutable busy_time : float;
+  mutable total_wait : float;
+}
+
+let create engine ?bus ?rng ?(sched = Fcfs) params =
+  {
+    engine;
+    params;
+    bus;
+    rng;
+    sched;
+    busy = false;
+    queue = [];
+    next_seq = 0;
+    sweep_up = true;
+    head = 0;
+    reads = 0;
+    writes = 0;
+    sequential_hits = 0;
+    blocks_transferred = 0;
+    busy_time = 0.0;
+    total_wait = 0.0;
+  }
+
+let params t = t.params
+
+let sched t = t.sched
+
+let check_addr t addr =
+  if addr < 0 || addr >= t.params.Params.capacity_blocks then
+    invalid_arg
+      (Printf.sprintf "Disk.io(%s): address %d out of range" t.params.Params.name addr)
+
+let rotational_latency t ~sequential =
+  let avg = t.params.Params.avg_rot_ms /. 1000.0 in
+  if sequential then t.params.Params.seq_rot_factor *. avg
+  else
+    match t.rng with
+    | None -> avg
+    | Some rng -> Rng.float rng (2.0 *. avg)
+
+let positioning_time t ~addr ~sequential =
+  let distance = abs (addr - t.head) in
+  (t.params.Params.overhead_ms /. 1000.0)
+  +. Params.seek_time_s t.params ~distance
+  +. rotational_latency t ~sequential
+
+let service_time t ~addr =
+  check_addr t addr;
+  let sequential = addr = t.head in
+  let distance = abs (addr - t.head) in
+  let avg_rot = t.params.Params.avg_rot_ms /. 1000.0 in
+  (t.params.Params.overhead_ms /. 1000.0)
+  +. Params.seek_time_s t.params ~distance
+  +. (if sequential then t.params.Params.seq_rot_factor *. avg_rot else avg_rot)
+  +. Params.transfer_time_s t.params
+
+(* Choose which waiter the freed drive serves next. *)
+let pick_next t =
+  match t.queue with
+  | [] -> None
+  | queue ->
+    let best =
+      match t.sched with
+      | Fcfs ->
+        List.fold_left
+          (fun best w ->
+            match best with Some b when b.w_seq < w.w_seq -> best | _ -> Some w)
+          None queue
+      | Scan ->
+        (* Nearest request in the sweep direction; if the direction is
+           empty, reverse the sweep. *)
+        let ahead =
+          List.filter
+            (fun w -> if t.sweep_up then w.w_addr >= t.head else w.w_addr <= t.head)
+            queue
+        in
+        let candidates =
+          match ahead with
+          | [] ->
+            t.sweep_up <- not t.sweep_up;
+            queue
+          | _ -> ahead
+        in
+        List.fold_left
+          (fun best w ->
+            match best with
+            | None -> Some w
+            | Some b ->
+              let bd = abs (b.w_addr - t.head) and wd = abs (w.w_addr - t.head) in
+              if wd < bd || (wd = bd && w.w_seq < b.w_seq) then Some w else best)
+          None candidates
+    in
+    (match best with
+    | Some w -> t.queue <- List.filter (fun x -> x != w) t.queue
+    | None -> ());
+    best
+
+let serve t kind ~addr ~blocks =
+  let started = Engine.now t.engine in
+  let sequential = addr = t.head in
+  if sequential then t.sequential_hits <- t.sequential_hits + 1;
+  Engine.delay t.engine (positioning_time t ~addr ~sequential);
+  (* A clustered request streams its blocks in one rotation-aligned
+     burst: one positioning, [blocks] transfers. *)
+  let transfer = float_of_int blocks *. Params.transfer_time_s t.params in
+  (match t.bus with
+  | Some bus -> Bus.transfer bus ~duration:transfer
+  | None -> Engine.delay t.engine transfer);
+  t.head <- addr + blocks;
+  t.blocks_transferred <- t.blocks_transferred + blocks;
+  (match kind with
+  | Read -> t.reads <- t.reads + 1
+  | Write -> t.writes <- t.writes + 1);
+  t.busy_time <- t.busy_time +. (Engine.now t.engine -. started)
+
+let io ?(blocks = 1) t kind ~addr =
+  check_addr t addr;
+  if blocks < 1 || addr + blocks > t.params.Params.capacity_blocks then
+    invalid_arg "Disk.io: bad block count";
+  if t.busy then begin
+    let enqueued_at = Engine.now t.engine in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Engine.suspend t.engine (fun resume ->
+        t.queue <- { w_addr = addr; w_seq = seq; enqueued_at; resume } :: t.queue);
+    (* Woken holding the drive: [busy] stayed true across the handoff. *)
+    t.total_wait <- t.total_wait +. (Engine.now t.engine -. enqueued_at)
+  end
+  else t.busy <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      match pick_next t with
+      | Some w -> Engine.schedule t.engine ~at:(Engine.now t.engine) w.resume
+      | None -> t.busy <- false)
+    (fun () -> serve t kind ~addr ~blocks)
+
+let reads t = t.reads
+
+let writes t = t.writes
+
+let sequential_hits t = t.sequential_hits
+
+let blocks_transferred t = t.blocks_transferred
+
+let busy_time t = t.busy_time
+
+let total_wait t = t.total_wait
+
+let queue_length t = List.length t.queue
+
+let reset_stats t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.sequential_hits <- 0;
+  t.blocks_transferred <- 0;
+  t.busy_time <- 0.0;
+  t.total_wait <- 0.0

@@ -1,0 +1,81 @@
+(** Simulated SCSI disk drive.
+
+    Service model per request, from the head's last position:
+
+    - fixed controller overhead;
+    - seek over the block distance ({!Params.seek_time_s});
+    - rotational latency: a small interleave penalty
+      ({!Params.t.seq_rot_factor} of the average) when the request is
+      sequential with the previous one, otherwise drawn uniformly in
+      [\[0, 2·avg_rot\]] (or the average, without an rng);
+    - transfer of one block, holding the (optional) shared {!Bus.t}.
+
+    Queueing is governed by the {!sched} discipline: FCFS (what Ultrix
+    does, and the default) or SCAN — the classic elevator, which serves
+    the nearest request in the direction the head is sweeping and is
+    provided for the paper's "interaction with disk scheduling"
+    future-work question (see the ablation benchmarks).
+
+    All calls that perform I/O must run inside a simulation fiber. *)
+
+type t
+
+type kind = Read | Write
+
+(** Queueing discipline for waiting requests. *)
+type sched =
+  | Fcfs  (** first-come first-served *)
+  | Scan  (** elevator: sweep toward the nearest request, reverse at the ends *)
+
+val create :
+  Acfc_sim.Engine.t ->
+  ?bus:Bus.t ->
+  ?rng:Acfc_sim.Rng.t ->
+  ?sched:sched ->
+  Params.t ->
+  t
+(** [rng] drives rotational-latency draws; omit it for a deterministic
+    drive that always pays the average rotational latency. [sched]
+    defaults to {!Fcfs}. *)
+
+val params : t -> Params.t
+
+val sched : t -> sched
+
+val io : ?blocks:int -> t -> kind -> addr:int -> unit
+(** [io t kind ~addr] performs one request at absolute block address
+    [addr], blocking the calling fiber for queueing plus service time.
+    [blocks] (default 1) transfers a contiguous cluster in the same
+    request: one positioning, [blocks] transfers — the disk-block
+    clustering of McVoy & Kleiman that the paper lists as future
+    interaction work. Raises [Invalid_argument] if the extent is outside
+    the disk. *)
+
+val service_time : t -> addr:int -> float
+(** Service time (seconds, excluding queueing and bus contention) that
+    the next request at [addr] would cost, without performing it. Uses
+    the average rotational latency; exposed for tests and calibration. *)
+
+(** {2 Statistics} *)
+
+val reads : t -> int
+
+val writes : t -> int
+
+val sequential_hits : t -> int
+(** Requests that were sequential with their predecessor. *)
+
+val blocks_transferred : t -> int
+(** Total blocks moved; exceeds [reads + writes] when requests are
+    clustered. *)
+
+val busy_time : t -> float
+(** Total drive-seconds spent in service. *)
+
+val total_wait : t -> float
+(** Total queueing delay endured by requests at this drive. *)
+
+val queue_length : t -> int
+(** Requests currently waiting (excluding the one in service). *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,42 @@
+(** Disk drive parameter sets.
+
+    The two drives are the ones in the paper's testbed (Sec. 5.2): the
+    DEC RZ56 and RZ26 SCSI drives, with the published average seek time,
+    average rotational latency and peak transfer rate. *)
+
+type t = {
+  name : string;
+  capacity_blocks : int;  (** usable capacity in {!block_bytes} blocks *)
+  min_seek_ms : float;    (** single-track seek *)
+  avg_seek_ms : float;
+  max_seek_ms : float;    (** full-stroke seek *)
+  avg_rot_ms : float;     (** half a revolution *)
+  transfer_mb_per_s : float;
+  overhead_ms : float;    (** controller/command fixed overhead per request *)
+  seq_rot_factor : float;
+      (** fraction of the average rotational latency paid even by a
+          sequential request: these pre-track-buffer drives lose part of
+          a revolution between back-to-back blocks despite sector
+          interleaving *)
+}
+
+val block_bytes : int
+(** File-cache block size: 8 KB, as in Ultrix. *)
+
+val rz56 : t
+(** 665 MB, 16 ms avg seek, 8.3 ms avg rotational latency, 1.875 MB/s. *)
+
+val rz26 : t
+(** 1.05 GB, 10.5 ms avg seek, 5.54 ms avg rotational latency, 3.3 MB/s. *)
+
+val transfer_time_s : t -> float
+(** Time to transfer one block, in seconds. *)
+
+val seek_time_s : t -> distance:int -> float
+(** Seek time for a head movement of [distance] blocks, in seconds: 0 at
+    distance 0, [min_seek_ms] for one block, growing as the square root
+    of distance (a standard seek-curve shape) and calibrated so that a
+    seek across one third of the disk — the average for uniformly random
+    requests — costs [avg_seek_ms]. Capped at [max_seek_ms]. *)
+
+val pp : Format.formatter -> t -> unit

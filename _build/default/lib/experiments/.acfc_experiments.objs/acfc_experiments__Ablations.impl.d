@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Acfc_core Acfc_disk Acfc_stats Acfc_workload Format List Measure Printf Readn Registry

@@ -1,0 +1,1 @@
+lib/experiments/ablations.mli: Acfc_core Acfc_disk Format

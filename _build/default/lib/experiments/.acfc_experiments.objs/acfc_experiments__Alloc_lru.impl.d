@@ -1,0 +1,1 @@
+lib/experiments/alloc_lru.ml: Acfc_core Acfc_stats Acfc_workload Format List Measure Paper_data Printf Registry

@@ -1,0 +1,1 @@
+lib/experiments/alloc_lru.mli: Format Measure

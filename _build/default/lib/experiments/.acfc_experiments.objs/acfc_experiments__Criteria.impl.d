@@ -1,0 +1,1 @@
+lib/experiments/criteria.ml: Acfc_core Acfc_stats Acfc_workload Format List Measure Printf Readn Registry

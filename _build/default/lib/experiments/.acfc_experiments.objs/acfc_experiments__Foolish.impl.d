@@ -1,0 +1,1 @@
+lib/experiments/foolish.ml: Acfc_core Acfc_stats Acfc_workload Format List Measure Readn Registry

@@ -1,0 +1,1 @@
+lib/experiments/foolish.mli: Format Measure

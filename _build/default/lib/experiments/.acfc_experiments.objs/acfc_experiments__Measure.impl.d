@@ -1,0 +1,1 @@
+lib/experiments/measure.ml: Acfc_stats Acfc_workload List Printf

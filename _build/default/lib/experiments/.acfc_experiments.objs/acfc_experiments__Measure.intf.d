@@ -1,0 +1,1 @@
+lib/experiments/measure.mli: Acfc_stats Acfc_workload

@@ -1,0 +1,1 @@
+lib/experiments/multi.ml: Acfc_core Acfc_stats Acfc_workload Float Format List Measure Paper_data Printf Registry

@@ -1,0 +1,1 @@
+lib/experiments/multi.mli: Format Measure

@@ -1,0 +1,1 @@
+lib/experiments/paper_data.ml: Array Float List Option

@@ -1,0 +1,1 @@
+lib/experiments/paper_data.mli:

@@ -1,0 +1,1 @@
+lib/experiments/placeholders.ml: Acfc_core Acfc_stats Acfc_workload Format List Measure Printf Readn

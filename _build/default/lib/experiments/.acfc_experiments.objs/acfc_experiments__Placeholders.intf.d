@@ -1,0 +1,1 @@
+lib/experiments/placeholders.mli: Format Measure

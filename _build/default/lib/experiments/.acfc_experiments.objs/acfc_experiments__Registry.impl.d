@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Acfc_workload Cscope Dinero Glimpse Ld List Postgres Sort_app String

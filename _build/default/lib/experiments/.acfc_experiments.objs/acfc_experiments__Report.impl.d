@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Alloc_lru Foolish Format List Multi Paper_data Placeholders Single Smart_oblivious String

@@ -1,0 +1,1 @@
+lib/experiments/single.mli: Format Measure

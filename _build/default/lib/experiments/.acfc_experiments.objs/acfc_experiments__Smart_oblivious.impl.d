@@ -1,0 +1,1 @@
+lib/experiments/smart_oblivious.ml: Acfc_core Acfc_stats Acfc_workload Format List Measure Readn Registry

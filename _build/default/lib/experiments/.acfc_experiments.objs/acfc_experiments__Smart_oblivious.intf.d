@@ -1,0 +1,1 @@
+lib/experiments/smart_oblivious.mli: Format Measure

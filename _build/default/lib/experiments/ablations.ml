@@ -1,0 +1,365 @@
+module Config = Acfc_core.Config
+module Disk = Acfc_disk.Disk
+module Runner = Acfc_workload.Runner
+module Summary = Acfc_stats.Summary
+module Table = Acfc_stats.Table
+open Acfc_workload
+
+let mean_of results f =
+  Summary.mean (Summary.of_list (List.map (fun r -> float_of_int (f r)) results))
+
+let mean_fl results f = Summary.mean (Summary.of_list (List.map f results))
+
+(* {2 Read-ahead} *)
+
+type readahead_row = {
+  ra_app : string;
+  readahead : bool;
+  ra_elapsed : float;
+  ra_ios : int;
+}
+
+let readahead ?(runs = 3) ?(apps = [ "din"; "cs1"; "sort" ]) () =
+  List.concat_map
+    (fun name ->
+      let app, disk = Registry.find name in
+      List.map
+        (fun ra ->
+          let results =
+            Measure.repeat ~runs (fun ~seed ->
+                Runner.run ~seed ~readahead:ra ~cache_blocks:819
+                  ~alloc_policy:Config.Global_lru
+                  [ Runner.Spec.make ~smart:false ~disk app ])
+          in
+          {
+            ra_app = name;
+            readahead = ra;
+            ra_elapsed = mean_fl results (fun r -> (List.hd r.Runner.apps).Runner.elapsed);
+            ra_ios =
+              int_of_float
+                (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+          })
+        [ true; false ])
+    apps
+
+(* {2 Disk scheduling} *)
+
+type sched_row = {
+  sched : Disk.sched;
+  combo : string;
+  sc_makespan : float;
+  sc_ios : int;
+}
+
+let disk_sched ?(runs = 3) () =
+  (* Two random-access processes on one disk build a queue that SCAN
+     can reorder; pjn + pjn clone is the most disk-random pair. *)
+  let combos = [ ([ "pjn"; "gli" ], "pjn+gli(one disk)"); ([ "pjn"; "sort" ], "pjn+sort(one disk)") ] in
+  List.concat_map
+    (fun (names, label) ->
+      let specs =
+        List.map
+          (fun name ->
+            let app, _ = Registry.find name in
+            (* Force everything onto disk 0 to create contention. *)
+            Runner.Spec.make ~smart:false ~disk:0 app)
+          names
+      in
+      List.map
+        (fun sched ->
+          let results =
+            Measure.repeat ~runs (fun ~seed ->
+                Runner.run ~seed ~disk_sched:sched ~cache_blocks:819
+                  ~alloc_policy:Config.Global_lru specs)
+          in
+          {
+            sched;
+            combo = label;
+            sc_makespan = mean_fl results (fun r -> r.Runner.makespan);
+            sc_ios = int_of_float (mean_of results (fun r -> r.Runner.total_ios));
+          })
+        [ Disk.Fcfs; Disk.Scan ])
+    combos
+
+(* {2 Update-daemon interval} *)
+
+type update_row = { interval : float; up_ios : int; up_writes : int }
+
+let update_interval ?(runs = 3) ?(intervals = [ 5.0; 30.0; 120.0; 600.0 ]) () =
+  let app, disk = Registry.find "sort" in
+  List.map
+    (fun interval ->
+      let results =
+        Measure.repeat ~runs (fun ~seed ->
+            Runner.run ~seed ~update_interval:interval ~cache_blocks:4096
+              ~alloc_policy:Config.Lru_sp
+              [ Runner.Spec.make ~smart:true ~disk app ])
+      in
+      {
+        interval;
+        up_ios =
+          int_of_float (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+        up_writes =
+          int_of_float
+            (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.disk_writes));
+      })
+    intervals
+
+(* {2 File-system layout: packed vs aged/scattered} *)
+
+type layout_row = {
+  la_app : string;
+  scattered : bool;
+  la_elapsed : float;
+  la_ios : int;
+}
+
+let layout ?(runs = 3) ?(apps = [ "cs2"; "ldk" ]) () =
+  List.concat_map
+    (fun name ->
+      let app, disk = Registry.find name in
+      List.map
+        (fun scattered ->
+          let results =
+            Measure.repeat ~runs (fun ~seed ->
+                Runner.run ~seed ~scattered_layout:scattered ~cache_blocks:819
+                  ~alloc_policy:Config.Global_lru
+                  [ Runner.Spec.make ~smart:false ~disk app ])
+          in
+          {
+            la_app = name;
+            scattered;
+            la_elapsed = mean_fl results (fun r -> (List.hd r.Runner.apps).Runner.elapsed);
+            la_ios =
+              int_of_float
+                (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+          })
+        [ false; true ])
+    apps
+
+(* {2 Clustered write-back} *)
+
+type cluster_row = { cl_size : int; cl_elapsed : float; cl_ios : int }
+
+let write_clustering ?(runs = 3) ?(sizes = [ 1; 4; 8 ]) () =
+  let app, disk = Registry.find "sort" in
+  List.map
+    (fun size ->
+      let results =
+        Measure.repeat ~runs (fun ~seed ->
+            Runner.run ~seed ~write_cluster:size ~cache_blocks:819
+              ~alloc_policy:Config.Lru_sp
+              [ Runner.Spec.make ~smart:true ~disk app ])
+      in
+      {
+        cl_size = size;
+        cl_elapsed = mean_fl results (fun r -> (List.hd r.Runner.apps).Runner.elapsed);
+        cl_ios =
+          int_of_float
+            (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+      })
+    sizes
+
+(* {2 Global allocation order (Sec. 7: LRU vs CLOCK)} *)
+
+type order_row = {
+  or_app : string;
+  or_policy : Config.alloc_policy;
+  or_smart : bool;
+  or_ios : int;
+}
+
+let global_order ?(runs = 3) ?(apps = [ "din"; "cs1" ]) () =
+  List.concat_map
+    (fun name ->
+      let app, disk = Registry.find name in
+      List.concat_map
+        (fun (policy, smart) ->
+          let results =
+            Measure.repeat ~runs (fun ~seed ->
+                Runner.run ~seed ~cache_blocks:819 ~alloc_policy:policy
+                  [ Runner.Spec.make ~smart ~disk app ])
+          in
+          [
+            {
+              or_app = name;
+              or_policy = policy;
+              or_smart = smart;
+              or_ios =
+                int_of_float
+                  (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+            };
+          ])
+        [
+          (Config.Global_lru, false);
+          (Config.Clock_sp, false);
+          (Config.Lru_sp, true);
+          (Config.Clock_sp, true);
+        ])
+    apps
+
+(* {2 Revocation thresholds} *)
+
+type revocation_row = {
+  threshold : Config.revocation option;
+  victim_ios : int;
+  fool_ios : int;
+  mistakes_caught : int;
+}
+
+let revocation ?(runs = 3) () =
+  let thresholds =
+    [
+      None;
+      Some { Config.min_decisions = 500; mistake_ratio = 0.9 };
+      Some { Config.min_decisions = 200; mistake_ratio = 0.5 };
+      Some { Config.min_decisions = 50; mistake_ratio = 0.3 };
+    ]
+  in
+  List.map
+    (fun threshold ->
+      let results =
+        Measure.repeat ~runs (fun ~seed ->
+            Runner.run ~seed ?revocation:threshold ~cache_blocks:819
+              ~alloc_policy:Config.Lru_sp
+              [
+                Runner.Spec.make ~smart:false ~disk:0
+                  (Readn.app ~n:490 ~mode:`Oblivious ());
+                Runner.Spec.make ~smart:true ~disk:0
+                  (Readn.app ~n:300 ~mode:`Foolish ());
+              ])
+      in
+      {
+        threshold;
+        victim_ios =
+          int_of_float (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+        fool_ios =
+          int_of_float
+            (mean_of results (fun r -> (List.nth r.Runner.apps 1).Runner.block_ios));
+        mistakes_caught =
+          int_of_float (mean_of results (fun r -> r.Runner.placeholders_used));
+      })
+    thresholds
+
+(* {2 Printing} *)
+
+let print_all ?(runs = 3) ppf () =
+  Format.fprintf ppf "Ablation: one-block sequential read-ahead@\n";
+  let t =
+    Table.create
+      ~columns:
+        [ ("app", Table.Left); ("read-ahead", Table.Left); ("elapsed (s)", Table.Right);
+          ("block I/Os", Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ r.ra_app; (if r.readahead then "on" else "off"); Measure.f1 r.ra_elapsed;
+          string_of_int r.ra_ios ])
+    (readahead ~runs ());
+  Format.fprintf ppf "%a@\n" Table.render t;
+
+  Format.fprintf ppf "Ablation: disk scheduling under contention@\n";
+  let t =
+    Table.create
+      ~columns:
+        [ ("mix", Table.Left); ("sched", Table.Left); ("makespan (s)", Table.Right);
+          ("block I/Os", Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ r.combo; (match r.sched with Disk.Fcfs -> "FCFS" | Disk.Scan -> "SCAN");
+          Measure.f1 r.sc_makespan; string_of_int r.sc_ios ])
+    (disk_sched ~runs ());
+  Format.fprintf ppf "%a@\n" Table.render t;
+
+  Format.fprintf ppf
+    "Ablation: update-daemon interval (smart sort, 32 MB cache; later flushes let@\n\
+     deleted temporaries cancel their writes)@\n";
+  let t =
+    Table.create
+      ~columns:
+        [ ("interval (s)", Table.Right); ("block I/Os", Table.Right);
+          ("disk writes", Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ Printf.sprintf "%g" r.interval; string_of_int r.up_ios;
+          string_of_int r.up_writes ])
+    (update_interval ~runs ());
+  Format.fprintf ppf "%a@\n" Table.render t;
+
+  Format.fprintf ppf
+    "Ablation: clustered write-back (smart sort, 6.4 MB; same block I/Os,@\n\
+     positioning amortised across each cluster)@\n";
+  let t =
+    Table.create
+      ~columns:
+        [ ("cluster", Table.Right); ("elapsed (s)", Table.Right);
+          ("block I/Os", Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ string_of_int r.cl_size; Measure.f1 r.cl_elapsed; string_of_int r.cl_ios ])
+    (write_clustering ~runs ());
+  Format.fprintf ppf "%a@\n" Table.render t;
+
+  Format.fprintf ppf
+    "Ablation: file layout (packed vs aged/scattered; multi-file scans pay@\n\
+     inter-file seeks on an aged file system)@\n";
+  let t =
+    Table.create
+      ~columns:
+        [ ("app", Table.Left); ("layout", Table.Left); ("elapsed (s)", Table.Right);
+          ("block I/Os", Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ r.la_app; (if r.scattered then "scattered" else "packed");
+          Measure.f1 r.la_elapsed; string_of_int r.la_ios ])
+    (layout ~runs ());
+  Format.fprintf ppf "%a@\n" Table.render t;
+
+  Format.fprintf ppf
+    "Ablation: global allocation order (Sec. 7) - application control works@\n\
+     over a VM-style CLOCK list as well as over true LRU@\n";
+  let t =
+    Table.create
+      ~columns:
+        [ ("app", Table.Left); ("kernel", Table.Left); ("app policy", Table.Left);
+          ("block I/Os", Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ r.or_app; Config.alloc_policy_to_string r.or_policy;
+          (if r.or_smart then "smart (MRU)" else "oblivious");
+          string_of_int r.or_ios ])
+    (global_order ~runs ());
+  Format.fprintf ppf "%a@\n" Table.render t;
+
+  Format.fprintf ppf
+    "Ablation: revoking a foolish manager (oblivious Read490 vs foolish Read300)@\n";
+  let t =
+    Table.create
+      ~columns:
+        [ ("revocation", Table.Left); ("victim I/Os", Table.Right);
+          ("fool I/Os", Table.Right); ("mistakes caught", Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      let label =
+        match r.threshold with
+        | None -> "off"
+        | Some { Config.min_decisions; mistake_ratio } ->
+          Printf.sprintf ">=%d dec., %.0f%%" min_decisions (100.0 *. mistake_ratio)
+      in
+      Table.add_row t
+        [ label; string_of_int r.victim_ios; string_of_int r.fool_ios;
+          string_of_int r.mistakes_caught ])
+    (revocation ~runs ());
+  Format.fprintf ppf "%a" Table.render t

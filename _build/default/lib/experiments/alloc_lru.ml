@@ -1,0 +1,64 @@
+module Config = Acfc_core.Config
+module Runner = Acfc_workload.Runner
+module Table = Acfc_stats.Table
+
+type row = {
+  combo : string;
+  mb : float;
+  lru_sp : Measure.m;
+  alloc_lru : Measure.m;
+}
+
+let measure ~runs ~cache_blocks ~alloc_policy names =
+  let specs =
+    List.map
+      (fun name ->
+        let app, disk = Registry.find name in
+        Runner.Spec.make ~smart:true ~disk app)
+      names
+  in
+  let results =
+    Measure.repeat ~runs (fun ~seed -> Runner.run ~seed ~cache_blocks ~alloc_policy specs)
+  in
+  Measure.total_summary results
+
+let run ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb) ?(combos = Registry.fig6_combos)
+    () =
+  List.concat_map
+    (fun names ->
+      List.map
+        (fun mb ->
+          let cache_blocks = Runner.blocks_of_mb mb in
+          let lru_sp = measure ~runs ~cache_blocks ~alloc_policy:Config.Lru_sp names in
+          let alloc_lru =
+            measure ~runs ~cache_blocks ~alloc_policy:Config.Alloc_lru names
+          in
+          { combo = Registry.combo_name names; mb; lru_sp; alloc_lru })
+        sizes)
+    combos
+
+let print ppf rows =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("combination", Table.Left);
+          ("MB", Table.Right);
+          ("elapsed ratio", Table.Right);
+          ("I/O ratio", Table.Right);
+        ]
+  in
+  let last = ref "" in
+  List.iter
+    (fun r ->
+      if !last <> "" && !last <> r.combo then Table.add_rule table;
+      last := r.combo;
+      let elapsed_ratio, ios_ratio = Measure.mean_ratio r.alloc_lru r.lru_sp in
+      Table.add_row table
+        [ r.combo; Printf.sprintf "%g" r.mb; Measure.f2 elapsed_ratio; Measure.f2 ios_ratio ])
+    rows;
+  Format.fprintf ppf
+    "Figure 6: ALLOC-LRU normalised to LRU-SP (=1.0); values above 1.0 mean@\n\
+     ALLOC-LRU is worse, showing that swapping is necessary@\n\
+     %a"
+    Table.render table

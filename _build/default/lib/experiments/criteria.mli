@@ -1,0 +1,32 @@
+(** The paper's three criteria for a sound global allocation policy
+    (Sec. 2), checked mechanically against the running system:
+
+    1. {e Oblivious processes do no worse than under the existing LRU
+       policy} — an oblivious process paired with smart partners on its
+       own disk must see the same I/Os and no worse elapsed time than
+       with oblivious partners.
+    2. {e Foolish processes should not hurt other processes} — an
+       oblivious victim's I/Os under LRU-SP with a foolish neighbour
+       must stay at its oblivious-neighbour level (the placeholder
+       guarantee; the paper itself notes elapsed time is only partially
+       protected, so only I/Os are checked).
+    3. {e Smart processes never perform worse} — every application's
+       smart I/Os are bounded by its oblivious I/Os at every cache size.
+
+    Each check returns measured numbers and a verdict, so the bench can
+    print the paper's criteria as a table. *)
+
+type verdict = { criterion : string; detail : string; measured : string; pass : bool }
+
+val criterion1 : ?runs:int -> unit -> verdict list
+(** One verdict per partner application (din, cs2, gli, ldk). *)
+
+val criterion2 : ?runs:int -> unit -> verdict list
+(** One verdict per foreground ReadN size. *)
+
+val criterion3 : ?runs:int -> ?apps:string list -> unit -> verdict list
+(** One verdict per (application, cache size). *)
+
+val run_all : ?runs:int -> unit -> verdict list
+
+val print : Format.formatter -> verdict list -> unit

@@ -1,0 +1,70 @@
+module Config = Acfc_core.Config
+module Runner = Acfc_workload.Runner
+module Summary = Acfc_stats.Summary
+module Table = Acfc_stats.Table
+open Acfc_workload
+
+type row = { app : string; bg_foolish : bool; smart_app : Measure.m }
+
+let default_apps = [ "din"; "cs2"; "gli"; "ldk" ]
+
+let run ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) () =
+  let cache_blocks = Runner.blocks_of_mb cache_mb in
+  List.concat_map
+    (fun name ->
+      let app, disk = Registry.find name in
+      List.map
+        (fun bg_foolish ->
+          let bg =
+            if bg_foolish then Readn.app ~n:300 ~mode:`Foolish ()
+            else Readn.app ~n:300 ~mode:`Oblivious ()
+          in
+          let results =
+            Measure.repeat ~runs (fun ~seed ->
+                Runner.run ~seed ~cache_blocks ~alloc_policy:Config.Lru_sp
+                  [
+                    Runner.Spec.make ~smart:true ~disk app;
+                    Runner.Spec.make ~smart:bg_foolish ~disk:0 bg;
+                  ])
+          in
+          { app = name; bg_foolish; smart_app = Measure.app_summary results ~index:0 })
+        [ false; true ])
+    apps
+
+let print ppf rows =
+  let apps = List.sort_uniq compare (List.map (fun r -> r.app) rows) in
+  let apps =
+    (* keep the paper's column order when present *)
+    List.filter (fun a -> List.mem a apps) default_apps
+    @ List.filter (fun a -> not (List.mem a default_apps)) apps
+  in
+  let columns =
+    ("Read300 policy", Table.Left)
+    :: List.map (fun a -> (a, Table.Right)) apps
+  in
+  let elapsed_table = Table.create ~columns in
+  let ios_table = Table.create ~columns in
+  List.iter
+    (fun bg_foolish ->
+      let label = if bg_foolish then "Foolish" else "Oblivious" in
+      let cell f =
+        List.map
+          (fun a ->
+            match
+              List.find_opt (fun r -> r.app = a && r.bg_foolish = bg_foolish) rows
+            with
+            | Some r -> f r
+            | None -> "-")
+          apps
+      in
+      Table.add_row elapsed_table
+        (label :: cell (fun r -> Measure.f1 (Summary.mean r.smart_app.Measure.elapsed)));
+      Table.add_row ios_table
+        (label :: cell (fun r -> Measure.i0 (Summary.mean r.smart_app.Measure.ios))))
+    [ false; true ];
+  Format.fprintf ppf
+    "Table 2: smart applications running against an oblivious vs foolish Read300@\n\
+     (6.4 MB cache). Elapsed seconds of the smart application:@\n\
+     %aBlock I/Os of the smart application:@\n\
+     %a"
+    Table.render elapsed_table Table.render ios_table

@@ -1,0 +1,31 @@
+module Summary = Acfc_stats.Summary
+module Runner = Acfc_workload.Runner
+
+type m = { elapsed : Summary.t; ios : Summary.t }
+
+let repeat ~runs f =
+  if runs <= 0 then invalid_arg "Measure.repeat: runs must be positive";
+  List.init runs (fun seed -> f ~seed)
+
+let app_summary results ~index =
+  let apps = List.map (fun r -> List.nth r.Runner.apps index) results in
+  {
+    elapsed = Summary.of_list (List.map (fun a -> a.Runner.elapsed) apps);
+    ios = Summary.of_list (List.map (fun a -> float_of_int a.Runner.block_ios) apps);
+  }
+
+let total_summary results =
+  {
+    elapsed = Summary.of_list (List.map (fun r -> r.Runner.makespan) results);
+    ios = Summary.of_list (List.map (fun r -> float_of_int r.Runner.total_ios) results);
+  }
+
+let mean_ratio controlled baseline =
+  ( Summary.mean controlled.elapsed /. Summary.mean baseline.elapsed,
+    Summary.mean controlled.ios /. Summary.mean baseline.ios )
+
+let f1 x = Printf.sprintf "%.1f" x
+
+let f2 x = Printf.sprintf "%.2f" x
+
+let i0 x = Printf.sprintf "%.0f" x

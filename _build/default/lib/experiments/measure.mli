@@ -1,0 +1,26 @@
+(** Shared measurement helpers: repeated cold-start runs and their
+    summaries, as the paper averages 3–5 runs per data point. *)
+
+type m = { elapsed : Acfc_stats.Summary.t; ios : Acfc_stats.Summary.t }
+
+val repeat : runs:int -> (seed:int -> Acfc_workload.Runner.t) -> Acfc_workload.Runner.t list
+(** Run with seeds 0 .. runs−1. [runs] must be positive. *)
+
+val app_summary : Acfc_workload.Runner.t list -> index:int -> m
+(** Elapsed/IO summary of the [index]-th application across runs. *)
+
+val total_summary : Acfc_workload.Runner.t list -> m
+(** Makespan and whole-system I/Os across runs. *)
+
+val mean_ratio : m -> m -> float * float
+(** [(elapsed ratio, ios ratio)] of two measurements' means —
+    "normalised to the original kernel" in the paper's figures. *)
+
+val f1 : float -> string
+(** Format with one decimal. *)
+
+val f2 : float -> string
+(** Format with two decimals (the paper's ratio precision). *)
+
+val i0 : float -> string
+(** Format a mean count as a rounded integer. *)

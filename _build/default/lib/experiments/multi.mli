@@ -1,0 +1,20 @@
+(** Concurrent-application experiments: Figure 5.
+
+    Each combination runs with every application applying its smart
+    strategy under LRU-SP, against the same mix oblivious under the
+    original kernel; the paper reports total elapsed time and total
+    block I/Os normalised to the original kernel. *)
+
+type row = {
+  combo : string;
+  mb : float;
+  original : Measure.m;
+  controlled : Measure.m;
+}
+
+val run :
+  ?runs:int -> ?sizes:float list -> ?combos:string list list -> unit -> row list
+(** Defaults: 3 runs (as the paper), the four cache sizes, the paper's
+    nine combinations. *)
+
+val print : Format.formatter -> row list -> unit

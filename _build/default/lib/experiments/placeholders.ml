@@ -1,0 +1,90 @@
+module Config = Acfc_core.Config
+module Runner = Acfc_workload.Runner
+module Summary = Acfc_stats.Summary
+module Table = Acfc_stats.Table
+open Acfc_workload
+
+type setting = Oblivious | Unprotected | Protected
+
+type row = {
+  setting : setting;
+  n : int;
+  foreground : Measure.m;
+  placeholders_used : float;
+}
+
+let setting_name = function
+  | Oblivious -> "Oblivious"
+  | Unprotected -> "Unprotected"
+  | Protected -> "Protected"
+
+let settings = [ Oblivious; Unprotected; Protected ]
+
+let background = function
+  | Oblivious -> (Readn.app ~n:300 ~mode:`Oblivious (), false)
+  | Unprotected | Protected -> (Readn.app ~n:300 ~mode:`Foolish (), true)
+
+let alloc_policy = function
+  | Oblivious | Protected -> Config.Lru_sp
+  | Unprotected -> Config.Lru_s
+
+let run ?(runs = 3) ?(cache_mb = 6.4) ?(ns = [ 390; 400; 490; 500 ]) () =
+  let cache_blocks = Runner.blocks_of_mb cache_mb in
+  List.concat_map
+    (fun setting ->
+      let bg_app, bg_smart = background setting in
+      List.map
+        (fun n ->
+          let fg = Readn.app ~n ~mode:`Oblivious () in
+          let results =
+            Measure.repeat ~runs (fun ~seed ->
+                Runner.run ~seed ~cache_blocks ~alloc_policy:(alloc_policy setting)
+                  [
+                    Runner.Spec.make ~smart:false ~disk:0 fg;
+                    Runner.Spec.make ~smart:bg_smart ~disk:0 bg_app;
+                  ])
+          in
+          let foreground = Measure.app_summary results ~index:0 in
+          let placeholders_used =
+            Summary.mean
+              (Summary.of_list
+                 (List.map
+                    (fun r -> float_of_int r.Runner.placeholders_used)
+                    results))
+          in
+          { setting; n; foreground; placeholders_used })
+        ns)
+    settings
+
+let print ppf rows =
+  let ns = List.sort_uniq compare (List.map (fun r -> r.n) rows) in
+  let columns =
+    (("setting", Table.Left) :: List.map (fun n -> (Printf.sprintf "Read%d" n, Table.Right)) ns)
+    @ [ ("ph-used", Table.Right) ]
+  in
+  let elapsed_table = Table.create ~columns in
+  let ios_table = Table.create ~columns in
+  List.iter
+    (fun setting ->
+      let cells = List.filter (fun r -> r.setting = setting) rows in
+      let cells = List.sort (fun a b -> compare a.n b.n) cells in
+      let ph =
+        Measure.f1
+          (List.fold_left (fun acc r -> acc +. r.placeholders_used) 0.0 cells
+          /. float_of_int (List.length cells))
+      in
+      Table.add_row elapsed_table
+        ((setting_name setting
+         :: List.map (fun r -> Measure.f1 (Summary.mean r.foreground.Measure.elapsed)) cells)
+        @ [ ph ]);
+      Table.add_row ios_table
+        ((setting_name setting
+         :: List.map (fun r -> Measure.i0 (Summary.mean r.foreground.Measure.ios)) cells)
+        @ [ ph ]))
+    settings;
+  Format.fprintf ppf
+    "Table 1: protection by placeholders (foreground oblivious ReadN vs background@\n\
+     Read300; 6.4 MB cache). Elapsed seconds:@\n\
+     %aBlock I/Os (Protected should return to the Oblivious level):@\n\
+     %a"
+    Table.render elapsed_table Table.render ios_table

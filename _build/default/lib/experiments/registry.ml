@@ -1,0 +1,42 @@
+open Acfc_workload
+
+let apps =
+  [
+    ("din", Dinero.din, 0);
+    ("cs1", Cscope.cs1, 0);
+    ("cs3", Cscope.cs3, 0);
+    ("cs2", Cscope.cs2, 0);
+    ("gli", Glimpse.gli, 0);
+    ("ldk", Ld.ldk, 0);
+    ("pjn", Postgres.pjn, 1);
+    ("sort", Sort_app.sort, 1);
+  ]
+
+let find name =
+  match List.find_opt (fun (n, _, _) -> n = name) apps with
+  | Some (_, app, disk) -> (app, disk)
+  | None -> raise Not_found
+
+let fig5_combos =
+  [
+    [ "cs2"; "gli" ];
+    [ "cs3"; "ldk" ];
+    [ "gli"; "sort" ];
+    [ "din"; "sort" ];
+    [ "sort"; "ldk" ];
+    [ "pjn"; "ldk" ];
+    [ "din"; "cs2"; "ldk" ];
+    [ "cs1"; "gli"; "ldk" ];
+    [ "din"; "cs3"; "gli"; "ldk" ];
+  ]
+
+let fig6_combos =
+  [
+    [ "cs2"; "gli" ];
+    [ "cs3"; "ldk" ];
+    [ "din"; "cs2"; "ldk" ];
+    [ "cs1"; "gli"; "ldk" ];
+    [ "din"; "cs3"; "gli"; "ldk" ];
+  ]
+
+let combo_name names = String.concat "+" names

@@ -1,0 +1,19 @@
+(** The paper's application suite and experiment combinations.
+
+    Disk placement follows Sec. 5.2: cs1–cs3, din, gli and ldk live on
+    the RZ56 (disk 0); pjn and sort on the RZ26 (disk 1). *)
+
+val apps : (string * Acfc_workload.App.t * int) list
+(** (name, app, disk index), in the paper's Figure 4 order. *)
+
+val find : string -> Acfc_workload.App.t * int
+(** Raises [Not_found] for unknown names. *)
+
+val fig5_combos : string list list
+(** The nine concurrent combinations of Sec. 5.3. *)
+
+val fig6_combos : string list list
+(** The five combinations re-run under ALLOC-LRU in Sec. 6.1. *)
+
+val combo_name : string list -> string
+(** "cs2+gli" etc. *)

@@ -1,0 +1,51 @@
+type options = { runs : int; sizes : float list }
+
+let default = { runs = 3; sizes = Paper_data.cache_sizes_mb }
+
+let quick = { runs = 1; sizes = [ 6.4; 16.0 ] }
+
+let artifacts =
+  [ "fig4"; "fig5"; "fig6"; "table1"; "table2"; "table3"; "table4"; "table5"; "table6" ]
+
+let hr ppf = Format.fprintf ppf "@\n%s@\n@\n" (String.make 74 '=')
+
+let run_single_family opts ppf which =
+  let rows = Single.run ~runs:opts.runs ~sizes:opts.sizes () in
+  List.iter
+    (fun w ->
+      hr ppf;
+      match w with
+      | `Fig4 -> Single.print_fig4 ppf rows
+      | `Table5 -> Single.print_elapsed ppf rows
+      | `Table6 -> Single.print_ios ppf rows)
+    which
+
+let run_artifact opts ppf = function
+  | "fig4" -> run_single_family opts ppf [ `Fig4 ]
+  | "table5" -> run_single_family opts ppf [ `Table5 ]
+  | "table6" -> run_single_family opts ppf [ `Table6 ]
+  | "fig5" ->
+    hr ppf;
+    Multi.print ppf (Multi.run ~runs:opts.runs ~sizes:opts.sizes ())
+  | "fig6" ->
+    hr ppf;
+    Alloc_lru.print ppf (Alloc_lru.run ~runs:opts.runs ~sizes:opts.sizes ())
+  | "table1" ->
+    hr ppf;
+    Placeholders.print ppf (Placeholders.run ~runs:opts.runs ())
+  | "table2" ->
+    hr ppf;
+    Foolish.print ppf (Foolish.run ~runs:opts.runs ())
+  | "table3" ->
+    hr ppf;
+    Smart_oblivious.print ppf (Smart_oblivious.run ~runs:opts.runs ~two_disks:false ())
+  | "table4" ->
+    hr ppf;
+    Smart_oblivious.print ppf (Smart_oblivious.run ~runs:opts.runs ~two_disks:true ())
+  | name -> invalid_arg ("Report.run_artifact: unknown artifact " ^ name)
+
+let run_all opts ppf =
+  run_single_family opts ppf [ `Fig4; `Table5; `Table6 ];
+  List.iter
+    (fun a -> run_artifact opts ppf a)
+    [ "fig5"; "fig6"; "table1"; "table2"; "table3"; "table4" ]

@@ -1,0 +1,25 @@
+(** Top-level experiment driver: regenerate any or all of the paper's
+    tables and figures and print them paper-vs-measured. *)
+
+type options = {
+  runs : int;  (** cold-start runs averaged per data point *)
+  sizes : float list;  (** cache sizes (MB) for the size sweeps *)
+}
+
+val default : options
+(** 3 runs, the paper's four cache sizes. *)
+
+val quick : options
+(** 1 run, sizes 6.4 and 16 MB only — for smoke tests. *)
+
+val artifacts : string list
+(** ["fig4"; "fig5"; "fig6"; "table1"; "table2"; "table3"; "table4";
+    "table5"; "table6"] *)
+
+val run_artifact : options -> Format.formatter -> string -> unit
+(** Regenerate one artifact by name and print it. Raises
+    [Invalid_argument] for unknown names. Note fig4/table5/table6 share
+    the same runs; requesting them separately repeats the simulations. *)
+
+val run_all : options -> Format.formatter -> unit
+(** Everything, sharing simulations between fig4 and tables 5–6. *)

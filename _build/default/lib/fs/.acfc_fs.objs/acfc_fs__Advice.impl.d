@@ -1,0 +1,1 @@
+lib/fs/advice.ml: Acfc_core File Format Result

@@ -1,0 +1,1 @@
+lib/fs/advice.mli: Acfc_core File Format

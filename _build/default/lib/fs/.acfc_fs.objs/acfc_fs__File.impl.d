@@ -1,0 +1,1 @@
+lib/fs/file.ml: Acfc_core Acfc_disk Format

@@ -1,0 +1,1 @@
+lib/fs/file.mli: Acfc_core Acfc_disk Format

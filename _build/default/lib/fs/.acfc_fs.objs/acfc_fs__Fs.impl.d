@@ -1,0 +1,1 @@
+lib/fs/fs.ml: Acfc_core Acfc_disk Acfc_sim Bytes Engine File Fun Hashtbl Ivar List Option Printf Resource Rng Stdlib

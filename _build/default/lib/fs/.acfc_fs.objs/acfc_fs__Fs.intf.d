@@ -1,0 +1,1 @@
+lib/fs/fs.mli: Acfc_core Acfc_disk Acfc_sim File

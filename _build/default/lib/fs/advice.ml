@@ -1,0 +1,47 @@
+module Control = Acfc_core.Control
+module Policy = Acfc_core.Policy
+
+type t =
+  | Normal
+  | Sequential of { reuse : bool }
+  | Random
+  | Willneed of { first : int; last : int }
+  | Dontneed of { first : int; last : int }
+  | Noreuse
+  | Cyclic
+
+let ( let* ) = Result.bind
+
+let advise control (file : File.t) advice =
+  let fid = File.id file in
+  match advice with
+  | Normal ->
+    file.File.readahead_enabled <- true;
+    let* () = Control.set_priority control ~file:fid 0 in
+    Control.set_policy control ~prio:0 Policy.Lru
+  | Sequential { reuse } ->
+    file.File.readahead_enabled <- true;
+    if reuse then Ok () else Control.set_priority control ~file:fid (-1)
+  | Random ->
+    file.File.readahead_enabled <- false;
+    Ok ()
+  | Willneed { first; last } ->
+    (* Keep the blocks around: a temporary lift above the default level
+       that ends at their next reference (paper Sec. 3, "future access
+       prediction"). *)
+    Control.set_temppri control ~file:fid ~first ~last ~prio:1
+  | Dontneed { first; last } ->
+    Control.set_temppri control ~file:fid ~first ~last ~prio:(-1)
+  | Noreuse -> Control.set_priority control ~file:fid (-1)
+  | Cyclic ->
+    let* prio = Control.get_priority control ~file:fid in
+    Control.set_policy control ~prio Policy.Mru
+
+let pp ppf = function
+  | Normal -> Format.pp_print_string ppf "normal"
+  | Sequential { reuse } -> Format.fprintf ppf "sequential(reuse=%b)" reuse
+  | Random -> Format.pp_print_string ppf "random"
+  | Willneed { first; last } -> Format.fprintf ppf "willneed[%d..%d]" first last
+  | Dontneed { first; last } -> Format.fprintf ppf "dontneed[%d..%d]" first last
+  | Noreuse -> Format.pp_print_string ppf "noreuse"
+  | Cyclic -> Format.pp_print_string ppf "cyclic"

@@ -1,0 +1,38 @@
+(** A [posix_fadvise]-style convenience layer over the paper's
+    interface.
+
+    The paper's application-control primitives are the ancestor of the
+    access-pattern advice that later reached POSIX as [posix_fadvise].
+    This module closes the loop: each advice constructor is implemented
+    with the paper's five calls (plus the file system's read-ahead
+    switch), showing that the two-level interface subsumes the
+    fadvise patterns.
+
+    | advice       | implementation                                       |
+    |--------------|------------------------------------------------------|
+    | [Normal]     | long-term priority 0, read-ahead on                  |
+    | [Sequential] | read-ahead on; with [reuse] = false, like [Noreuse]  |
+    | [Random]     | per-file read-ahead off                              |
+    | [Willneed]   | temporary priority +1 on the cached range            |
+    | [Dontneed]   | temporary priority −1 on the cached range (the paper's "done-with blocks" idiom) |
+    | [Noreuse]    | long-term priority −1 (read-once data leaves fast)   |
+    | [Cyclic]     | MRU on the file's priority level — the pattern fadvise cannot express, and the paper's biggest win |
+
+    Advice that manipulates priorities requires the caller to be a
+    registered manager (a {!Acfc_core.Control.t}); [Random] and
+    [Sequential]'s read-ahead half act on the file system alone. *)
+
+type t =
+  | Normal
+  | Sequential of { reuse : bool }
+  | Random
+  | Willneed of { first : int; last : int }  (** block range, inclusive *)
+  | Dontneed of { first : int; last : int }
+  | Noreuse
+  | Cyclic
+
+val advise :
+  Acfc_core.Control.t -> File.t -> t -> (unit, Acfc_core.Error.t) result
+(** Apply advice for [file] on behalf of the control handle's process. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type id = Acfc_core.Block.file
+
+type t = {
+  id : id;
+  name : string;
+  mutable size_bytes : int;
+  reserve_blocks : int;
+  start_block : int;
+  disk : Acfc_disk.Disk.t;
+  owner : Acfc_core.Pid.t option;
+  mutable unlinked : bool;
+  mutable seq_cursor : int;  (* last block index read, for read-ahead *)
+  mutable readahead_enabled : bool;
+}
+
+let block_bytes = Acfc_disk.Params.block_bytes
+
+let id t = t.id
+
+let name t = t.name
+
+let size_bytes t = t.size_bytes
+
+let size_blocks t = (t.size_bytes + block_bytes - 1) / block_bytes
+
+let block_of_offset ~byte = byte / block_bytes
+
+let block_key t ~index = Acfc_core.Block.make ~file:t.id ~index
+
+let disk_addr t ~index = t.start_block + index
+
+let pp ppf t =
+  Format.fprintf ppf "%s(id=%d, %dB @%s+%d)" t.name t.id t.size_bytes
+    (Acfc_disk.Disk.params t.disk).Acfc_disk.Params.name t.start_block

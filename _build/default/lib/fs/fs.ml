@@ -1,0 +1,395 @@
+open Acfc_sim
+module Block = Acfc_core.Block
+module Cache = Acfc_core.Cache
+module Pid = Acfc_core.Pid
+module Disk = Acfc_disk.Disk
+module Params = Acfc_disk.Params
+
+let block_bytes = Params.block_bytes
+
+type io_stats = { mutable disk_reads : int; mutable disk_writes : int }
+
+type t = {
+  engine : Engine.t;
+  mutable cache : Cache.t;  (* set once during create *)
+  cpu : Resource.t option;
+  hit_cost : float;
+  io_cpu_cost : float;
+  write_cluster : int;
+  readahead : bool;
+  layout : [ `Packed | `Scattered of Rng.t ];
+  track_data : bool;
+  files : (File.id, File.t) Hashtbl.t;
+  by_name : (string, File.id) Hashtbl.t;
+  mutable next_id : int;
+  mutable disk_cursors : (Disk.t * int ref) list;
+  in_flight : (Block.t, unit Ivar.t) Hashtbl.t;
+  frames : (Block.t, Bytes.t) Hashtbl.t;  (* resident data, when track_data *)
+  images : (File.id, Bytes.t) Hashtbl.t;  (* on-disk data, when track_data *)
+  pid_io : (Pid.t, io_stats) Hashtbl.t;
+  mutable current_pid : Pid.t;
+}
+
+let engine t = t.engine
+
+let cache t = t.cache
+
+let io_stats t pid =
+  match Hashtbl.find_opt t.pid_io pid with
+  | Some s -> s
+  | None ->
+    let s = { disk_reads = 0; disk_writes = 0 } in
+    Hashtbl.replace t.pid_io pid s;
+    s
+
+let file_of_block t key =
+  match Hashtbl.find_opt t.files (Block.file key) with
+  | Some f -> f
+  | None -> invalid_arg "Fs: block of unknown file"
+
+(* The backend: what BUF calls when it needs the device. *)
+
+let backend_read t key =
+  let file = file_of_block t key in
+  let iv = Ivar.create t.engine in
+  Hashtbl.replace t.in_flight key iv;
+  (io_stats t t.current_pid).disk_reads <- (io_stats t t.current_pid).disk_reads + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.remove t.in_flight key;
+      Ivar.fill iv ())
+    (fun () ->
+      Disk.io file.File.disk Disk.Read ~addr:(File.disk_addr file ~index:(Block.index key)));
+  if t.track_data then begin
+    let image = Hashtbl.find t.images (File.id file) in
+    let frame = Bytes.make block_bytes '\000' in
+    Bytes.blit image (Block.index key * block_bytes) frame 0 block_bytes;
+    Hashtbl.replace t.frames key frame
+  end
+
+(* Write-backs are asynchronous, like the BSD/Ultrix [bawrite] used when
+   a delayed-write buffer is reclaimed: the data is captured at issue
+   and the disk write proceeds in its own fiber, so neither the evicting
+   process nor the update daemon stalls on it. The write still contends
+   for the disk with everyone else. *)
+let backend_write t key =
+  let file = file_of_block t key in
+  (* Clustered write-back: also flush the dirty blocks contiguously
+     following [key] in the same request (one positioning). *)
+  let followers =
+    if t.write_cluster > 1 && not file.File.unlinked then
+      Cache.take_dirty_followers t.cache key ~max_blocks:t.write_cluster
+    else []
+  in
+  let cluster = key :: followers in
+  let payer = Option.value file.File.owner ~default:t.current_pid in
+  (io_stats t payer).disk_writes <-
+    (io_stats t payer).disk_writes + List.length cluster;
+  if t.track_data then
+    List.iter
+      (fun k ->
+        match Hashtbl.find_opt t.frames k with
+        | Some frame ->
+          let image = Hashtbl.find t.images (File.id file) in
+          Bytes.blit frame 0 image (Block.index k * block_bytes) block_bytes
+        | None -> ())
+      cluster;
+  let addr = File.disk_addr file ~index:(Block.index key) in
+  let disk = file.File.disk in
+  let blocks = List.length cluster in
+  Engine.spawn t.engine ~name:"writeback" (fun () ->
+      Disk.io ~blocks disk Disk.Write ~addr)
+
+let backend_evicted t key = Hashtbl.remove t.frames key
+
+let create engine ~config ?cpu ?(hit_cost = 0.0006) ?(io_cpu_cost = 0.002)
+    ?(write_cluster = 1) ?(readahead = true) ?(layout = `Packed)
+    ?(track_data = false) () =
+  if write_cluster < 1 then invalid_arg "Fs.create: write_cluster must be positive";
+  let t =
+    {
+      engine;
+      (* Placeholder cache; replaced below once the backend closures
+         over [t] exist. *)
+      cache = Cache.create config;
+      cpu;
+      hit_cost;
+      io_cpu_cost;
+      write_cluster;
+      readahead;
+      layout;
+      track_data;
+      files = Hashtbl.create 32;
+      by_name = Hashtbl.create 32;
+      next_id = 0;
+      disk_cursors = [];
+      in_flight = Hashtbl.create 8;
+      frames = Hashtbl.create 1024;
+      images = Hashtbl.create 8;
+      pid_io = Hashtbl.create 8;
+      current_pid = Pid.make 0;
+    }
+  in
+  let backend =
+    {
+      Acfc_core.Backend.read_block = (fun key -> backend_read t key);
+      write_block = (fun key -> backend_write t key);
+      evicted = (fun key -> backend_evicted t key);
+    }
+  in
+  t.cache <- Cache.create ~backend config;
+  t
+
+(* {2 Files} *)
+
+let cursor t disk =
+  match List.find_opt (fun (d, _) -> d == disk) t.disk_cursors with
+  | Some (_, c) -> c
+  | None ->
+    let c = ref 0 in
+    t.disk_cursors <- (disk, c) :: t.disk_cursors;
+    c
+
+let create_file t ?owner ?reserve_bytes ~name ~disk ~size_bytes () =
+  if size_bytes < 0 then invalid_arg "Fs.create_file: negative size";
+  let reserve_bytes = Option.value reserve_bytes ~default:size_bytes in
+  if reserve_bytes < size_bytes then invalid_arg "Fs.create_file: reserve below size";
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Fs.create_file: duplicate name %S" name);
+  let reserve_blocks = Stdlib.max 1 ((reserve_bytes + block_bytes - 1) / block_bytes) in
+  let c = cursor t disk in
+  (* An aged file system scatters files across the disk; model it as a
+     random inter-file gap, so multi-file scans pay inter-file seeks. *)
+  (match t.layout with
+  | `Packed -> ()
+  | `Scattered rng ->
+    c := !c + Rng.int rng ((Disk.params disk).Params.capacity_blocks / 100));
+  if !c + reserve_blocks > (Disk.params disk).Params.capacity_blocks then
+    invalid_arg "Fs.create_file: disk full";
+  let file =
+    {
+      File.id = t.next_id;
+      name;
+      size_bytes;
+      reserve_blocks;
+      start_block = !c;
+      disk;
+      owner;
+      unlinked = false;
+      seq_cursor = -1;
+      readahead_enabled = true;
+    }
+  in
+  c := !c + reserve_blocks;
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.files file.File.id file;
+  Hashtbl.replace t.by_name name file.File.id;
+  if t.track_data then
+    Hashtbl.replace t.images file.File.id (Bytes.make (reserve_blocks * block_bytes) '\000');
+  file
+
+let lookup t name =
+  Option.bind (Hashtbl.find_opt t.by_name name) (Hashtbl.find_opt t.files)
+
+let file_of_id t id = Hashtbl.find_opt t.files id
+
+let unlink t (file : File.t) =
+  if not file.File.unlinked then begin
+    file.File.unlinked <- true;
+    ignore (Cache.invalidate_file t.cache ~file:(File.id file));
+    Hashtbl.remove t.by_name file.File.name;
+    Hashtbl.remove t.files (File.id file);
+    Hashtbl.remove t.images (File.id file)
+  end
+
+(* {2 Data path} *)
+
+let cpu_charge t cost =
+  if cost > 0.0 then
+    match t.cpu with
+    | Some r -> Resource.use r ~service:cost
+    | None -> Engine.delay t.engine cost
+
+let wait_ready t key =
+  match Hashtbl.find_opt t.in_flight key with
+  | Some iv -> Ivar.read iv
+  | None -> ()
+
+let check_range ~what ~off ~len =
+  if off < 0 || len < 0 then invalid_arg (what ^ ": negative offset or length")
+
+(* One-block read-ahead, as Ultrix does for sequentially-read files:
+   when the access pattern is sequential, fetch the next block
+   asynchronously so its transfer overlaps the caller's computation.
+   The prefetched block is one the scan is about to read, so block-I/O
+   counts are unchanged; only timing is. *)
+let maybe_readahead t ~pid (file : File.t) ~index ~sequential =
+  let next = index + 1 in
+  if
+    t.readahead && file.File.readahead_enabled && sequential
+    && next < File.size_blocks file
+    &&
+    let key = File.block_key file ~index:next in
+    (not (Cache.contains t.cache key)) && not (Hashtbl.mem t.in_flight key)
+  then
+    Engine.spawn t.engine ~name:"readahead" (fun () ->
+        let key = File.block_key file ~index:next in
+        (* Re-check: the block may have arrived while the fiber was
+           waiting to start. *)
+        if (not (Cache.contains t.cache key)) && not (Hashtbl.mem t.in_flight key)
+        then begin
+          t.current_pid <- pid;
+          (* Read-ahead is best-effort: with every frame pinned by
+             in-flight I/O there is nothing to evict, so just skip. *)
+          match Cache.read ~prefetch:true t.cache ~pid key with
+          | `Miss -> cpu_charge t t.io_cpu_cost
+          | `Hit -> ()
+          | exception Cache.Cache_busy -> ()
+        end)
+
+(* [out], when given, receives the bytes of [\[off, off+len)]; each
+   block's frame is copied as soon as the block is resident — before any
+   suspension point — so a later eviction cannot invalidate the frame
+   first. *)
+let read_internal t ~pid (file : File.t) ~off ~len ~out =
+  check_range ~what:"Fs.read" ~off ~len;
+  if off + len > file.File.size_bytes then invalid_arg "Fs.read: past end of file";
+  if len > 0 then begin
+    let first = off / block_bytes and last = (off + len - 1) / block_bytes in
+    for index = first to last do
+      let key = File.block_key file ~index in
+      let rec access () =
+        t.current_pid <- pid;
+        match Cache.read t.cache ~pid key with
+        | `Hit -> wait_ready t key
+        | `Miss -> cpu_charge t t.io_cpu_cost
+        | exception Cache.Cache_busy ->
+          (* Every frame is pinned by in-flight I/O: wait for one to
+             land and retry the reference. *)
+          Engine.delay t.engine 0.001;
+          access ()
+      in
+      access ();
+      (match out with
+      | Some buffer ->
+        let frame = Hashtbl.find t.frames key in
+        let block_start = index * block_bytes in
+        let src = Stdlib.max off block_start in
+        let stop = Stdlib.min (off + len) (block_start + block_bytes) in
+        Bytes.blit frame (src - block_start) buffer (src - off) (stop - src)
+      | None -> ());
+      let sequential =
+        index = 0 || index = file.File.seq_cursor || index = file.File.seq_cursor + 1
+      in
+      file.File.seq_cursor <- index;
+      maybe_readahead t ~pid file ~index ~sequential;
+      cpu_charge t t.hit_cost
+    done
+  end
+
+let read t ~pid file ~off ~len = read_internal t ~pid file ~off ~len ~out:None
+
+(* [data], when given, holds the payload for [\[off, off+len)]; it is
+   copied into each block's frame immediately after the block becomes
+   cached and dirty — before any suspension point — so an eviction
+   racing with the rest of the call cannot write back a frame that is
+   missing the payload. *)
+let write_internal t ~pid (file : File.t) ~off ~len ~data =
+  check_range ~what:"Fs.write" ~off ~len;
+  if off + len > file.File.reserve_blocks * block_bytes then
+    invalid_arg "Fs.write: past file reserve";
+  if len > 0 then begin
+    let old_size = file.File.size_bytes in
+    let first = off / block_bytes and last = (off + len - 1) / block_bytes in
+    for index = first to last do
+      let key = File.block_key file ~index in
+      let block_start = index * block_bytes in
+      let block_stop = block_start + block_bytes in
+      let covers_whole = off <= block_start && off + len >= block_stop in
+      (* Read-modify-write only if the block holds data we must keep. *)
+      let fetch = (not covers_whole) && block_start < old_size in
+      let rec access () =
+        t.current_pid <- pid;
+        match Cache.write t.cache ~pid key ~fetch with
+        | `Hit -> wait_ready t key
+        | `Miss -> ()
+        | exception Cache.Cache_busy ->
+          Engine.delay t.engine 0.001;
+          access ()
+      in
+      access ();
+      if t.track_data then begin
+        let frame =
+          match Hashtbl.find_opt t.frames key with
+          | Some frame -> frame
+          | None ->
+            let frame = Bytes.make block_bytes '\000' in
+            Hashtbl.replace t.frames key frame;
+            frame
+        in
+        match data with
+        | Some bytes ->
+          let dst = Stdlib.max off block_start in
+          let stop = Stdlib.min (off + len) block_stop in
+          Bytes.blit bytes (dst - off) frame (dst - block_start) (stop - dst)
+        | None -> ()
+      end;
+      cpu_charge t t.hit_cost
+    done;
+    if off + len > old_size then file.File.size_bytes <- off + len
+  end
+
+let write t ~pid file ~off ~len = write_internal t ~pid file ~off ~len ~data:None
+
+let pread t ~pid file ~off ~len =
+  if not t.track_data then invalid_arg "Fs.pread: data tracking is off";
+  let out = Bytes.make len '\000' in
+  read_internal t ~pid file ~off ~len ~out:(Some out);
+  out
+
+let pwrite t ~pid file ~off data =
+  if not t.track_data then invalid_arg "Fs.pwrite: data tracking is off";
+  write_internal t ~pid file ~off ~len:(Bytes.length data) ~data:(Some data)
+
+let sync t = Cache.sync t.cache ()
+
+let fsync t file = Cache.sync t.cache ~file:(File.id file) ()
+
+let spawn_update_daemon t ?(interval = 30.0) () =
+  let stop = ref false in
+  Engine.spawn t.engine ~name:"update-daemon" (fun () ->
+      let rec loop () =
+        Engine.delay t.engine interval;
+        if not !stop then begin
+          ignore (sync t);
+          loop ()
+        end
+      in
+      loop ());
+  fun () -> stop := true
+
+(* {2 Accounting} *)
+
+let pid_disk_reads t pid = (io_stats t pid).disk_reads
+
+let pid_disk_writes t pid = (io_stats t pid).disk_writes
+
+let pid_block_ios t pid =
+  let s = io_stats t pid in
+  s.disk_reads + s.disk_writes
+
+let total_block_ios t =
+  Hashtbl.fold (fun _ s acc -> acc + s.disk_reads + s.disk_writes) t.pid_io 0
+
+let reset_accounting t = Hashtbl.reset t.pid_io
+
+(* {2 Test support} *)
+
+let disk_image t file =
+  if not t.track_data then invalid_arg "Fs.disk_image: data tracking is off";
+  Bytes.copy (Hashtbl.find t.images (File.id file))
+
+let set_disk_image t file ~off data =
+  if not t.track_data then invalid_arg "Fs.set_disk_image: data tracking is off";
+  let image = Hashtbl.find t.images (File.id file) in
+  Bytes.blit data 0 image off (Bytes.length data)

@@ -1,0 +1,1 @@
+lib/replacement/policies.ml: Acfc_core Acfc_sim Array Hashtbl List Option Policy_sim Queue Stdlib String

@@ -1,0 +1,1 @@
+lib/replacement/policies.mli: Policy_sim

@@ -1,0 +1,1 @@
+lib/replacement/policy_sim.ml: Acfc_core Array Format Hashtbl Trace

@@ -1,0 +1,1 @@
+lib/replacement/policy_sim.mli: Acfc_core Format Trace

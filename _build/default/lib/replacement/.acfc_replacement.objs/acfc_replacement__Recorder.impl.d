@@ -1,0 +1,1 @@
+lib/replacement/recorder.ml: Acfc_core Array List Printf String

@@ -1,0 +1,1 @@
+lib/replacement/recorder.mli: Acfc_core Trace

@@ -1,0 +1,1 @@
+lib/replacement/trace.ml: Acfc_core Acfc_sim Array Format Hashtbl List

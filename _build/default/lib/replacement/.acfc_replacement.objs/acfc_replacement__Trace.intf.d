@@ -1,0 +1,1 @@
+lib/replacement/trace.mli: Acfc_core Acfc_sim Format

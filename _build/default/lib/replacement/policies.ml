@@ -1,0 +1,283 @@
+module Block = Acfc_core.Block
+module Dll = Acfc_core.Dll
+
+(* Shared recency-list state for LRU and MRU. *)
+module Recency = struct
+  type t = { list : Block.t Dll.t; nodes : (Block.t, Block.t Dll.node) Hashtbl.t }
+
+  let init ~capacity:_ _trace =
+    { list = Dll.create (); nodes = Hashtbl.create 1024 }
+
+  let hit t ~pos:_ block = Dll.move_front t.list (Hashtbl.find t.nodes block)
+
+  let inserted t ~pos:_ block = Hashtbl.replace t.nodes block (Dll.push_front t.list block)
+
+  let evicted t block =
+    Dll.remove t.list (Hashtbl.find t.nodes block);
+    Hashtbl.remove t.nodes block
+
+  let end_victim t ~front =
+    let node = if front then Dll.front t.list else Dll.back t.list in
+    match node with Some n -> Dll.value n | None -> failwith "Recency: empty list"
+end
+
+module Lru = struct
+  include Recency
+
+  let name = "LRU"
+
+  let choose_victim t ~pos:_ ~missing:_ = end_victim t ~front:false
+end
+
+module Mru = struct
+  include Recency
+
+  let name = "MRU"
+
+  let choose_victim t ~pos:_ ~missing:_ = end_victim t ~front:true
+end
+
+module Fifo = struct
+  type t = { order : Block.t Queue.t; resident : (Block.t, unit) Hashtbl.t }
+
+  let name = "FIFO"
+
+  let init ~capacity:_ _trace = { order = Queue.create (); resident = Hashtbl.create 1024 }
+
+  let hit _ ~pos:_ _ = ()
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    (* Entries for already-evicted blocks never occur: FIFO pops exactly
+       the block it reports, and the framework evicts it. *)
+    Queue.pop t.order
+
+  let inserted t ~pos:_ block =
+    Queue.push block t.order;
+    Hashtbl.replace t.resident block ()
+
+  let evicted t block = Hashtbl.remove t.resident block
+end
+
+module Clock = struct
+  type t = { ring : Block.t Queue.t; referenced : (Block.t, unit) Hashtbl.t }
+
+  let name = "CLOCK"
+
+  let init ~capacity:_ _trace = { ring = Queue.create (); referenced = Hashtbl.create 1024 }
+
+  let hit t ~pos:_ block = Hashtbl.replace t.referenced block ()
+
+  let rec choose_victim t ~pos ~missing =
+    let block = Queue.pop t.ring in
+    if Hashtbl.mem t.referenced block then begin
+      (* Second chance: clear the bit and move the hand on. *)
+      Hashtbl.remove t.referenced block;
+      Queue.push block t.ring;
+      choose_victim t ~pos ~missing
+    end
+    else block
+
+  let inserted t ~pos:_ block = Queue.push block t.ring
+
+  let evicted t block = Hashtbl.remove t.referenced block
+end
+
+module Lru_2 = struct
+  (* history: positions of the last two references, most recent first. *)
+  type t = { history : (Block.t, int * int) Hashtbl.t }
+
+  let name = "LRU-2"
+
+  let never = -1
+
+  let init ~capacity:_ _trace = { history = Hashtbl.create 1024 }
+
+  let record t ~pos block =
+    let last, _ = Option.value (Hashtbl.find_opt t.history block) ~default:(never, never) in
+    Hashtbl.replace t.history block (pos, last)
+
+  let hit t ~pos block = record t ~pos block
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    (* Evict the block with the oldest penultimate reference; ties and
+       blocks referenced only once (penultimate = never) go first, broken
+       by the older last reference for determinism. *)
+    let best = ref None in
+    Hashtbl.iter
+      (fun block (last, penultimate) ->
+        let better =
+          match !best with
+          | None -> true
+          | Some (_, (blast, bpenultimate)) ->
+            penultimate < bpenultimate
+            || (penultimate = bpenultimate && last < blast)
+        in
+        if better then best := Some (block, (last, penultimate)))
+      t.history;
+    match !best with Some (block, _) -> block | None -> failwith "LRU-2: empty"
+
+  let inserted t ~pos block = record t ~pos block
+
+  let evicted t block = Hashtbl.remove t.history block
+end
+
+module Rand = struct
+  type t = { rng : Acfc_sim.Rng.t; mutable resident : Block.t list }
+
+  let name = "RAND"
+
+  let init ~capacity _trace = { rng = Acfc_sim.Rng.create (capacity + 7); resident = [] }
+
+  let hit _ ~pos:_ _ = ()
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    let arr = Array.of_list t.resident in
+    Acfc_sim.Rng.pick t.rng arr
+
+  let inserted t ~pos:_ block = t.resident <- block :: t.resident
+
+  let evicted t block =
+    t.resident <- List.filter (fun b -> not (Block.equal b block)) t.resident
+end
+
+module Opt = struct
+  type t = {
+    (* For each block, the trace positions where it is referenced, in
+       order, with the already-consumed prefix removed. *)
+    future : (Block.t, int list ref) Hashtbl.t;
+    resident : (Block.t, unit) Hashtbl.t;
+  }
+
+  let name = "OPT"
+
+  let init ~capacity:_ trace =
+    let future = Hashtbl.create 1024 in
+    Array.iteri
+      (fun pos block ->
+        match Hashtbl.find_opt future block with
+        | Some l -> l := pos :: !l
+        | None -> Hashtbl.replace future block (ref [ pos ]))
+      trace;
+    Hashtbl.iter (fun _ l -> l := List.rev !l) future;
+    { future; resident = Hashtbl.create 1024 }
+
+  let consume t ~pos block =
+    let l = Hashtbl.find t.future block in
+    match !l with
+    | p :: rest when p = pos -> l := rest
+    | _ -> failwith "OPT: trace position mismatch"
+
+  let hit t ~pos block = consume t ~pos block
+
+  let next_use t block =
+    match !(Hashtbl.find t.future block) with [] -> max_int | p :: _ -> p
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    let best = ref None in
+    Hashtbl.iter
+      (fun block () ->
+        let use = next_use t block in
+        match !best with
+        | Some (_, buse) when buse >= use -> ()
+        | Some _ | None -> best := Some (block, use))
+      t.resident;
+    match !best with Some (block, _) -> block | None -> failwith "OPT: empty"
+
+  let inserted t ~pos block =
+    consume t ~pos block;
+    Hashtbl.replace t.resident block ()
+
+  let evicted t block = Hashtbl.remove t.resident block
+end
+
+module Two_q = struct
+  (* Simplified full 2Q (Johnson & Shasha, VLDB '94 — contemporaneous
+     with the paper): new pages enter the FIFO probation queue A1in;
+     pages re-referenced after leaving it (tracked by the ghost queue
+     A1out) are promoted to the protected LRU queue Am. *)
+  type queue = A1in | Am
+
+  type t = {
+    kin : int;  (* A1in capacity *)
+    kout : int;  (* A1out ghost capacity *)
+    a1in : Block.t Queue.t;
+    am : Block.t Dll.t;
+    am_nodes : (Block.t, Block.t Dll.node) Hashtbl.t;
+    where : (Block.t, queue) Hashtbl.t;  (* resident pages only *)
+    a1out : Block.t Queue.t;  (* ghosts: identities only *)
+    ghost : (Block.t, unit) Hashtbl.t;
+  }
+
+  let name = "2Q"
+
+  let init ~capacity _trace =
+    {
+      kin = Stdlib.max 1 (capacity / 4);
+      kout = Stdlib.max 1 (capacity / 2);
+      a1in = Queue.create ();
+      am = Dll.create ();
+      am_nodes = Hashtbl.create 1024;
+      where = Hashtbl.create 1024;
+      a1out = Queue.create ();
+      ghost = Hashtbl.create 1024;
+    }
+
+  let hit t ~pos:_ block =
+    match Hashtbl.find_opt t.where block with
+    | Some Am -> Dll.move_front t.am (Hashtbl.find t.am_nodes block)
+    | Some A1in -> ()  (* classic 2Q: probation hits do not promote *)
+    | None -> assert false
+
+  let remember_ghost t block =
+    Queue.push block t.a1out;
+    Hashtbl.replace t.ghost block ();
+    while Queue.length t.a1out > t.kout do
+      Hashtbl.remove t.ghost (Queue.pop t.a1out)
+    done
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    if Queue.length t.a1in > t.kin || Dll.is_empty t.am then begin
+      let victim = Queue.pop t.a1in in
+      remember_ghost t victim;
+      victim
+    end
+    else
+      match Dll.back t.am with
+      | Some node -> Dll.value node
+      | None -> Queue.pop t.a1in
+
+  let inserted t ~pos:_ block =
+    if Hashtbl.mem t.ghost block then begin
+      (* Seen recently: promote straight to the protected queue. *)
+      Hashtbl.replace t.where block Am;
+      Hashtbl.replace t.am_nodes block (Dll.push_front t.am block)
+    end
+    else begin
+      Hashtbl.replace t.where block A1in;
+      Queue.push block t.a1in
+    end
+
+  let evicted t block =
+    (match Hashtbl.find_opt t.where block with
+    | Some Am ->
+      Dll.remove t.am (Hashtbl.find t.am_nodes block);
+      Hashtbl.remove t.am_nodes block
+    | Some A1in | None -> ()  (* A1in victims were already popped *));
+    Hashtbl.remove t.where block
+end
+
+let all : (module Policy_sim.POLICY) list =
+  [
+    (module Lru);
+    (module Mru);
+    (module Fifo);
+    (module Clock);
+    (module Lru_2);
+    (module Two_q);
+    (module Rand);
+    (module Opt);
+  ]
+
+let by_name name =
+  let target = String.uppercase_ascii name in
+  List.find_opt (fun (module P : Policy_sim.POLICY) -> P.name = target) all

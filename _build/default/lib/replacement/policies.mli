@@ -1,0 +1,38 @@
+(** Stock replacement policies for the trace-driven simulator.
+
+    [Lru] and [Mru] are the two policies the paper's interface offers
+    applications; [Opt] is Belady's offline-optimal algorithm, the
+    yardstick the companion paper proposes application policies should
+    approximate; the rest are classic baselines. *)
+
+module Lru : Policy_sim.POLICY
+
+module Mru : Policy_sim.POLICY
+
+module Fifo : Policy_sim.POLICY
+
+module Clock : Policy_sim.POLICY
+(** Second-chance / CLOCK. *)
+
+module Lru_2 : Policy_sim.POLICY
+(** LRU-K with K = 2 (O'Neil et al., SIGMOD '93 — cited by the paper as
+    related database work). Victim is the resident block whose
+    second-most-recent reference is oldest. *)
+
+module Two_q : Policy_sim.POLICY
+(** Simplified full 2Q (Johnson & Shasha, VLDB '94): a FIFO probation
+    queue for new pages, a ghost queue of recent evictees, and a
+    protected LRU queue for pages re-referenced after probation. *)
+
+module Rand : Policy_sim.POLICY
+(** Uniform random victim (deterministically seeded). *)
+
+module Opt : Policy_sim.POLICY
+(** Belady's optimal offline policy: evict the resident block whose
+    next use is farthest in the future. A lower bound on misses for
+    every demand-paged policy. *)
+
+val all : (module Policy_sim.POLICY) list
+(** Every policy above, [Opt] last. *)
+
+val by_name : string -> (module Policy_sim.POLICY) option

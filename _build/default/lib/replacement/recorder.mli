@@ -1,0 +1,43 @@
+(** Reference-trace recording and replay.
+
+    The companion paper's methodology is trace-driven simulation; this
+    module closes the loop with the live system: install {!tracer} on a
+    running cache (or pass it to the workload runner), collect the
+    demand reference stream, then replay it through {!Policy_sim} —
+    or save it in a simple text format for later runs.
+
+    Read-ahead misses are recorded but flagged, and excluded from
+    {!to_trace} by default: a replacement study wants the demand
+    references, not the prefetcher's. *)
+
+type t
+
+type entry = {
+  pid : Acfc_core.Pid.t;
+  block : Acfc_core.Block.t;
+  hit : bool;
+  prefetch : bool;
+}
+
+val create : unit -> t
+
+val tracer : t -> Acfc_core.Event.t -> unit
+(** The callback to install with [Cache.set_tracer] (or compose with
+    another tracer). Only hit/miss events are recorded. *)
+
+val length : t -> int
+
+val entries : t -> entry array
+(** In reference order. *)
+
+val to_trace :
+  ?pid:Acfc_core.Pid.t -> ?include_prefetch:bool -> t -> Trace.t
+(** The recorded reference stream, optionally restricted to one process.
+    [include_prefetch] defaults to false. *)
+
+val save : t -> out_channel -> unit
+(** One line per reference: ["<pid> <file> <index> <h|m> <d|p>"],
+    preceded by a header line. *)
+
+val load : in_channel -> t
+(** Raises [Failure] on a malformed trace file. *)

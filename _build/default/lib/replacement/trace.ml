@@ -1,0 +1,73 @@
+module Block = Acfc_core.Block
+module Rng = Acfc_sim.Rng
+
+type t = Block.t array
+
+let sequential ~file ~blocks =
+  Array.init blocks (fun index -> Block.make ~file ~index)
+
+let cyclic ~file ~blocks ~passes =
+  Array.init (blocks * passes) (fun i -> Block.make ~file ~index:(i mod blocks))
+
+let random ~rng ~file ~blocks ~length =
+  Array.init length (fun _ -> Block.make ~file ~index:(Rng.int rng blocks))
+
+let hot_cold ~rng ~hot_file ~hot_blocks ~cold_file ~cold_blocks ~hot_fraction ~length =
+  if hot_fraction < 0.0 || hot_fraction > 1.0 then
+    invalid_arg "Trace.hot_cold: fraction out of range";
+  Array.init length (fun _ ->
+      if Rng.float rng 1.0 < hot_fraction then
+        Block.make ~file:hot_file ~index:(Rng.int rng hot_blocks)
+      else Block.make ~file:cold_file ~index:(Rng.int rng cold_blocks))
+
+let zipf ~rng ~file ~blocks ~skew ~length =
+  if skew <= 0.0 then invalid_arg "Trace.zipf: skew must be positive";
+  (* Inverse-CDF sampling over the finite harmonic weights. *)
+  let weights = Array.init blocks (fun i -> 1.0 /. (float_of_int (i + 1) ** skew)) in
+  let cumulative = Array.make blocks 0.0 in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      total := !total +. w;
+      cumulative.(i) <- !total)
+    weights;
+  let sample () =
+    let u = Rng.float rng !total in
+    (* Binary search for the first cumulative weight >= u. *)
+    let lo = ref 0 and hi = ref (blocks - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  Array.init length (fun _ -> Block.make ~file ~index:(sample ()))
+
+let concat traces = Array.concat traces
+
+let interleave ~rng traces =
+  let arr = Array.of_list traces in
+  let positions = Array.map (fun _ -> ref 0) arr in
+  let total = Array.fold_left (fun acc tr -> acc + Array.length tr) 0 arr in
+  let out = Array.make total (Block.make ~file:0 ~index:0) in
+  for i = 0 to total - 1 do
+    (* Pick a non-exhausted trace uniformly. *)
+    let live =
+      Array.to_list arr
+      |> List.mapi (fun j tr -> (j, tr))
+      |> List.filter (fun (j, tr) -> !(positions.(j)) < Array.length tr)
+    in
+    let j, tr = List.nth live (Rng.int rng (List.length live)) in
+    out.(i) <- tr.(!(positions.(j)));
+    incr positions.(j)
+  done;
+  out
+
+let working_set_size trace =
+  let seen = Hashtbl.create 1024 in
+  Array.iter (fun b -> Hashtbl.replace seen b ()) trace;
+  Hashtbl.length seen
+
+let pp_summary ppf trace =
+  Format.fprintf ppf "%d references over %d blocks" (Array.length trace)
+    (working_set_size trace)

@@ -1,0 +1,114 @@
+type event = { time : float; seq : int; thunk : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  events : event Heap.t;
+  mutable live : int;          (* fibers spawned and not finished *)
+  mutable waiting : int;       (* fibers currently suspended *)
+  blocked : (int, string) Hashtbl.t;  (* fiber id -> name, while suspended *)
+  mutable next_fiber_id : int;
+  mutable processed : int;
+}
+
+exception Deadlock of string
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let event_leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+
+let create () =
+  {
+    clock = 0.0;
+    seq = 0;
+    events = Heap.create ~leq:event_leq ();
+    live = 0;
+    waiting = 0;
+    blocked = Hashtbl.create 16;
+    next_fiber_id = 0;
+    processed = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~at thunk =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is in the past (now %g)" at t.clock);
+  t.seq <- t.seq + 1;
+  Heap.push t.events { time = at; seq = t.seq; thunk }
+
+(* Fiber-local knowledge of "who am I" is threaded through the effect
+   handler: each fiber runs under its own handler closure that knows its
+   id and name, so suspend bookkeeping can name the stuck fiber. *)
+let start_fiber t ~name f =
+  let id = t.next_fiber_id in
+  t.next_fiber_id <- id + 1;
+  t.live <- t.live + 1;
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                t.waiting <- t.waiting + 1;
+                Hashtbl.replace t.blocked id name;
+                let resumed = ref false in
+                let resume () =
+                  if !resumed then invalid_arg "Engine: fiber resumed twice";
+                  resumed := true;
+                  t.waiting <- t.waiting - 1;
+                  Hashtbl.remove t.blocked id;
+                  continue k ()
+                in
+                register resume)
+          | _ -> None);
+    }
+  in
+  match_with f () handler
+
+let spawn t ?(name = "fiber") f =
+  schedule t ~at:t.clock (fun () -> start_fiber t ~name f)
+
+let suspend _t register = Effect.perform (Suspend register)
+
+let delay t dt =
+  if dt < 0.0 then invalid_arg "Engine.delay: negative delay";
+  if dt = 0.0 then ()
+  else suspend t (fun resume -> schedule t ~at:(t.clock +. dt) resume)
+
+let step t =
+  match Heap.pop t.events with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    t.processed <- t.processed + 1;
+    ev.thunk ();
+    true
+
+let run t =
+  while step t do
+    ()
+  done;
+  if t.waiting > 0 then begin
+    let names = Hashtbl.fold (fun _ name acc -> name :: acc) t.blocked [] in
+    raise (Deadlock (String.concat ", " (List.sort compare names)))
+  end
+
+let run_until t horizon =
+  let continue_ = ref true in
+  while !continue_ do
+    match Heap.peek t.events with
+    | Some ev when ev.time <= horizon -> ignore (step t)
+    | Some _ | None -> continue_ := false
+  done;
+  if t.clock < horizon then t.clock <- horizon
+
+let fiber_count t = t.live
+
+let events_processed t = t.processed

@@ -1,0 +1,58 @@
+(** Discrete-event simulation engine with lightweight processes.
+
+    Simulated processes ("fibers") are plain OCaml functions that may call
+    the blocking operations of this module ({!delay}, {!suspend}) and of
+    the synchronisation primitives built on top of them ({!Ivar},
+    {!Resource}). Blocking is implemented with OCaml 5 effect handlers:
+    the fiber's continuation is captured and resumed by a later event, so
+    simulated code reads like straight-line systems code.
+
+    Time is virtual, a [float] in seconds. Events scheduled for the same
+    instant fire in FIFO order, which makes runs deterministic. *)
+
+type t
+(** A simulation instance: virtual clock plus pending-event queue. *)
+
+exception Deadlock of string
+(** Raised by {!run} when fibers remain blocked but no event can ever
+    wake them. The payload names the stuck fibers. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** [schedule t ~at f] runs callback [f] at virtual time [at]. [at] may
+    not be in the past. Callbacks must not block; use {!spawn} for code
+    that does. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t f] starts a new fiber running [f] at the current virtual
+    time. [name] is used in {!Deadlock} diagnostics. *)
+
+val delay : t -> float -> unit
+(** [delay t dt] blocks the calling fiber for [dt] seconds of virtual
+    time. [dt] must be non-negative. Must be called from a fiber. *)
+
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+(** [suspend t register] blocks the calling fiber and hands a one-shot
+    [resume] thunk to [register]. Invoking [resume] (typically from a
+    scheduled event or another fiber) continues the fiber at the
+    then-current virtual time. This is the primitive from which ivars
+    and resources are built. *)
+
+val run : t -> unit
+(** Run until no events remain. Raises {!Deadlock} if blocked fibers
+    remain when the event queue drains. Exceptions escaping a fiber
+    propagate out of [run]. *)
+
+val run_until : t -> float -> unit
+(** [run_until t horizon] processes events up to and including time
+    [horizon], then stops (without deadlock detection). *)
+
+val fiber_count : t -> int
+(** Number of fibers spawned and not yet finished. *)
+
+val events_processed : t -> int
+(** Total events executed so far (a cheap progress/cost metric). *)

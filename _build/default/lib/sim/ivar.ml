@@ -1,0 +1,25 @@
+type 'a state = Empty of (unit -> unit) Queue.t | Filled of 'a
+
+type 'a t = { engine : Engine.t; mutable state : 'a state }
+
+let create engine = { engine; state = Empty (Queue.create ()) }
+
+let fill t v =
+  match t.state with
+  | Filled _ -> invalid_arg "Ivar.fill: already filled"
+  | Empty waiters ->
+    t.state <- Filled v;
+    Queue.iter (fun resume -> Engine.schedule t.engine ~at:(Engine.now t.engine) resume) waiters
+
+let read t =
+  match t.state with
+  | Filled v -> v
+  | Empty waiters ->
+    Engine.suspend t.engine (fun resume -> Queue.push resume waiters);
+    (match t.state with
+    | Filled v -> v
+    | Empty _ -> assert false)
+
+let peek t = match t.state with Filled v -> Some v | Empty _ -> None
+
+let is_filled t = match t.state with Filled _ -> true | Empty _ -> false

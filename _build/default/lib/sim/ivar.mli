@@ -1,0 +1,20 @@
+(** Write-once synchronisation variable.
+
+    The standard completion primitive: an I/O issuer fills the ivar when
+    the operation finishes; any number of fibers may block in {!read}
+    until then. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Set the value and wake all readers (at the current virtual time).
+    Raises [Invalid_argument] if already filled. *)
+
+val read : 'a t -> 'a
+(** Return the value, blocking the calling fiber until {!fill}. *)
+
+val peek : 'a t -> 'a option
+
+val is_filled : 'a t -> bool

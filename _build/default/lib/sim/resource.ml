@@ -1,0 +1,82 @@
+type waiter = { enqueued_at : float; resume : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  servers : int;
+  mutable held : int;
+  waiters : waiter Queue.t;
+  mutable served : int;
+  mutable total_wait : float;
+  (* busy-time integral bookkeeping *)
+  mutable busy_integral : float;
+  mutable last_change : float;
+}
+
+let create engine ?(name = "resource") ~servers () =
+  if servers <= 0 then invalid_arg "Resource.create: servers must be positive";
+  {
+    engine;
+    name;
+    servers;
+    held = 0;
+    waiters = Queue.create ();
+    served = 0;
+    total_wait = 0.0;
+    busy_integral = 0.0;
+    last_change = Engine.now engine;
+  }
+
+let name t = t.name
+
+let advance_integral t =
+  let now = Engine.now t.engine in
+  t.busy_integral <- t.busy_integral +. (float_of_int t.held *. (now -. t.last_change));
+  t.last_change <- now
+
+let acquire t =
+  if t.held < t.servers && Queue.is_empty t.waiters then begin
+    advance_integral t;
+    t.held <- t.held + 1;
+    t.served <- t.served + 1
+  end
+  else begin
+    let enqueued_at = Engine.now t.engine in
+    Engine.suspend t.engine (fun resume ->
+        Queue.push { enqueued_at; resume } t.waiters);
+    (* Woken by [release]: the server was handed to us directly. *)
+    t.total_wait <- t.total_wait +. (Engine.now t.engine -. enqueued_at);
+    t.served <- t.served + 1
+  end
+
+let release t =
+  if t.held <= 0 then invalid_arg "Resource.release: not held";
+  match Queue.take_opt t.waiters with
+  | Some w ->
+    (* Hand over without decrementing [held]: the server stays busy.
+       Wake at the current instant so FIFO order is preserved. *)
+    Engine.schedule t.engine ~at:(Engine.now t.engine) w.resume
+  | None ->
+    advance_integral t;
+    t.held <- t.held - 1
+
+let use t ~service =
+  acquire t;
+  (match Engine.delay t.engine service with
+  | () -> ()
+  | exception e ->
+    release t;
+    raise e);
+  release t
+
+let in_use t = t.held
+
+let queue_length t = Queue.length t.waiters
+
+let served t = t.served
+
+let busy_time t =
+  advance_integral t;
+  t.busy_integral
+
+let total_wait t = t.total_wait

@@ -1,0 +1,42 @@
+(** FCFS multi-server resource with queueing statistics.
+
+    Models a contended device or the CPU: at most [servers] fibers hold
+    the resource at once; the rest wait in FIFO order. Utilisation and
+    waiting-time statistics are integrated over virtual time, which the
+    experiment harness uses to report device load. *)
+
+type t
+
+val create : Engine.t -> ?name:string -> servers:int -> unit -> t
+(** [servers] must be positive. *)
+
+val name : t -> string
+
+val acquire : t -> unit
+(** Block until a server is free, then take it. FIFO among waiters. *)
+
+val release : t -> unit
+(** Give the server back, waking the longest-waiting fiber if any.
+    Raises [Invalid_argument] if nothing is held. *)
+
+val use : t -> service:float -> unit
+(** [use t ~service] = acquire; delay [service]; release — with
+    exception safety. *)
+
+val in_use : t -> int
+(** Servers currently held. *)
+
+val queue_length : t -> int
+(** Fibers currently waiting. *)
+
+(** {2 Statistics} *)
+
+val served : t -> int
+(** Completed {!acquire}s. *)
+
+val busy_time : t -> float
+(** Integral of [in_use] over time, i.e. total server-seconds of work.
+    Divide by elapsed time (and servers) for utilisation. *)
+
+val total_wait : t -> float
+(** Sum over completed acquires of time spent queued. *)

@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic component of the simulator draws from an explicit
+    [Rng.t] so that simulation runs are reproducible bit-for-bit from a
+    seed, independently of the global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator and advances
+    [t]. Used to give each simulated process its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Raises
+    [Invalid_argument] if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element. Raises [Invalid_argument] on empty array. *)

@@ -1,0 +1,1 @@
+lib/stats/chart.ml: Float Format List Option Stdlib String

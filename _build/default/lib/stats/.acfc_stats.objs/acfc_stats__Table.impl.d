@@ -1,0 +1,1 @@
+lib/stats/table.ml: Format List Stdlib String

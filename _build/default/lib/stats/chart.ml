@@ -1,0 +1,25 @@
+let bars ?(width = 40) ?max_value ?reference ppf rows =
+  if width <= 0 then invalid_arg "Chart.bars: width must be positive";
+  let data_max = List.fold_left (fun m (_, v) -> Float.max m v) 0.0 rows in
+  let scale_max =
+    match max_value with
+    | Some m -> m
+    | None -> Float.max data_max (Option.value reference ~default:0.0)
+  in
+  let scale_max = if scale_max <= 0.0 then 1.0 else scale_max in
+  let label_width =
+    List.fold_left (fun m (l, _) -> Stdlib.max m (String.length l)) 0 rows
+  in
+  let cell v = int_of_float (Float.round (v /. scale_max *. float_of_int width)) in
+  let tick = Option.map (fun r -> Stdlib.min width (cell r)) reference in
+  List.iter
+    (fun (label, value) ->
+      let filled = Stdlib.max 0 (Stdlib.min width (cell value)) in
+      let bar =
+        String.init (width + 1) (fun i ->
+            match tick with
+            | Some t when i = t && i >= filled -> '|'
+            | _ -> if i < filled then '#' else ' ')
+      in
+      Format.fprintf ppf "%-*s %s %.2f@\n" label_width label bar value)
+    rows

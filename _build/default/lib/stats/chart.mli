@@ -1,0 +1,19 @@
+(** ASCII horizontal bar charts, for figure-style output in terminals.
+
+    The paper presents Figures 4–6 as bar charts; {!bars} renders the
+    same visual: one labelled row per value, bars scaled to a common
+    maximum, with an optional reference mark (e.g. the 1.0 line of a
+    normalised chart). *)
+
+val bars :
+  ?width:int ->
+  ?max_value:float ->
+  ?reference:float ->
+  Format.formatter ->
+  (string * float) list ->
+  unit
+(** [bars ppf rows] renders one bar per [(label, value)]. [width]
+    (default 40 columns) is the full-scale bar length; [max_value]
+    defaults to the largest value (or the reference, if larger);
+    [reference], when given, draws a ['|'] tick at that value on every
+    row. Negative values render as empty bars. *)

@@ -1,0 +1,42 @@
+type t = {
+  n : int;
+  mean : float;
+  variance : float;
+  min : float;
+  max : float;
+}
+
+let of_list samples =
+  match samples with
+  | [] -> invalid_arg "Summary.of_list: no samples"
+  | _ ->
+    let n = List.length samples in
+    let fn = float_of_int n in
+    let mean = List.fold_left ( +. ) 0.0 samples /. fn in
+    let variance =
+      if n < 2 then 0.0
+      else
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples
+        /. (fn -. 1.0)
+    in
+    let min = List.fold_left Float.min infinity samples in
+    let max = List.fold_left Float.max neg_infinity samples in
+    { n; mean; variance; min; max }
+
+let n t = t.n
+
+let mean t = t.mean
+
+let variance t = t.variance
+
+let stddev t = sqrt t.variance
+
+let cv t = if t.mean = 0.0 then 0.0 else stddev t /. Float.abs t.mean
+
+let min t = t.min
+
+let max t = t.max
+
+let pp ppf t =
+  if cv t > 0.01 then Format.fprintf ppf "%.4g (%.0f%%)" t.mean (100.0 *. cv t)
+  else Format.fprintf ppf "%.4g" t.mean

@@ -1,0 +1,29 @@
+(** Summary statistics over repeated simulation runs.
+
+    The paper reports averages of three or five cold-start runs together
+    with variance bounds; this module computes the same aggregates. *)
+
+type t
+
+val of_list : float list -> t
+(** Raises [Invalid_argument] on an empty list. *)
+
+val n : t -> int
+
+val mean : t -> float
+
+val variance : t -> float
+(** Sample (unbiased) variance; 0 for a single sample. *)
+
+val stddev : t -> float
+
+val cv : t -> float
+(** Coefficient of variation (stddev / mean); 0 when the mean is 0.
+    This is the "variance" percentage the paper quotes. *)
+
+val min : t -> float
+
+val max : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Mean with CV in parentheses when above 1%. *)

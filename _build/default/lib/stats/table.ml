@@ -1,0 +1,64 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Rule
+
+type t = { columns : (string * align) list; mutable rows : row list (* reversed *) }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { columns; rows = [] }
+
+let add_row t cells =
+  let width = List.length t.columns in
+  let got = List.length cells in
+  if got > width then invalid_arg "Table.add_row: too many cells";
+  let padded = cells @ List.init (width - got) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let slack = width - String.length s in
+  if slack <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make slack ' '
+    | Right -> String.make slack ' ' ^ s
+    | Center ->
+      let left = slack / 2 in
+      String.make left ' ' ^ s ^ String.make (slack - left) ' '
+
+let render ppf t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row ->
+            match row with
+            | Rule -> w
+            | Cells cells -> Stdlib.max w (String.length (List.nth cells i)))
+          (String.length h) rows)
+      headers
+  in
+  let rule =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+  in
+  let print_cells cells =
+    let padded =
+      List.mapi
+        (fun i cell ->
+          let _, align = List.nth t.columns i in
+          pad align (List.nth widths i) cell)
+        cells
+    in
+    Format.fprintf ppf "%s@\n" (String.concat " | " padded)
+  in
+  print_cells headers;
+  Format.fprintf ppf "%s@\n" rule;
+  List.iter
+    (function Rule -> Format.fprintf ppf "%s@\n" rule | Cells cells -> print_cells cells)
+    rows
+
+let to_string t = Format.asprintf "%a" render t

@@ -1,0 +1,19 @@
+(** Plain-text table rendering in the style of the paper's tables. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Raises [Invalid_argument] if no columns are given. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** Horizontal separator at this point. *)
+
+val render : Format.formatter -> t -> unit
+
+val to_string : t -> string

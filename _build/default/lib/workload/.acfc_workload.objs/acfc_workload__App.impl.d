@@ -1,0 +1,1 @@
+lib/workload/app.ml: Acfc_disk Env

@@ -1,0 +1,1 @@
+lib/workload/app.mli: Acfc_disk Env

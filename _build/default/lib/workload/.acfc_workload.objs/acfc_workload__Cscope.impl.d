@@ -1,0 +1,1 @@
+lib/workload/cscope.ml: Acfc_core Acfc_disk Acfc_fs App Env List Printf

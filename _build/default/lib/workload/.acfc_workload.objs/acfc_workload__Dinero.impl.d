@@ -1,0 +1,1 @@
+lib/workload/dinero.ml: Acfc_core Acfc_disk Acfc_fs App Env

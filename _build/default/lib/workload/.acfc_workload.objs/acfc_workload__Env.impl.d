@@ -1,0 +1,1 @@
+lib/workload/env.ml: Acfc_core Acfc_disk Acfc_fs Acfc_sim Engine Option Printf Resource Rng

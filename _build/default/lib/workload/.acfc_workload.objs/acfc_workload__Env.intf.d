@@ -1,0 +1,1 @@
+lib/workload/env.mli: Acfc_core Acfc_fs Acfc_sim

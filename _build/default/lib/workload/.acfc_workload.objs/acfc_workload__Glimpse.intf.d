@@ -1,0 +1,1 @@
+lib/workload/glimpse.mli: App

@@ -1,0 +1,1 @@
+lib/workload/ld.ml: Acfc_disk Acfc_fs App Array Env Printf

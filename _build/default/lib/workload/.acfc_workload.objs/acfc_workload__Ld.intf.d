@@ -1,0 +1,1 @@
+lib/workload/ld.mli: App

@@ -1,0 +1,1 @@
+lib/workload/postgres.ml: Acfc_disk Acfc_fs Acfc_sim App Env Stdlib

@@ -1,0 +1,1 @@
+lib/workload/readn.ml: Acfc_core Acfc_disk Acfc_fs App Env Printf Stdlib

@@ -1,0 +1,1 @@
+lib/workload/readn.mli: App

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Acfc_core Acfc_disk Acfc_fs Acfc_sim App Array Engine Env Float Format Ivar List Resource Rng

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Acfc_core Acfc_disk App Format

@@ -1,0 +1,1 @@
+lib/workload/sort_app.ml: Acfc_core Acfc_disk Acfc_fs App Array Env List Printf

@@ -1,0 +1,1 @@
+lib/workload/sort_app.mli: App

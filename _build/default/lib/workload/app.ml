@@ -1,0 +1,7 @@
+type t = {
+  name : string;
+  category : string;
+  run : Env.t -> disk:Acfc_disk.Disk.t -> unit;
+}
+
+let make ~name ~category run = { name; category; run }

@@ -1,0 +1,16 @@
+(** An application model.
+
+    [run env ~disk] creates the application's files on [disk], applies
+    its caching strategy when [env] is smart, and performs its block
+    accesses and computation. It must be called inside a simulation
+    fiber; it returns when the application finishes. *)
+
+type t = {
+  name : string;
+  category : string;
+      (** access-pattern category from the paper's Sec. 5.3 grouping:
+          "cyclic", "hot/cold", "access-once", "write-then-read" … *)
+  run : Env.t -> disk:Acfc_disk.Disk.t -> unit;
+}
+
+val make : name:string -> category:string -> (Env.t -> disk:Acfc_disk.Disk.t -> unit) -> t

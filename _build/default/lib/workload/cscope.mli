@@ -1,0 +1,44 @@
+(** Cscope (paper runs cs1, cs2, cs3): interactive C-source examination.
+
+    Symbol-oriented queries scan the database file "cscope.out"
+    sequentially once per query; text (egrep-style) queries scan all
+    source files in the same order on every query. Both are cyclic
+    patterns, so the smart strategy is MRU on priority level 0 (which
+    already holds both "cscope.out" and the sources).
+
+    Model sizes, matching the paper's compulsory-miss counts:
+    - cs1 — symbol search, 18 MB package: 8 queries over a 1141-block
+      (~9 MB) database file;
+    - cs2 — text search, 18 MB package: 5 queries over 47 source files
+      of 50 blocks (~18.4 MB);
+    - cs3 — text search, 10 MB package: 5 queries over 26 source files
+      of 50 blocks (~10.2 MB).
+
+    Per-block CPU costs are calibrated against the paper's Table 5
+    original-kernel elapsed times. *)
+
+val cs1 : App.t
+
+val cs2 : App.t
+
+val cs3 : App.t
+
+val symbol_search :
+  ?name:string ->
+  ?database_blocks:int ->
+  ?queries:int ->
+  ?cpu_per_block:float ->
+  unit ->
+  App.t
+(** Custom symbol-query instances; [cs1] is [symbol_search ()]. *)
+
+val text_search :
+  name:string ->
+  files:int ->
+  ?file_blocks:int ->
+  queries:int ->
+  cpu_per_block:float ->
+  unit ->
+  App.t
+(** Custom text-query instances over many source files; cs2 and cs3 are
+    instances. *)

@@ -1,0 +1,21 @@
+(** Dinero (paper run din): trace-driven CPU-cache simulator.
+
+    Nine simulations (line size ∈ {32, 64, 128} × associativity ∈
+    {1, 2, 4}), each a sequential pass over the same 8 MB ("cc") trace
+    file — the textbook cyclic pattern. Smart strategy: MRU on the
+    trace file's level.
+
+    The 10.1 ms/block simulation cost makes a fully-cached run take the
+    paper's ~99 s (Table 5). *)
+
+val din : App.t
+
+val custom :
+  ?name:string ->
+  ?trace_blocks:int ->
+  ?simulations:int ->
+  ?cpu_per_block:float ->
+  unit ->
+  App.t
+(** A dinero-style cyclic scanner with other trace sizes and pass
+    counts; [din] is [custom ()]. *)

@@ -1,0 +1,49 @@
+(** Execution environment handed to an application model.
+
+    Binds the process identity, the file system, an optional
+    {!Acfc_core.Control} handle (present iff the application runs in
+    "smart" mode), the shared CPU, and a private random stream.
+
+    The strategy helpers ({!set_priority} …) are silently inert when the
+    application is oblivious, so each application model is written once
+    and runs in both modes — exactly how the paper compares "original
+    kernel" and "LRU-SP" runs of the same program. A strategy call that
+    the kernel rejects raises [Failure]: the paper's strategies are
+    static and must fit within the kernel limits. *)
+
+type t = {
+  engine : Acfc_sim.Engine.t;
+  fs : Acfc_fs.Fs.t;
+  pid : Acfc_core.Pid.t;
+  control : Acfc_core.Control.t option;
+  cpu : Acfc_sim.Resource.t option;
+  rng : Acfc_sim.Rng.t;
+}
+
+val smart : t -> bool
+
+val compute : t -> float -> unit
+(** Consume CPU time (contending on the shared processor if any). *)
+
+val read_blocks : t -> Acfc_fs.File.t -> first:int -> count:int -> unit
+(** Read [count] whole blocks starting at block [first]. *)
+
+val write_blocks : t -> Acfc_fs.File.t -> first:int -> count:int -> unit
+
+val read_bytes : t -> Acfc_fs.File.t -> off:int -> len:int -> unit
+
+val unique_name : t -> string -> string
+(** Prefix a file name with the pid so concurrent instances do not
+    collide. *)
+
+(** {2 Strategy helpers (no-ops when oblivious)} *)
+
+val set_priority : t -> Acfc_fs.File.t -> int -> unit
+
+val set_policy : t -> prio:int -> Acfc_core.Policy.t -> unit
+
+val set_temppri : t -> Acfc_fs.File.t -> first:int -> last:int -> prio:int -> unit
+
+val done_with_block : t -> Acfc_fs.File.t -> int -> unit
+(** The "done-with blocks" idiom (paper Sec. 3): temporarily drop one
+    consumed block to priority −1 so it leaves the cache quickly. *)

@@ -1,0 +1,63 @@
+module Policy = Acfc_core.Policy
+
+let block_bytes = Acfc_disk.Params.block_bytes
+
+let index_files = [ ".glimpse_index"; ".glimpse_partitions"; ".glimpse_filenames"; ".glimpse_statistics" ]
+
+let index_blocks_per_file = 64  (* 4 x 64 = 256 blocks = 2 MB of indexes *)
+
+let partitions = 64
+
+let partition_blocks = 80  (* 64 x 80 = 5120 blocks = 40 MB of articles *)
+
+let queries = 5
+
+let partitions_per_query = 26
+
+let cpu_per_block = 0.0082
+
+let run env ~disk =
+  let indexes =
+    List.map
+      (fun name ->
+        Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid ~name:(Env.unique_name env name)
+          ~disk
+          ~size_bytes:(index_blocks_per_file * block_bytes)
+          ())
+      index_files
+  in
+  let parts =
+    Array.init partitions (fun i ->
+        Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
+          ~name:(Env.unique_name env (Printf.sprintf "partition.%02d" i))
+          ~disk
+          ~size_bytes:(partition_blocks * block_bytes)
+          ())
+  in
+  (* Strategy: indexes at priority 1, MRU at both levels. *)
+  List.iter (fun index -> Env.set_priority env index 1) indexes;
+  Env.set_policy env ~prio:1 Policy.Mru;
+  Env.set_policy env ~prio:0 Policy.Mru;
+  for query = 0 to queries - 1 do
+    List.iter
+      (fun index ->
+        for block = 0 to index_blocks_per_file - 1 do
+          Env.read_blocks env index ~first:block ~count:1;
+          Env.compute env cpu_per_block
+        done)
+      indexes;
+    (* The keyword-dependent partition subset, visited in partition
+       order (the paper: "several groups of articles are accessed in
+       the same order"). (7p + 13q) mod 64 scatters each query's
+       selection across the partition space while consecutive queries
+       still share half their partitions. *)
+    for p = 0 to partitions - 1 do
+      if ((7 * p) + (13 * query)) mod partitions < partitions_per_query then
+        for block = 0 to partition_blocks - 1 do
+          Env.read_blocks env parts.(p) ~first:block ~count:1;
+          Env.compute env cpu_per_block
+        done
+    done
+  done
+
+let gli = App.make ~name:"gli" ~category:"hot/cold" run

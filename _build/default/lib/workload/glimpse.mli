@@ -1,0 +1,16 @@
+(** Glimpse (paper run gli): approximate-index text retrieval.
+
+    Every query first reads all the index files, then the partitions of
+    news articles the index selects — always in the same order, so both
+    levels are cyclic. Index files are always needed, articles only
+    sometimes: the hot/cold pattern.
+
+    Model: 4 index files totalling 256 blocks (2 MB); 64 partitions of
+    80 blocks (40 MB of articles); 5 queries; query [q] reads a
+    26-partition keyword-dependent subset scattered over the partition
+    space, with consecutive queries sharing half their partitions.
+
+    Smart strategy (paper Sec. 5.1): the four index files get long-term
+    priority 1; MRU at both level 1 and level 0. *)
+
+val gli : App.t

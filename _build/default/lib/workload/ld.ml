@@ -1,0 +1,53 @@
+let block_bytes = Acfc_disk.Params.block_bytes
+
+let object_files = 80
+
+let file_blocks = 40
+
+let symbol_blocks = 12  (* blocks 0..11: header + symbol table *)
+
+let output_blocks = 1024
+
+let cpu_per_block = 0.0113
+
+let run env ~disk =
+  let objects =
+    Array.init object_files (fun i ->
+        Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
+          ~name:(Env.unique_name env (Printf.sprintf "obj%02d.o" i))
+          ~disk
+          ~size_bytes:(file_blocks * block_bytes)
+          ())
+  in
+  let output =
+    Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
+      ~name:(Env.unique_name env "vmunix")
+      ~disk ~size_bytes:0
+      ~reserve_bytes:(output_blocks * block_bytes) ()
+  in
+  (* Pass 1: headers and symbol tables. *)
+  Array.iter
+    (fun file ->
+      for block = 0 to symbol_blocks - 1 do
+        Env.read_blocks env file ~first:block ~count:1;
+        Env.compute env cpu_per_block
+      done)
+    objects;
+  (* Pass 2: full relocation scan; object data is consumed exactly once
+     and freed as soon as each block has been read. *)
+  Array.iter
+    (fun file ->
+      for block = 0 to file_blocks - 1 do
+        Env.read_blocks env file ~first:block ~count:1;
+        Env.compute env cpu_per_block;
+        if block >= symbol_blocks then Env.done_with_block env file block
+      done)
+    objects;
+  (* Emit the linked image; written blocks are also done-with. *)
+  for block = 0 to output_blocks - 1 do
+    Env.write_blocks env output ~first:block ~count:1;
+    Env.compute env (cpu_per_block /. 2.0);
+    Env.done_with_block env output block
+  done
+
+let ldk = App.make ~name:"ldk" ~category:"access-once" run

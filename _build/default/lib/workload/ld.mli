@@ -1,0 +1,17 @@
+(** Link editor (paper run ldk): building a kernel from object files.
+
+    Two passes over ~25 MB of object files: pass 1 reads each file's
+    header and symbol table; pass 2 reads every block (re-reading the
+    symbol region) while writing the output image. Object data is
+    touched exactly once, so the smart strategy is "access-once":
+    [set_temppri(file, b, b, -1)] the moment a block has been fully
+    consumed (the paper implements this policy in the kernel because the
+    DEC linker's source was unavailable; we issue the equivalent calls
+    from the application model). Freeing once-read data early is what
+    lets the twice-read symbol blocks survive in the cache.
+
+    Model: 80 object files of 40 blocks (25.6 MB); blocks 0–11 of each
+    file are header/symbols (read in both passes), 12–39 are data (read
+    once); 1024 output blocks (8 MB) written sequentially. *)
+
+val ldk : App.t

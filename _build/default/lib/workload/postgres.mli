@@ -1,0 +1,30 @@
+(** Postgres join (paper run pjn): indexed nested-loop join.
+
+    The outer relation [twentyk] (3.2 MB) is scanned sequentially; each
+    outer tuple probes the non-clustered index
+    [twohundredk_unique1] (5 MB) and, on a match, fetches a uniformly
+    random block of the inner relation [twohundredk] (32 MB). Index
+    blocks are far hotter than data blocks — the hot/cold pattern — so
+    the smart strategy gives the index long-term priority 1 with LRU at
+    both levels (the paper's single [set_priority] call).
+
+    Model: 410-block outer, 640-block index (40 internal + 600 leaf
+    blocks), 4096-block inner; 20 000 probes, each reading one internal
+    and one leaf block, 20% matching and fetching one data block. *)
+
+val pjn : App.t
+
+val custom :
+  ?name:string ->
+  ?outer_blocks:int ->
+  ?index_blocks:int ->
+  ?internal_blocks:int ->
+  ?inner_blocks:int ->
+  ?probes:int ->
+  ?match_fraction:float ->
+  ?cpu_per_probe:float ->
+  unit ->
+  App.t
+(** Index-join instances with other relation sizes and selectivities;
+    [pjn] is [custom ()]. Raises [Invalid_argument] on a selectivity
+    outside [0, 1]. *)

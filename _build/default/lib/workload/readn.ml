@@ -1,0 +1,39 @@
+module Policy = Acfc_core.Policy
+
+let block_bytes = Acfc_disk.Params.block_bytes
+
+let repeats = 5
+
+let cpu_per_block = 0.0075
+
+let app ?(file_blocks = 1200) ~n ~mode () =
+  if n <= 0 || file_blocks <= 0 then invalid_arg "Readn.app: sizes must be positive";
+  let name =
+    Printf.sprintf "read%d%s" n (match mode with `Foolish -> "!" | `Oblivious -> "")
+  in
+  let run env ~disk =
+    let file =
+      Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
+        ~name:(Env.unique_name env "readn.dat")
+        ~disk ~size_bytes:(file_blocks * block_bytes) ()
+    in
+    (match mode with
+    | `Foolish ->
+      (* A deliberately bad policy: MRU is terrible for this pattern. *)
+      Env.set_priority env file 0;
+      Env.set_policy env ~prio:0 Policy.Mru
+    | `Oblivious -> ());
+    let group = ref 0 in
+    while !group * n < file_blocks do
+      let first = !group * n in
+      let count = Stdlib.min n (file_blocks - first) in
+      for _pass = 1 to repeats do
+        for block = first to first + count - 1 do
+          Env.read_blocks env file ~first:block ~count:1;
+          Env.compute env cpu_per_block
+        done
+      done;
+      incr group
+    done
+  in
+  App.make ~name ~category:"grouped-cyclic" run

@@ -1,0 +1,21 @@
+(** ReadN microbenchmark (paper Sec. 6.1).
+
+    ReadN sequentially reads the first N 8 KB blocks of a file five
+    times, then the next N blocks five times, and so on through the
+    whole file. Under LRU its miss ratio collapses once it holds N
+    cache blocks, which makes it a sensitive detector of how many
+    blocks the kernel's allocation policy is really giving it.
+
+    Modes:
+    - [`Oblivious] — no manager; the kernel's LRU treatment (good but
+      not optimal for this pattern);
+    - [`Foolish]   — registers as a manager and uses MRU, which is much
+      worse than LRU for this pattern: the paper's model of a foolish
+      process for the placeholder experiments. *)
+
+val app : ?file_blocks:int -> n:int -> mode:[ `Oblivious | `Foolish ] -> unit -> App.t
+(** [file_blocks] defaults to 1200. The app is named ["readN"] (e.g.
+    "read300"); the foolish variant ["read300!"]. Note the mode is
+    baked in: the runner's smart flag decides only whether the foolish
+    variant gets its manager (a foolish app in an oblivious run is just
+    oblivious). *)

@@ -1,0 +1,70 @@
+(** Run one or more applications concurrently over a shared cache.
+
+    Builds the whole machine — engine, SCSI bus, disks, CPU, file
+    system with the configured allocation policy — spawns one fiber per
+    application, runs the simulation to completion and collects the
+    paper's metrics (per-application elapsed time and block I/Os).
+
+    Disk assignment follows the paper's testbed: by default disk 0 is
+    the RZ56 and disk 1 the RZ26, both on one SCSI bus. *)
+
+module Spec : sig
+  type t = {
+    app : App.t;
+    smart : bool;  (** register as a manager and apply its strategy *)
+    disk : int;  (** index into the run's disk list *)
+  }
+
+  val make : ?smart:bool -> ?disk:int -> App.t -> t
+  (** Defaults: [smart = true], [disk = 0]. *)
+end
+
+type app_result = {
+  app_name : string;
+  pid : Acfc_core.Pid.t;
+  elapsed : float;  (** seconds of virtual time to completion *)
+  disk_reads : int;
+  disk_writes : int;
+  block_ios : int;  (** reads + writes: the paper's metric *)
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type t = {
+  apps : app_result list;  (** in spec order *)
+  makespan : float;  (** completion time of the last application *)
+  total_ios : int;
+  cache_hits : int;
+  cache_misses : int;
+  overrules : int;
+  placeholders_created : int;
+  placeholders_used : int;
+  engine_events : int;
+}
+
+val blocks_of_mb : float -> int
+(** Cache capacity in 8 KB blocks for a size in MB ([6.4] -> 819, the
+    default Ultrix cache of the paper's workstation). *)
+
+val run :
+  ?seed:int ->
+  ?disks:Acfc_disk.Params.t list ->
+  ?disk_sched:Acfc_disk.Disk.sched ->
+  ?update_interval:float ->
+  ?hit_cost:float ->
+  ?io_cpu_cost:float ->
+  ?write_cluster:int ->
+  ?readahead:bool ->
+  ?scattered_layout:bool ->
+  ?revocation:Acfc_core.Config.revocation ->
+  ?shared_files:Acfc_core.Config.shared_files ->
+  ?tracer:(Acfc_core.Event.t -> unit) ->
+  cache_blocks:int ->
+  alloc_policy:Acfc_core.Config.alloc_policy ->
+  Spec.t list ->
+  t
+(** Defaults: [seed = 0]; [disks = [rz56; rz26]]; a 30 s update daemon;
+    read-ahead on; no revocation. Raises [Invalid_argument] on an empty
+    spec list or an out-of-range disk index. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,111 @@
+module Policy = Acfc_core.Policy
+
+let block_bytes = Acfc_disk.Params.block_bytes
+
+let input_blocks = 2176  (* 17 MB *)
+
+let run_blocks = 128  (* 1 MB in-core sort buffer *)
+
+let initial_runs = 17  (* 2176 / 128 *)
+
+let merge_width = 8
+
+let sort_cpu_per_block = 0.065  (* phase-1 comparison sort *)
+
+let merge_cpu_per_block = 0.028
+
+let write_cpu_per_block = 0.008
+
+(* Read a set of run files round-robin one block at a time (the merge
+   consumes their fronts in parallel), freeing each consumed block, and
+   write the merged result. Returns the output file. *)
+let merge env ~disk ~name ~inputs =
+  let total = List.fold_left (fun acc f -> acc + Acfc_fs.File.size_blocks f) 0 inputs in
+  let output =
+    Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid ~name:(Env.unique_name env name)
+      ~disk ~size_bytes:0 ~reserve_bytes:(total * block_bytes) ()
+  in
+  let files = Array.of_list inputs in
+  let cursors = Array.map (fun _ -> 0) files in
+  let remaining = ref (Array.length files) in
+  let next_out = ref 0 in
+  while !remaining > 0 do
+    Array.iteri
+      (fun i file ->
+        if cursors.(i) < Acfc_fs.File.size_blocks file then begin
+          let block = cursors.(i) in
+          Env.read_blocks env file ~first:block ~count:1;
+          Env.compute env merge_cpu_per_block;
+          Env.done_with_block env file block;
+          cursors.(i) <- block + 1;
+          if cursors.(i) = Acfc_fs.File.size_blocks file then decr remaining;
+          (* One merged block out per block in. *)
+          Env.write_blocks env output ~first:!next_out ~count:1;
+          Env.compute env write_cpu_per_block;
+          incr next_out
+        end)
+      files
+  done;
+  List.iter (fun file -> Acfc_fs.Fs.unlink env.Env.fs file) inputs;
+  output
+
+let run env ~disk =
+  let input =
+    Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
+      ~name:(Env.unique_name env "input.txt")
+      ~disk ~size_bytes:(input_blocks * block_bytes) ()
+  in
+  (* Strategy: input is read-once (priority -1); MRU at levels -1 and 0
+     because earlier-created temporaries are merged first. *)
+  Env.set_policy env ~prio:(-1) Policy.Mru;
+  Env.set_policy env ~prio:0 Policy.Mru;
+  Env.set_priority env input (-1);
+  (* Phase 1: partition the input into sorted runs. *)
+  let runs = ref [] in
+  for r = 0 to initial_runs - 1 do
+    let tmp =
+      Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
+        ~name:(Env.unique_name env (Printf.sprintf "tmp.run%02d" r))
+        ~disk ~size_bytes:0
+        ~reserve_bytes:(run_blocks * block_bytes) ()
+    in
+    for block = 0 to run_blocks - 1 do
+      let input_block = (r * run_blocks) + block in
+      Env.read_blocks env input ~first:input_block ~count:1;
+      Env.compute env sort_cpu_per_block;
+      Env.done_with_block env input input_block;
+      Env.write_blocks env tmp ~first:block ~count:1;
+      Env.compute env write_cpu_per_block
+    done;
+    runs := tmp :: !runs
+  done;
+  let runs = List.rev !runs in
+  (* Phase 2: 8-way merges in creation order until one file remains. *)
+  let rec merge_all generation files =
+    match files with
+    | [] -> ()
+    | [ _final ] -> ()
+    | _ ->
+      let rec take n = function
+        | [] -> ([], [])
+        | l when n = 0 -> ([], l)
+        | x :: rest ->
+          let batch, leftover = take (n - 1) rest in
+          (x :: batch, leftover)
+      in
+      let rec level i files acc =
+        match files with
+        | [] -> List.rev acc
+        | _ ->
+          let batch, rest = take merge_width files in
+          let merged =
+            merge env ~disk ~name:(Printf.sprintf "tmp.merge%d_%d" generation i)
+              ~inputs:batch
+          in
+          level (i + 1) rest (merged :: acc)
+      in
+      merge_all (generation + 1) (level 0 files [])
+  in
+  merge_all 0 runs
+
+let sort = App.make ~name:"sort" ~category:"write-then-read" run

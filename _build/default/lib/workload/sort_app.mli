@@ -1,0 +1,17 @@
+(** External sort (paper run sort): UNIX [sort] on a 17 MB text file.
+
+    Phase 1 reads the input once, producing 17 sorted runs of 128
+    blocks (1 MB of in-core sort buffer) written to temporary files.
+    Phase 2 merges eight files at a time, in creation order, reading
+    run blocks round-robin; each temporary file is deleted once
+    consumed.
+
+    Smart strategy (paper Sec. 5.1): the input file gets priority −1
+    (read once — flush fast); temporaries stay at priority 0; MRU at
+    both levels (runs created earliest are merged first); and the
+    "readline" access-once trick frees each temporary block as soon as
+    it has been fully consumed. Keeping recently-written runs cached
+    until the merge both saves the re-read and lets deletion cancel the
+    write-back of still-dirty blocks. *)
+
+val sort : App.t

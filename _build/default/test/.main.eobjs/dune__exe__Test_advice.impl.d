@@ -1,0 +1,1 @@
+test/test_advice.ml: Acfc_core Acfc_disk Acfc_fs Alcotest Format List String Tutil

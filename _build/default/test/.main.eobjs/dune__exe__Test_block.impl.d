@@ -1,0 +1,1 @@
+test/test_block.ml: Acfc_core Alcotest Block Config Error List Pid Policy QCheck2 String Tutil

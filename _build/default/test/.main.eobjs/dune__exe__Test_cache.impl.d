@@ -1,0 +1,1 @@
+test/test_cache.ml: Acfc_core Backend Block Cache Config Error Event Hashtbl List Option Policy Tutil

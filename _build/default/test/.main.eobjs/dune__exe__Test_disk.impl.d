@@ -1,0 +1,1 @@
+test/test_disk.ml: Acfc_disk Acfc_sim Alcotest Array Bus Disk Engine Float List Params Rng Tutil

@@ -1,0 +1,1 @@
+test/test_dll.ml: Acfc_core Alcotest Array Dll Hashtbl List QCheck2 Tutil

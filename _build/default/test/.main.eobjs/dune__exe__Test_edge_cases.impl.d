@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Acfc_core Acfc_sim Backend Block Cache Engine List Option Policy QCheck2 Tutil

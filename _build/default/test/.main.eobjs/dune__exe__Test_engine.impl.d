@@ -1,0 +1,1 @@
+test/test_engine.ml: Acfc_sim Alcotest Engine List Option String Tutil

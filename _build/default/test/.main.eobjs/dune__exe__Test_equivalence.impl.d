@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Acfc_core Acfc_replacement Array Block Cache Config List Policy QCheck2 Tutil

@@ -1,0 +1,1 @@
+test/test_fs.ml: Acfc_core Acfc_disk Acfc_fs Acfc_sim Alcotest Array Bytes Char Engine List Option QCheck2 Rng Stdlib Tutil

@@ -1,0 +1,1 @@
+test/test_heap.ml: Acfc_sim Alcotest Heap List QCheck2 Tutil

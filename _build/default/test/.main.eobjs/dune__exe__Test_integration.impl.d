@@ -1,0 +1,1 @@
+test/test_integration.ml: Acfc_core Acfc_disk Acfc_fs Acfc_replacement Acfc_sim Acfc_workload Array Buffer Cscope Dinero Float Format List Option Readn Runner Tutil

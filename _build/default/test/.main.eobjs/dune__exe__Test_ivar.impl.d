@@ -1,0 +1,1 @@
+test/test_ivar.ml: Acfc_sim Alcotest Engine Ivar Tutil

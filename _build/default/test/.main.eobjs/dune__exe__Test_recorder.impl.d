@@ -1,0 +1,1 @@
+test/test_recorder.ml: Acfc_core Acfc_disk Acfc_fs Acfc_replacement Alcotest Array Cache Filename Fun Pid Policies Policy Policy_sim Recorder Sys Tutil

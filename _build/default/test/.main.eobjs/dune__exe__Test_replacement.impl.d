@@ -1,0 +1,1 @@
+test/test_replacement.ml: Acfc_core Acfc_replacement Acfc_sim Alcotest Array Block List Option Policies Policy_sim QCheck2 Set Stdlib Trace Tutil

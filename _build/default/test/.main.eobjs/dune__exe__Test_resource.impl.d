@@ -1,0 +1,1 @@
+test/test_resource.ml: Acfc_sim Alcotest Array Engine List Resource Tutil

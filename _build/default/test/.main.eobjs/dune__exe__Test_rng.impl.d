@@ -1,0 +1,1 @@
+test/test_rng.ml: Acfc_sim Alcotest Array Float List QCheck2 Rng Tutil

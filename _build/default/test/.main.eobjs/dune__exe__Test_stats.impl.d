@@ -1,0 +1,1 @@
+test/test_stats.ml: Acfc_stats Alcotest Chart Format List String Summary Table Tutil

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Acfc_core Acfc_workload Alcotest App Cscope Dinero Float Glimpse Ld List Postgres Printf Readn Runner Sort_app String Tutil

@@ -1,0 +1,1 @@
+test/tutil.ml: Acfc_core Acfc_sim Alcotest Engine QCheck2 QCheck_alcotest String

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "acfc"
+    (List.concat
+       [
+         Test_rng.suites;
+         Test_heap.suites;
+         Test_dll.suites;
+         Test_engine.suites;
+         Test_resource.suites;
+         Test_ivar.suites;
+         Test_disk.suites;
+         Test_block.suites;
+         Test_cache.suites;
+         Test_equivalence.suites;
+         Test_fs.suites;
+         Test_replacement.suites;
+         Test_stats.suites;
+         Test_workloads.suites;
+         Test_experiments.suites;
+         Test_advice.suites;
+         Test_integration.suites;
+         Test_edge_cases.suites;
+         Test_recorder.suites;
+       ])

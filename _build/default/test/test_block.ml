@@ -1,0 +1,93 @@
+open Acfc_core
+open Tutil
+
+let block_basics () =
+  let b = Block.make ~file:3 ~index:7 in
+  chk_int "file" 3 (Block.file b);
+  chk_int "index" 7 (Block.index b);
+  chk_bool "equal" true (Block.equal b (blk ~file:3 7));
+  chk_bool "not equal" false (Block.equal b (blk ~file:3 8));
+  chk_bool "compare file first" true (Block.compare (blk ~file:1 9) (blk ~file:2 0) < 0);
+  chk_bool "compare index" true (Block.compare (blk 1) (blk 2) < 0);
+  chk_int "compare equal" 0 (Block.compare b b)
+
+let block_validation () =
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Block.make: negative block index") (fun () ->
+      ignore (Block.make ~file:0 ~index:(-1)));
+  Alcotest.check_raises "negative file"
+    (Invalid_argument "Block.make: negative file id") (fun () ->
+      ignore (Block.make ~file:(-1) ~index:0))
+
+let block_hash_consistent =
+  qcheck "equal blocks hash equally" ~count:200
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 100000))
+    (fun (f, i) ->
+      Block.hash (Block.make ~file:f ~index:i) = Block.hash (Block.make ~file:f ~index:i))
+
+let pid_basics () =
+  let p = Pid.make 4 in
+  chk_int "to_int" 4 (Pid.to_int p);
+  chk_bool "equal" true (Pid.equal p (pid 4));
+  chk_bool "compare" true (Pid.compare (pid 1) (pid 2) < 0);
+  Alcotest.check_raises "negative pid" (Invalid_argument "Pid.make: negative pid")
+    (fun () -> ignore (Pid.make (-1)))
+
+let policy_strings () =
+  chk_bool "default is LRU" true (Policy.equal Policy.default Policy.Lru);
+  chk_bool "LRU round-trip" true (Policy.of_string "lru" = Some Policy.Lru);
+  chk_bool "MRU round-trip" true (Policy.of_string "MRU" = Some Policy.Mru);
+  chk_bool "unknown" true (Policy.of_string "fifo" = None);
+  chk_bool "to_string" true (Policy.to_string Policy.Mru = "MRU");
+  chk_bool "distinct" false (Policy.equal Policy.Lru Policy.Mru)
+
+let config_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Config.make: capacity must be positive") (fun () ->
+      ignore (Config.make ~capacity_blocks:0 ()));
+  Alcotest.check_raises "bad revocation"
+    (Invalid_argument "Config.make: bad revocation parameters") (fun () ->
+      ignore
+        (Config.make ~capacity_blocks:1
+           ~revocation:{ Config.min_decisions = 0; mistake_ratio = 0.5 }
+           ()));
+  let c = Config.make ~capacity_blocks:10 () in
+  chk_int "placeholders default to capacity" 10 c.Config.max_placeholders
+
+let policy_names () =
+  List.iter
+    (fun p ->
+      let s = Config.alloc_policy_to_string p in
+      chk_bool ("round-trip " ^ s) true (Config.alloc_policy_of_string s = Some p))
+    [ Config.Global_lru; Config.Alloc_lru; Config.Lru_s; Config.Lru_sp; Config.Clock_sp ];
+  chk_bool "original alias" true
+    (Config.alloc_policy_of_string "original" = Some Config.Global_lru);
+  chk_bool "unknown" true (Config.alloc_policy_of_string "nope" = None)
+
+let error_strings () =
+  List.iter
+    (fun e -> chk_bool "non-empty message" true (String.length (Error.to_string e) > 0))
+    [
+      Error.Too_many_managers;
+      Error.Too_many_levels;
+      Error.Too_many_file_records;
+      Error.Not_registered;
+      Error.Already_registered;
+      Error.Revoked;
+      Error.Invalid_range;
+    ]
+
+let suites =
+  [
+    ( "block/pid/policy/config",
+      [
+        case "block basics" block_basics;
+        case "block validation" block_validation;
+        case "pid basics" pid_basics;
+        case "policy strings" policy_strings;
+        case "config validation" config_validation;
+        case "alloc policy names" policy_names;
+        case "error strings" error_strings;
+        block_hash_consistent;
+      ] );
+  ]

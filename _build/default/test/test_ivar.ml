@@ -1,0 +1,76 @@
+open Acfc_sim
+open Tutil
+
+let read_after_fill () =
+  let v =
+    in_sim (fun e ->
+        let iv = Ivar.create e in
+        Ivar.fill iv 42;
+        Ivar.read iv)
+  in
+  chk_int "value" 42 v
+
+let read_blocks_until_fill () =
+  let e = Engine.create () in
+  let iv = Ivar.create e in
+  let got = ref (0, 0.0) in
+  Engine.spawn e (fun () ->
+      let v = Ivar.read iv in
+      got := (v, Engine.now e));
+  Engine.spawn e (fun () ->
+      Engine.delay e 3.0;
+      Ivar.fill iv 7);
+  Engine.run e;
+  chk_bool "value and time" true (!got = (7, 3.0))
+
+let multiple_readers () =
+  let e = Engine.create () in
+  let iv = Ivar.create e in
+  let woken = ref 0 in
+  for _ = 1 to 5 do
+    Engine.spawn e (fun () ->
+        ignore (Ivar.read iv);
+        incr woken)
+  done;
+  Engine.spawn e (fun () ->
+      Engine.delay e 1.0;
+      Ivar.fill iv ());
+  Engine.run e;
+  chk_int "all woken" 5 !woken
+
+let double_fill () =
+  let e = Engine.create () in
+  let iv = Ivar.create e in
+  Ivar.fill iv 1;
+  Alcotest.check_raises "double fill" (Invalid_argument "Ivar.fill: already filled")
+    (fun () -> Ivar.fill iv 2)
+
+let peek_and_is_filled () =
+  let e = Engine.create () in
+  let iv = Ivar.create e in
+  chk_bool "empty peek" true (Ivar.peek iv = None);
+  chk_bool "not filled" false (Ivar.is_filled iv);
+  Ivar.fill iv 9;
+  chk_bool "peek" true (Ivar.peek iv = Some 9);
+  chk_bool "filled" true (Ivar.is_filled iv)
+
+let unfilled_ivar_deadlocks () =
+  let e = Engine.create () in
+  let iv = Ivar.create e in
+  Engine.spawn e ~name:"reader" (fun () -> ignore (Ivar.read iv));
+  (match Engine.run e with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Engine.Deadlock _ -> ())
+
+let suites =
+  [
+    ( "ivar",
+      [
+        case "read after fill" read_after_fill;
+        case "read blocks until fill" read_blocks_until_fill;
+        case "multiple readers" multiple_readers;
+        case "double fill rejected" double_fill;
+        case "peek / is_filled" peek_and_is_filled;
+        case "unfilled read deadlocks" unfilled_ivar_deadlocks;
+      ] );
+  ]

@@ -1,0 +1,110 @@
+open Acfc_sim
+open Tutil
+
+let single_server_serialises () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:1 () in
+  let finish = Array.make 3 0.0 in
+  for i = 0 to 2 do
+    Engine.spawn e (fun () ->
+        Resource.use r ~service:1.0;
+        finish.(i) <- Engine.now e)
+  done;
+  Engine.run e;
+  chk_float "first" 1.0 finish.(0);
+  chk_float "second" 2.0 finish.(1);
+  chk_float "third" 3.0 finish.(2)
+
+let fifo_order () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:1 () in
+  let order = ref [] in
+  for i = 0 to 4 do
+    Engine.spawn e (fun () ->
+        (* Stagger arrivals so the queue order is unambiguous. *)
+        Engine.delay e (float_of_int i *. 0.01);
+        Resource.use r ~service:1.0;
+        order := i :: !order)
+  done;
+  Engine.run e;
+  chk_bool "served FIFO" true (List.rev !order = [ 0; 1; 2; 3; 4 ])
+
+let multi_server_parallel () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:3 () in
+  let finish = Array.make 6 0.0 in
+  for i = 0 to 5 do
+    Engine.spawn e (fun () ->
+        Resource.use r ~service:1.0;
+        finish.(i) <- Engine.now e)
+  done;
+  Engine.run e;
+  (* Three at a time: finish at 1.0 (x3) then 2.0 (x3). *)
+  let times = List.sort compare (Array.to_list finish) in
+  chk_bool "two batches" true (times = [ 1.0; 1.0; 1.0; 2.0; 2.0; 2.0 ])
+
+let manual_acquire_release () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:1 () in
+  Engine.spawn e (fun () ->
+      Resource.acquire r;
+      chk_int "held" 1 (Resource.in_use r);
+      Engine.delay e 2.0;
+      Resource.release r);
+  Engine.spawn e (fun () ->
+      Engine.delay e 0.5;
+      chk_int "queued" 0 (Resource.queue_length r);
+      Resource.acquire r;
+      chk_float "waited until release" 2.0 (Engine.now e);
+      Resource.release r);
+  Engine.run e;
+  chk_int "free at end" 0 (Resource.in_use r);
+  chk_int "served" 2 (Resource.served r)
+
+let release_without_acquire () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:1 () in
+  Alcotest.check_raises "bad release" (Invalid_argument "Resource.release: not held")
+    (fun () -> Resource.release r)
+
+let stats_busy_and_wait () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:1 () in
+  for _ = 1 to 2 do
+    Engine.spawn e (fun () -> Resource.use r ~service:2.0)
+  done;
+  Engine.run e;
+  chk_float "busy integral" 4.0 (Resource.busy_time r);
+  (* Second fiber waited from 0 to 2. *)
+  chk_float "total wait" 2.0 (Resource.total_wait r)
+
+let exception_releases () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:1 () in
+  Engine.spawn e (fun () ->
+      match Resource.use r ~service:(-1.0) (* delay raises *) with
+      | () -> Alcotest.fail "negative service accepted"
+      | exception Invalid_argument _ -> ());
+  Engine.run e;
+  chk_int "released after exception" 0 (Resource.in_use r)
+
+let invalid_servers () =
+  let e = Engine.create () in
+  Alcotest.check_raises "zero servers"
+    (Invalid_argument "Resource.create: servers must be positive") (fun () ->
+      ignore (Resource.create e ~servers:0 ()))
+
+let suites =
+  [
+    ( "resource",
+      [
+        case "single server serialises" single_server_serialises;
+        case "FIFO order" fifo_order;
+        case "multi-server parallelism" multi_server_parallel;
+        case "manual acquire/release" manual_acquire_release;
+        case "release without acquire" release_without_acquire;
+        case "busy/wait statistics" stats_busy_and_wait;
+        case "exception safety" exception_releases;
+        case "invalid servers" invalid_servers;
+      ] );
+  ]

@@ -1,0 +1,122 @@
+open Acfc_sim
+open Tutil
+
+let determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    chk_bool "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  chk_int "streams differ" 0 !same
+
+let copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  chk_bool "copy continues identically" true (Rng.bits64 a = Rng.bits64 b);
+  (* Advancing one does not advance the other. *)
+  ignore (Rng.bits64 a);
+  ignore (Rng.bits64 a);
+  ignore (Rng.bits64 b);
+  chk_bool "now diverged" true (Rng.bits64 a <> Rng.bits64 b)
+
+let split_diverges () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let clashes = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr clashes
+  done;
+  chk_int "split stream is distinct" 0 !clashes
+
+let int_bounds =
+  qcheck "int stays in [0,n)" ~count:500
+    QCheck2.Gen.(pair (int_range 1 10000) int)
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let int_in_bounds =
+  qcheck "int_in stays in [lo,hi]" ~count:500
+    QCheck2.Gen.(triple (int_range (-1000) 1000) (int_range 0 1000) int)
+    (fun (lo, span, seed) ->
+      let hi = lo + span in
+      let rng = Rng.create seed in
+      let v = Rng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let float_bounds =
+  qcheck "float stays in [0,x)" ~count:500 QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng 3.5 in
+      v >= 0.0 && v < 3.5)
+
+let invalid_args () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range")
+    (fun () -> ignore (Rng.int_in rng 5 4));
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+let shuffle_is_permutation =
+  qcheck "shuffle permutes" ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 0 50) int) int)
+    (fun (l, seed) ->
+      let rng = Rng.create seed in
+      let a = Array.of_list l in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let exponential_mean () =
+  let rng = Rng.create 11 in
+  let n = 20000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.exponential rng ~mean:4.0 in
+    chk_bool "non-negative" true (v >= 0.0);
+    total := !total +. v
+  done;
+  let mean = !total /. float_of_int n in
+  chk_bool "mean within 5%" true (Float.abs (mean -. 4.0) < 0.2)
+
+let uniformity () =
+  (* Chi-squared-ish sanity: each of 10 buckets gets 10% +- 2%. *)
+  let rng = Rng.create 3 in
+  let buckets = Array.make 10 0 in
+  let n = 50000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      chk_bool "bucket near 0.1" true (Float.abs (frac -. 0.1) < 0.02))
+    buckets
+
+let suites =
+  [
+    ( "rng",
+      [
+        case "determinism" determinism;
+        case "different seeds" different_seeds;
+        case "copy" copy_independent;
+        case "split" split_diverges;
+        case "invalid arguments" invalid_args;
+        case "exponential mean" exponential_mean;
+        case "uniformity" uniformity;
+        int_bounds;
+        int_in_bounds;
+        float_bounds;
+        shuffle_is_permutation;
+      ] );
+  ]

@@ -1,0 +1,113 @@
+open Acfc_stats
+open Tutil
+
+let summary_basics () =
+  let s = Summary.of_list [ 2.0; 4.0; 6.0 ] in
+  chk_int "n" 3 (Summary.n s);
+  chk_float "mean" 4.0 (Summary.mean s);
+  chk_float "variance" 4.0 (Summary.variance s);
+  chk_float "stddev" 2.0 (Summary.stddev s);
+  chk_float "cv" 0.5 (Summary.cv s);
+  chk_float "min" 2.0 (Summary.min s);
+  chk_float "max" 6.0 (Summary.max s)
+
+let summary_single_sample () =
+  let s = Summary.of_list [ 5.0 ] in
+  chk_float "mean" 5.0 (Summary.mean s);
+  chk_float "variance" 0.0 (Summary.variance s);
+  chk_float "cv" 0.0 (Summary.cv s)
+
+let summary_zero_mean () =
+  let s = Summary.of_list [ -1.0; 1.0 ] in
+  chk_float "mean" 0.0 (Summary.mean s);
+  chk_float "cv guarded" 0.0 (Summary.cv s)
+
+let summary_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_list: no samples")
+    (fun () -> ignore (Summary.of_list []))
+
+let summary_pp () =
+  let tight = Format.asprintf "%a" Summary.pp (Summary.of_list [ 10.0; 10.0 ]) in
+  chk_bool "no cv shown when tight" false (String.contains tight '%');
+  let loose = Format.asprintf "%a" Summary.pp (Summary.of_list [ 5.0; 15.0 ]) in
+  chk_bool "cv shown when loose" true (String.contains loose '%')
+
+let table_rendering () =
+  let t = Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.to_string t in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  chk_int "5 lines" 5 (List.length lines);
+  chk_bool "header first" true (List.nth lines 0 = "name  | value");
+  chk_bool "right aligned" true (List.nth lines 2 = "alpha |     1");
+  chk_bool "rule" true (List.nth lines 3 = "------+------")
+
+let table_padding_and_validation () =
+  let t = Table.create ~columns:[ ("a", Table.Left); ("b", Table.Center) ] in
+  (* Short rows are padded... *)
+  Table.add_row t [ "x" ];
+  (* ...long rows are rejected. *)
+  Alcotest.check_raises "too many cells" (Invalid_argument "Table.add_row: too many cells")
+    (fun () -> Table.add_row t [ "1"; "2"; "3" ]);
+  Alcotest.check_raises "no columns" (Invalid_argument "Table.create: no columns")
+    (fun () -> ignore (Table.create ~columns:[]));
+  chk_bool "renders" true (String.length (Table.to_string t) > 0)
+
+let center_alignment () =
+  let t = Table.create ~columns:[ ("ccccc", Table.Center) ] in
+  Table.add_row t [ "x" ];
+  let lines = String.split_on_char '\n' (Table.to_string t) in
+  chk_bool "centered" true (List.nth lines 2 = "  x  ")
+
+let chart_rendering () =
+  let out =
+    Format.asprintf "%a" (fun ppf -> Chart.bars ~width:10 ~reference:1.0 ppf)
+      [ ("a", 0.5); ("bb", 1.0) ]
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  chk_int "two rows" 2 (List.length lines);
+  chk_bool "half bar" true (contains_sub ~sub:"#####" (List.nth lines 0));
+  chk_bool "reference tick on short bar" true (String.contains (List.nth lines 0) '|');
+  chk_bool "full bar has ten hashes" true
+    (contains_sub ~sub:"##########" (List.nth lines 1));
+  chk_bool "labels padded" true
+    (String.length (List.nth lines 0) = String.length (List.nth lines 1))
+
+let chart_max_value_scaling () =
+  (* With an explicit scale, a value at half the max fills half the bar. *)
+  let out =
+    Format.asprintf "%a" (fun ppf -> Chart.bars ~width:10 ~max_value:2.0 ppf)
+      [ ("v", 1.0) ]
+  in
+  chk_bool "scaled to max_value" true (contains_sub ~sub:"#####     " out)
+
+let chart_edge_cases () =
+  (* Zero and negative values render as empty bars without crashing. *)
+  let out =
+    Format.asprintf "%a" (fun ppf -> Chart.bars ~width:5 ppf)
+      [ ("z", 0.0); ("n", -3.0) ]
+  in
+  chk_bool "renders" true (String.length out > 0);
+  chk_bool "no hash for zero" false (String.contains out '#');
+  Alcotest.check_raises "bad width" (Invalid_argument "Chart.bars: width must be positive")
+    (fun () -> Chart.bars ~width:0 Format.str_formatter [])
+
+let suites =
+  [
+    ( "stats",
+      [
+        case "summary basics" summary_basics;
+        case "single sample" summary_single_sample;
+        case "zero mean" summary_zero_mean;
+        case "empty rejected" summary_empty;
+        case "summary printing" summary_pp;
+        case "table rendering" table_rendering;
+        case "table validation" table_padding_and_validation;
+        case "center alignment" center_alignment;
+        case "chart rendering" chart_rendering;
+        case "chart max_value" chart_max_value_scaling;
+        case "chart edge cases" chart_edge_cases;
+      ] );
+  ]

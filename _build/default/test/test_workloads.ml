@@ -1,0 +1,200 @@
+open Acfc_workload
+module Config = Acfc_core.Config
+open Tutil
+
+(* A cache far larger than any working set: every run shows only its
+   compulsory I/Os. *)
+let huge = 16384
+
+let run_app ?(cache_blocks = huge) ?(alloc_policy = Config.Global_lru) ?(smart = false)
+    ?(seed = 0) ?(disk = 0) app =
+  let r =
+    Runner.run ~seed ~cache_blocks ~alloc_policy [ Runner.Spec.make ~smart ~disk app ]
+  in
+  List.hd r.Runner.apps
+
+let compulsory_io name app disk expected () =
+  let a = run_app ~disk app in
+  chk_int (name ^ " compulsory I/Os") expected a.Runner.block_ios
+
+(* Expected compulsory footprints (reads + writes with an infinite
+   cache): documented in each workload module. *)
+let compulsory_cases =
+  [
+    (* din: one 1024-block trace file, read once, no writes. *)
+    ("din", Dinero.din, 0, 1024);
+    (* cs1: 1141-block database. *)
+    ("cs1", Cscope.cs1, 0, 1141);
+    (* cs2: 47 x 50-block sources. *)
+    ("cs2", Cscope.cs2, 0, 2350);
+    (* cs3: 36 x 48-block sources. *)
+    ("cs3", Cscope.cs3, 0, 1728);
+    (* gli: 256 index blocks + all 64 x 80 partitions appear across the
+       five query subsets. *)
+    ("gli", Glimpse.gli, 0, 256 + (64 * 80));
+    (* ldk: 80 x 40 object blocks read + 1024 output blocks written. *)
+    ("ldk", Ld.ldk, 0, (80 * 40) + 1024);
+  ]
+
+let sort_compulsory () =
+  (* Even with an infinite cache, temporaries written then deleted may
+     or may not reach the disk depending on the 30 s update daemon, so
+     only bounds are meaningful: at least input reads + final output
+       writes; at most every read and write hitting the device. *)
+  let a = run_app ~disk:1 Sort_app.sort in
+  chk_bool "sort lower bound" true (a.Runner.block_ios >= 2176 + 2176);
+  chk_bool "sort upper bound" true (a.Runner.block_ios <= 12800)
+
+let pjn_bounds () =
+  let a = run_app ~disk:1 Postgres.pjn in
+  (* Outer + index compulsory, plus at most one data block per probe. *)
+  chk_bool "pjn lower bound" true (a.Runner.block_ios >= 410 + 640);
+  chk_bool "pjn upper bound" true (a.Runner.block_ios <= 410 + 640 + 4096)
+
+let readn_compulsory () =
+  let a = run_app (Readn.app ~n:300 ~mode:`Oblivious ()) in
+  chk_int "readn compulsory" 1200 a.Runner.block_ios;
+  let a = run_app (Readn.app ~file_blocks:700 ~n:200 ~mode:`Oblivious ()) in
+  chk_int "partial final group" 700 a.Runner.block_ios
+
+(* The paper's criterion 3: smart processes never do worse. Allow 3%
+   slack for boundary effects. *)
+let smart_never_worse name app disk () =
+  List.iter
+    (fun mb ->
+      let cache_blocks = Runner.blocks_of_mb mb in
+      let oblivious =
+        (run_app ~cache_blocks ~alloc_policy:Config.Global_lru ~smart:false ~disk app)
+          .Runner.block_ios
+      in
+      let smart =
+        (run_app ~cache_blocks ~alloc_policy:Config.Lru_sp ~smart:true ~disk app)
+          .Runner.block_ios
+      in
+      chk_bool
+        (Printf.sprintf "%s smart(%d) <= oblivious(%d) at %gMB" name smart oblivious mb)
+        true
+        (float_of_int smart <= 1.03 *. float_of_int oblivious))
+    [ 6.4; 16.0 ]
+
+let determinism () =
+  let go () =
+    let r =
+      Runner.run ~seed:7 ~cache_blocks:819 ~alloc_policy:Config.Lru_sp
+        [
+          Runner.Spec.make ~smart:true ~disk:0 Dinero.din;
+          Runner.Spec.make ~smart:false ~disk:0 (Readn.app ~n:300 ~mode:`Oblivious ());
+        ]
+    in
+    List.map (fun a -> (a.Runner.elapsed, a.Runner.block_ios)) r.Runner.apps
+  in
+  chk_bool "same seed, same result" true (go () = go ())
+
+let seed_changes_timing () =
+  let elapsed seed =
+    (run_app ~cache_blocks:819 ~seed ~disk:1 Postgres.pjn).Runner.elapsed
+  in
+  chk_bool "different seeds differ" true (elapsed 0 <> elapsed 1)
+
+let runner_validation () =
+  Alcotest.check_raises "no apps" (Invalid_argument "Runner.run: no applications")
+    (fun () ->
+      ignore (Runner.run ~cache_blocks:10 ~alloc_policy:Config.Global_lru []));
+  Alcotest.check_raises "bad disk"
+    (Invalid_argument "Runner.run: disk index out of range") (fun () ->
+      ignore
+        (Runner.run ~cache_blocks:10 ~alloc_policy:Config.Global_lru
+           [ Runner.Spec.make ~disk:5 Dinero.din ]))
+
+let blocks_of_mb () =
+  chk_int "6.4MB = 819 blocks (paper)" 819 (Runner.blocks_of_mb 6.4);
+  chk_int "8MB" 1024 (Runner.blocks_of_mb 8.0);
+  chk_int "16MB" 2048 (Runner.blocks_of_mb 16.0)
+
+let din_mru_effect () =
+  (* The reproduction of the paper's headline din number. *)
+  let orig =
+    (run_app ~cache_blocks:819 ~alloc_policy:Config.Global_lru Dinero.din)
+      .Runner.block_ios
+  in
+  let sp =
+    (run_app ~cache_blocks:819 ~alloc_policy:Config.Lru_sp ~smart:true Dinero.din)
+      .Runner.block_ios
+  in
+  chk_int "original thrashes every pass" 9216 orig;
+  chk_bool "LRU-SP near the paper's 2573" true (sp > 2200 && sp < 3000)
+
+let foolish_hurts_itself () =
+  let oblivious =
+    run_app ~cache_blocks:819 (Readn.app ~n:300 ~mode:`Oblivious ())
+  in
+  let foolish =
+    run_app ~cache_blocks:819 ~alloc_policy:Config.Lru_sp ~smart:true
+      (Readn.app ~n:300 ~mode:`Foolish ())
+  in
+  chk_bool "MRU is foolish for grouped re-reads" true
+    (foolish.Runner.block_ios > oblivious.Runner.block_ios)
+
+let elapsed_positive_and_ordered () =
+  let r =
+    Runner.run ~cache_blocks:819 ~alloc_policy:Config.Global_lru
+      [
+        Runner.Spec.make ~smart:false ~disk:0 Cscope.cs1;
+        Runner.Spec.make ~smart:false ~disk:1 Postgres.pjn;
+      ]
+  in
+  List.iter
+    (fun a -> chk_bool (a.Runner.app_name ^ " elapsed positive") true (a.Runner.elapsed > 0.0))
+    r.Runner.apps;
+  chk_bool "makespan is the max" true
+    (r.Runner.makespan
+    = List.fold_left (fun m a -> Float.max m a.Runner.elapsed) 0.0 r.Runner.apps);
+  chk_bool "cache stats counted" true (r.Runner.cache_misses > 0)
+
+let app_categories () =
+  List.iter
+    (fun (app : App.t) ->
+      chk_bool (app.App.name ^ " has a category") true (String.length app.App.category > 0))
+    [ Dinero.din; Cscope.cs1; Cscope.cs2; Cscope.cs3; Glimpse.gli; Ld.ldk;
+      Postgres.pjn; Sort_app.sort ]
+
+let readn_validation () =
+  Alcotest.check_raises "bad n" (Invalid_argument "Readn.app: sizes must be positive")
+    (fun () -> ignore (Readn.app ~n:0 ~mode:`Oblivious ()))
+
+let suites =
+  [
+    ( "workloads: compulsory footprints",
+      List.map
+        (fun (name, app, disk, expected) ->
+          case (name ^ " compulsory") (compulsory_io name app disk expected))
+        compulsory_cases
+      @ [
+          case "sort bounds" sort_compulsory;
+          case "pjn bounds" pjn_bounds;
+          case "readn compulsory" readn_compulsory;
+        ] );
+    ( "workloads: criteria",
+      [
+        case "din: smart never worse" (smart_never_worse "din" Dinero.din 0);
+        case "cs1: smart never worse" (smart_never_worse "cs1" Cscope.cs1 0);
+        case "cs2: smart never worse" (smart_never_worse "cs2" Cscope.cs2 0);
+        case "cs3: smart never worse" (smart_never_worse "cs3" Cscope.cs3 0);
+        case "gli: smart never worse" (smart_never_worse "gli" Glimpse.gli 0);
+        case "ldk: smart never worse" (smart_never_worse "ldk" Ld.ldk 0);
+        case "pjn: smart never worse" (smart_never_worse "pjn" Postgres.pjn 1);
+        case "sort: smart never worse" (smart_never_worse "sort" Sort_app.sort 1);
+        case "din MRU effect" din_mru_effect;
+        case "foolish MRU hurts itself" foolish_hurts_itself;
+      ] );
+    ( "workloads: runner",
+      [
+        case "determinism" determinism;
+        case "seeds change timing" seed_changes_timing;
+        case "validation" runner_validation;
+        case "blocks_of_mb" blocks_of_mb;
+        case "elapsed and makespan" elapsed_positive_and_ordered;
+        case "categories" app_categories;
+        case "readn validation" readn_validation;
+      ] );
+  ]
