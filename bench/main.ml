@@ -19,6 +19,9 @@
      main.exe micro           micro-benchmarks only
      main.exe --quick         1 run and 2 cache sizes per artifact
      main.exe --runs N        cold-start runs per data point (default 3)
+     main.exe --json FILE     also write machine-readable results
+                              (the acfc-bench/1 schema; CI uploads this
+                              as the BENCH_results.json artifact)
 *)
 
 module Config = Acfc_core.Config
@@ -162,6 +165,8 @@ let micro_tests =
     policy_sim_test ~name:"policy-sim/opt-cyclic" (module Acfc_replacement.Policies.Opt);
   ]
 
+(* Runs each test, prints the human-readable line, and returns
+   [(name, ns_per_run, r2)] rows for the machine-readable report. *)
 let run_bechamel ~quota_s tests =
   let open Bechamel in
   let ols =
@@ -171,12 +176,12 @@ let run_bechamel ~quota_s tests =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~kde:None ()
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances (Test.make_grouped ~name:"" [ test ]) in
       let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
+      Hashtbl.fold
+        (fun name ols_result acc ->
           let name =
             if String.length name > 0 && name.[0] = '/' then
               String.sub name 1 (String.length name - 1)
@@ -194,31 +199,76 @@ let run_bechamel ~quota_s tests =
             else if estimate > 1e3 then (estimate /. 1e3, "us")
             else (estimate, "ns")
           in
-          Format.printf "  %-36s %10.2f %s/run   (r²=%.3f)@." name value unit_ r2)
-        analyzed)
+          Format.printf "  %-36s %10.2f %s/run   (r²=%.3f)@." name value unit_ r2;
+          (name, estimate, r2) :: acc)
+        analyzed [])
     tests
 
 let run_micro () =
   Format.printf "@.%s@." (String.make 74 '=');
   Format.printf "Bechamel micro-benchmarks: paper artifacts (single-cell, scaled)@.";
-  run_bechamel ~quota_s:2.0 artifact_tests;
+  let artifact_rows = run_bechamel ~quota_s:2.0 artifact_tests in
   Format.printf "@.Bechamel micro-benchmarks: cache hot paths and substrates@.";
-  run_bechamel ~quota_s:0.5 micro_tests
+  let micro_rows = run_bechamel ~quota_s:0.5 micro_tests in
+  artifact_rows @ micro_rows
+
+(* {2 Machine-readable report (--json)} *)
+
+(* The acfc-bench/1 schema: a stable shape CI can diff across runs.
+   NaN (no OLS estimate) becomes null, since JSON has no NaN. *)
+let write_json ~path ~quick ~runs ~artifacts ~micro ~total_wall_s =
+  let module J = Acfc_obs.Json in
+  let num v = if Float.is_finite v then J.Num v else J.Null in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "acfc-bench/1");
+        ("quick", J.Bool quick);
+        ("runs", J.Num (float_of_int runs));
+        ( "artifacts",
+          J.List
+            (List.map
+               (fun (name, wall_s) ->
+                 J.Obj [ ("name", J.Str name); ("wall_s", num wall_s) ])
+               artifacts) );
+        ( "micro",
+          J.List
+            (List.map
+               (fun (name, ns_per_run, r2) ->
+                 J.Obj
+                   [
+                     ("name", J.Str name);
+                     ("ns_per_run", num ns_per_run);
+                     ("r2", num r2);
+                   ])
+               micro) );
+        ("total_wall_s", num total_wall_s);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Format.printf "[bench results -> %s]@." path
 
 (* {2 Driver} *)
 
 let () =
   let quick = ref false in
   let runs = ref 3 in
+  let json_out = ref None in
   let selected = ref [] in
   let spec =
     [
       ("--quick", Arg.Set quick, "1 run, 2 cache sizes per artifact");
       ("--runs", Arg.Set_int runs, "N cold-start runs per data point (default 3)");
+      ( "--json",
+        Arg.String (fun f -> json_out := Some f),
+        "FILE write machine-readable results (acfc-bench/1 schema)" );
     ]
   in
   let usage =
-    "main.exe [--quick] [--runs N] \
+    "main.exe [--quick] [--runs N] [--json FILE] \
      [all|micro|ablations|criteria|fig4|fig5|fig6|table1..table6]*"
   in
   Arg.parse spec (fun a -> selected := a :: !selected) usage;
@@ -227,10 +277,13 @@ let () =
     if !quick then Report.quick else { Report.default with runs = !runs }
   in
   let t0 = Unix.gettimeofday () in
+  let micro_rows = ref [] in
+  let artifact_walls = ref [] in
   List.iter
     (fun artifact ->
-      match artifact with
-      | "micro" -> run_micro ()
+      let t = Unix.gettimeofday () in
+      (match artifact with
+      | "micro" -> micro_rows := !micro_rows @ run_micro ()
       | "ablations" ->
         Format.printf "@.%s@.@." (String.make 74 '=');
         Ablations.print_all ~runs:opts.Report.runs Format.std_formatter ()
@@ -243,6 +296,13 @@ let () =
         Ablations.print_all ~runs:opts.Report.runs Format.std_formatter ();
         Format.printf "@.%s@.@." (String.make 74 '=');
         Criteria.print Format.std_formatter (Criteria.run_all ~runs:opts.Report.runs ())
-      | name -> Report.run_artifact opts Format.std_formatter name)
+      | name -> Report.run_artifact opts Format.std_formatter name);
+      artifact_walls := (artifact, Unix.gettimeofday () -. t) :: !artifact_walls)
     selected;
-  Format.printf "@.[bench completed in %.1fs]@." (Unix.gettimeofday () -. t0)
+  let total_wall_s = Unix.gettimeofday () -. t0 in
+  Format.printf "@.[bench completed in %.1fs]@." total_wall_s;
+  match !json_out with
+  | None -> ()
+  | Some path ->
+    write_json ~path ~quick:!quick ~runs:opts.Report.runs
+      ~artifacts:(List.rev !artifact_walls) ~micro:!micro_rows ~total_wall_s

@@ -10,6 +10,7 @@ open Cmdliner
 module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
 module Experiments = Acfc_experiments
+module Obs = Acfc_obs
 
 (* {2 Shared arguments} *)
 
@@ -56,6 +57,61 @@ let oblivious =
   let doc = "Run the applications without their caching strategies." in
   Arg.(value & flag & info [ "oblivious" ] ~doc)
 
+let trace_out =
+  let doc =
+    "Write a structured event trace to $(docv): every cache hit, miss, \
+     eviction, swap, placeholder transition, fbehavior call, syscall and \
+     disk I/O, stamped with simulated time. JSON Lines by default; a \
+     $(b,.csv) suffix selects CSV."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_out =
+  let doc =
+    "Write a JSON metrics snapshot (counters, gauges, latency histograms) \
+     taken at the end of the run to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Build the sink for [--trace]/[--metrics]; returns the sink and a
+   [finish] closure that writes the metrics file and closes channels. *)
+let make_obs trace_out metrics_out =
+  match (trace_out, metrics_out) with
+  | None, None -> (None, fun () -> ())
+  | _ ->
+    let channel = ref None in
+    let backend =
+      match trace_out with
+      | None -> Obs.Sink.Null
+      | Some path ->
+        let oc = open_out path in
+        channel := Some oc;
+        if Filename.check_suffix path ".csv" then Obs.Sink.Csv oc
+        else Obs.Sink.Jsonl oc
+    in
+    let sink = Obs.Sink.create ~backend () in
+    let finish () =
+      (match metrics_out with
+      | None -> ()
+      | Some path ->
+        let snapshot =
+          Obs.Metrics.snapshot (Obs.Sink.metrics sink) ~now:(Obs.Sink.now sink)
+        in
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+            output_string oc (Obs.Json.to_string snapshot);
+            output_char oc '\n');
+        Format.printf "metrics: snapshot -> %s@." path);
+      (match !channel with
+      | Some oc ->
+        Obs.Sink.flush sink;
+        close_out oc;
+        Format.printf "trace: %d events -> %s@." (Obs.Sink.emitted sink)
+          (Option.get trace_out)
+      | None -> ())
+    in
+    (Some sink, finish)
+
 let parse_app name =
   match Experiments.Registry.find name with
   | app, disk -> (app, disk, true)
@@ -73,7 +129,7 @@ let parse_app name =
     | None -> failwith ("unknown application: " ^ name))
 
 let run_cmd =
-  let go cache_mb alloc_policy seed oblivious names =
+  let go cache_mb alloc_policy seed oblivious trace_out metrics_out names =
     let specs =
       List.map
         (fun name ->
@@ -81,16 +137,23 @@ let run_cmd =
           Runner.Spec.make ~smart:((not oblivious) && smart_default) ~disk app)
         names
     in
+    let obs, finish_obs = make_obs trace_out metrics_out in
     let result =
-      Runner.run ~seed ~cache_blocks:(Runner.blocks_of_mb cache_mb) ~alloc_policy specs
+      Runner.run ~seed ?obs ~cache_blocks:(Runner.blocks_of_mb cache_mb)
+        ~alloc_policy specs
     in
     Format.printf "%a" Runner.pp result;
     Format.printf
       "cache: %d hits, %d misses; %d overrules, %d placeholders (%d used)@."
       result.Runner.cache_hits result.Runner.cache_misses result.Runner.overrules
-      result.Runner.placeholders_created result.Runner.placeholders_used
+      result.Runner.placeholders_created result.Runner.placeholders_used;
+    finish_obs ()
   in
-  let term = Term.(const go $ cache_mb $ alloc_policy $ seed $ oblivious $ app_names) in
+  let term =
+    Term.(
+      const go $ cache_mb $ alloc_policy $ seed $ oblivious $ trace_out $ metrics_out
+      $ app_names)
+  in
   let info =
     Cmd.info "run" ~doc:"Run applications over the application-controlled cache"
   in

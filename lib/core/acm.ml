@@ -15,17 +15,30 @@ type manager = {
   mutable revoked : bool;
 }
 
+module Obs = Acfc_obs
+
 type t = {
   config : Config.t;
   managers : (Pid.t, manager) Hashtbl.t;
   mutable tracer : (Event.t -> unit) option;
+  mutable obs : Obs.Sink.t option;
 }
 
-let create config = { config; managers = Hashtbl.create 16; tracer = None }
+let create config =
+  { config; managers = Hashtbl.create 16; tracer = None; obs = None }
 
 let set_tracer t tracer = t.tracer <- tracer
 
+let set_obs t obs = t.obs <- obs
+
 let emit t ev = match t.tracer with Some f -> f ev | None -> ()
+
+(* One [fbehavior] control call, for the trace. *)
+let obs_call t pid op detail =
+  match t.obs with
+  | None -> ()
+  | Some sink ->
+    Obs.Sink.emit sink (Obs.Trace.Syscall { pid = Pid.to_int pid; op; detail = detail () })
 
 let find_manager t pid = Hashtbl.find_opt t.managers pid
 
@@ -104,6 +117,7 @@ let register t pid =
     (* Level 0 always exists: it is the default long-term priority. *)
     (match ensure_level t mgr 0 with Ok _ -> () | Error _ -> assert false);
     Hashtbl.replace t.managers pid mgr;
+    obs_call t pid "register" (fun () -> "");
     Ok ()
   end
 
@@ -117,7 +131,8 @@ let unregister t pid =
         unlink mgr e;
         e.Entry.level <- 0)
       entries;
-    Hashtbl.remove t.managers pid
+    Hashtbl.remove t.managers pid;
+    obs_call t pid "unregister" (fun () -> "")
 
 let is_registered t pid = Hashtbl.mem t.managers pid
 
@@ -280,7 +295,11 @@ let placeholder_used t ~chooser ~missing:_ ~target:_ =
         && float_of_int mgr.mistakes >= mistake_ratio *. float_of_int mgr.overrules
       then begin
         mgr.revoked <- true;
-        emit t (Event.Manager_revoked chooser)
+        emit t (Event.Manager_revoked chooser);
+        match t.obs with
+        | None -> ()
+        | Some sink ->
+          Obs.Sink.emit sink (Obs.Trace.Manager_revoked { pid = Pid.to_int chooser })
       end
     | Some _ | None -> ())
 
@@ -290,6 +309,7 @@ let with_manager t pid f =
   match find_manager t pid with None -> Error Error.Not_registered | Some mgr -> f mgr
 
 let set_priority t pid ~file ~prio =
+  obs_call t pid "set_priority" (fun () -> Printf.sprintf "file=%d prio=%d" file prio);
   with_manager t pid (fun mgr ->
       if mgr.revoked then Error Error.Revoked
       else begin
@@ -321,6 +341,8 @@ let set_priority t pid ~file ~prio =
 let get_priority t pid ~file = with_manager t pid (fun mgr -> Ok (long_term_prio mgr file))
 
 let set_policy t pid ~prio policy =
+  obs_call t pid "set_policy" (fun () ->
+      Printf.sprintf "prio=%d policy=%s" prio (Policy.to_string policy));
   with_manager t pid (fun mgr ->
       if mgr.revoked then Error Error.Revoked
       else
@@ -337,6 +359,8 @@ let get_policy t pid ~prio =
       | None -> Ok Policy.default)
 
 let set_temppri t pid ~file ~first ~last ~prio =
+  obs_call t pid "set_temppri" (fun () ->
+      Printf.sprintf "file=%d first=%d last=%d prio=%d" file first last prio);
   with_manager t pid (fun mgr ->
       if mgr.revoked then Error Error.Revoked
       else if first < 0 || last < first then Error Error.Invalid_range
@@ -360,6 +384,8 @@ let set_temppri t pid ~file ~first ~last ~prio =
           Ok ())
 
 let set_chooser t pid chooser =
+  obs_call t pid "set_chooser" (fun () ->
+      if Option.is_some chooser then "install" else "remove");
   with_manager t pid (fun mgr ->
       if mgr.revoked then Error Error.Revoked
       else begin

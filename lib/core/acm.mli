@@ -18,6 +18,11 @@ val create : Config.t -> t
 val set_tracer : t -> (Event.t -> unit) option -> unit
 (** Install a callback receiving {!Event.Manager_revoked} events. *)
 
+val set_obs : t -> Acfc_obs.Sink.t option -> unit
+(** Install the observability sink. Every [fbehavior] control call is
+    emitted as a {!Acfc_obs.Trace.Syscall} event, and revocations as
+    {!Acfc_obs.Trace.Manager_revoked}. *)
+
 (** {2 Manager lifecycle} *)
 
 val register : t -> Pid.t -> (unit, Error.t) result

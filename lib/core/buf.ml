@@ -1,3 +1,5 @@
+module Obs = Acfc_obs
+
 type placeholder = { target : Entry.t; chooser : Pid.t }
 
 type pid_stats = { mutable p_hits : int; mutable p_misses : int }
@@ -12,6 +14,7 @@ type t = {
   ph_fifo : Block.t Queue.t;  (* creation order, for recycling over the limit *)
   per_pid : (Pid.t, pid_stats) Hashtbl.t;
   mutable tracer : (Event.t -> unit) option;
+  mutable obs : Obs.Sink.t option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -34,6 +37,7 @@ let create config ~acm ~backend =
     ph_fifo = Queue.create ();
     per_pid = Hashtbl.create 8;
     tracer = None;
+    obs = None;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -47,9 +51,37 @@ let set_tracer t tracer =
   t.tracer <- tracer;
   Acm.set_tracer t.acm tracer
 
+(* Conversion to the dependency-free observability types. *)
+let oblk key = { Obs.Trace.file = Block.file key; index = Block.index key }
+
+let set_obs t obs =
+  t.obs <- obs;
+  Acm.set_obs t.acm obs;
+  match obs with
+  | None -> ()
+  | Some sink ->
+    (* Gauges close over the existing statistics fields: sampling at
+       snapshot time costs the hot path nothing. *)
+    let m = Obs.Sink.metrics sink in
+    let g name read = Obs.Metrics.gauge m name read in
+    g "cache.hits" (fun () -> float_of_int t.hits);
+    g "cache.misses" (fun () -> float_of_int t.misses);
+    g "cache.evictions" (fun () -> float_of_int t.evictions);
+    g "cache.writebacks" (fun () -> float_of_int t.writebacks);
+    g "cache.overrules" (fun () -> float_of_int t.overrule_count);
+    g "cache.placeholders_created" (fun () -> float_of_int t.placeholders_created);
+    g "cache.placeholders_used" (fun () -> float_of_int t.placeholders_used);
+    g "cache.resident" (fun () -> float_of_int (Hashtbl.length t.table));
+    g "cache.capacity" (fun () -> float_of_int t.config.Config.capacity_blocks);
+    g "cache.hit_ratio" (fun () ->
+        let total = t.hits + t.misses in
+        if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total)
+
 let config t = t.config
 
 let emit t ev = match t.tracer with Some f -> f ev | None -> ()
+
+let policy_name t = Config.alloc_policy_to_string t.config.Config.alloc_policy
 
 let pid_stats t pid =
   match Hashtbl.find_opt t.per_pid pid with
@@ -94,7 +126,17 @@ let add_placeholder t ~replaced ~target ~chooser =
     target.Entry.incoming_placeholders <-
       replaced :: target.Entry.incoming_placeholders;
     t.placeholders_created <- t.placeholders_created + 1;
-    emit t (Event.Placeholder_created { replaced; target = target.Entry.key; chooser })
+    emit t (Event.Placeholder_created { replaced; target = target.Entry.key; chooser });
+    match t.obs with
+    | None -> ()
+    | Some sink ->
+      Obs.Sink.emit sink
+        (Obs.Trace.Placeholder_created
+           {
+             replaced = oblk replaced;
+             target = oblk target.Entry.key;
+             chooser = Pid.to_int chooser;
+           })
   end
 
 (* {2 Replacement} *)
@@ -189,6 +231,16 @@ let evict_one t ~ph ~missing =
       emit t
         (Event.Placeholder_used
            { missing; target = p.target.Entry.key; chooser = p.chooser });
+      (match t.obs with
+      | None -> ()
+      | Some sink ->
+        Obs.Sink.emit sink
+          (Obs.Trace.Placeholder_hit
+             {
+               missing = oblk missing;
+               target = oblk p.target.Entry.key;
+               chooser = Pid.to_int p.chooser;
+             }));
       Acm.placeholder_used t.acm ~chooser:p.chooser ~missing ~target:p.target;
       p.target
     | Some _ | None -> pick_candidate t
@@ -203,7 +255,14 @@ let evict_one t ~ph ~missing =
   if overruled then begin
     t.overrule_count <- t.overrule_count + 1;
     (match t.config.Config.alloc_policy with
-    | Config.Lru_s | Config.Lru_sp | Config.Clock_sp -> swap_global t candidate chosen
+    | Config.Lru_s | Config.Lru_sp | Config.Clock_sp ->
+      swap_global t candidate chosen;
+      (match t.obs with
+      | None -> ()
+      | Some sink ->
+        Obs.Sink.emit sink
+          (Obs.Trace.Swap
+             { kept = oblk candidate.Entry.key; victim = oblk chosen.Entry.key }))
     | Config.Alloc_lru -> ()
     | Config.Global_lru -> assert false (* never consults, cannot overrule *));
     match t.config.Config.alloc_policy with
@@ -224,11 +283,27 @@ let evict_one t ~ph ~missing =
          candidate = candidate.Entry.key;
          overruled;
        });
+  (match t.obs with
+  | None -> ()
+  | Some sink ->
+    Obs.Sink.emit sink
+      (Obs.Trace.Evict
+         {
+           victim = oblk chosen.Entry.key;
+           owner = Pid.to_int chosen.Entry.owner;
+           candidate = oblk candidate.Entry.key;
+           policy = policy_name t;
+           reason = "capacity";
+         }));
   detach t chosen;
   t.evictions <- t.evictions + 1;
   if chosen.Entry.dirty then begin
     t.writebacks <- t.writebacks + 1;
     emit t (Event.Writeback chosen.Entry.key);
+    (match t.obs with
+    | None -> ()
+    | Some sink ->
+      Obs.Sink.emit sink (Obs.Trace.Writeback { block = oblk chosen.Entry.key }));
     t.backend.Backend.write_block chosen.Entry.key
   end;
   t.backend.Backend.evicted chosen.Entry.key
@@ -264,18 +339,34 @@ let touch t ~pid (e : Entry.t) =
     Dll.move_front t.global (global_node_exn e));
   Acm.block_accessed t.acm ~pid e
 
+let obs_hit t ~pid key =
+  match t.obs with
+  | None -> ()
+  | Some sink ->
+    Obs.Sink.emit sink
+      (Obs.Trace.Cache_hit { pid = Pid.to_int pid; block = oblk key })
+
+let obs_miss t ~pid key ~prefetch =
+  match t.obs with
+  | None -> ()
+  | Some sink ->
+    Obs.Sink.emit sink
+      (Obs.Trace.Cache_miss { pid = Pid.to_int pid; block = oblk key; prefetch })
+
 let read ?(prefetch = false) t ~pid key =
   match Hashtbl.find_opt t.table key with
   | Some e ->
     t.hits <- t.hits + 1;
     (pid_stats t pid).p_hits <- (pid_stats t pid).p_hits + 1;
     emit t (Event.Hit { pid; block = key });
+    obs_hit t ~pid key;
     touch t ~pid e;
     `Hit
   | None ->
     t.misses <- t.misses + 1;
     (pid_stats t pid).p_misses <- (pid_stats t pid).p_misses + 1;
     emit t (Event.Miss { pid; block = key; prefetch });
+    obs_miss t ~pid key ~prefetch;
     load t ~pid key ~dirty:false ~fetch:true ~prefetched:prefetch;
     `Miss
 
@@ -285,6 +376,7 @@ let write t ~pid key ~fetch =
     t.hits <- t.hits + 1;
     (pid_stats t pid).p_hits <- (pid_stats t pid).p_hits + 1;
     emit t (Event.Hit { pid; block = key });
+    obs_hit t ~pid key;
     e.Entry.dirty <- true;
     touch t ~pid e;
     `Hit
@@ -292,6 +384,7 @@ let write t ~pid key ~fetch =
     t.misses <- t.misses + 1;
     (pid_stats t pid).p_misses <- (pid_stats t pid).p_misses + 1;
     emit t (Event.Miss { pid; block = key; prefetch = false });
+    obs_miss t ~pid key ~prefetch:false;
     load t ~pid key ~dirty:true ~fetch ~prefetched:false;
     `Miss
 
@@ -316,6 +409,10 @@ let sync t ?file () =
         t.writebacks <- t.writebacks + 1;
         incr written;
         emit t (Event.Writeback e.Entry.key);
+        (match t.obs with
+        | None -> ()
+        | Some sink ->
+          Obs.Sink.emit sink (Obs.Trace.Writeback { block = oblk e.Entry.key }));
         Fun.protect
           ~finally:(fun () -> Entry.unpin e)
           (fun () -> t.backend.Backend.write_block e.Entry.key)
@@ -339,6 +436,9 @@ let take_dirty_followers t key ~max_blocks =
         e.Entry.dirty <- false;
         t.writebacks <- t.writebacks + 1;
         emit t (Event.Writeback next);
+        (match t.obs with
+        | None -> ()
+        | Some sink -> Obs.Sink.emit sink (Obs.Trace.Writeback { block = oblk next }));
         go (i + 1) (next :: acc)
       | Some _ | None -> List.rev acc
   in
@@ -354,6 +454,18 @@ let invalidate_file t ~file =
   List.iter
     (fun (e : Entry.t) ->
       if not (Entry.is_pinned e) then begin
+        (match t.obs with
+        | None -> ()
+        | Some sink ->
+          Obs.Sink.emit sink
+            (Obs.Trace.Evict
+               {
+                 victim = oblk e.Entry.key;
+                 owner = Pid.to_int e.Entry.owner;
+                 candidate = oblk e.Entry.key;
+                 policy = policy_name t;
+                 reason = "invalidate";
+               }));
         detach t e;
         incr dropped;
         t.backend.Backend.evicted e.Entry.key

@@ -32,6 +32,14 @@ val create : Config.t -> acm:Acm.t -> backend:Backend.t -> t
 val set_tracer : t -> (Event.t -> unit) option -> unit
 (** Also installs the tracer on the underlying {!Acm}. *)
 
+val set_obs : t -> Acfc_obs.Sink.t option -> unit
+(** Install (or remove) the observability sink, also on the underlying
+    {!Acm}. When installed, every hit, miss, eviction, swap, writeback
+    and placeholder transition is emitted as a timestamped
+    {!Acfc_obs.Trace.t} event, and the cache's counters are registered
+    as gauges on the sink's metrics registry. Off ([None]) by default;
+    the disabled hot path costs one branch. *)
+
 val config : t -> Config.t
 
 (** {2 Data path} *)

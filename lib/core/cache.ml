@@ -11,6 +11,8 @@ let config t = Buf.config t.buf
 
 let set_tracer t tracer = Buf.set_tracer t.buf tracer
 
+let set_obs t obs = Buf.set_obs t.buf obs
+
 let read ?prefetch t ~pid key = Buf.read ?prefetch t.buf ~pid key
 
 let write t ~pid key ~fetch = Buf.write t.buf ~pid key ~fetch

@@ -22,6 +22,13 @@ val config : t -> Config.t
 
 val set_tracer : t -> (Event.t -> unit) option -> unit
 
+val set_obs : t -> Acfc_obs.Sink.t option -> unit
+(** Install the observability sink on both kernel halves ({!Buf} and
+    {!Acm}): typed trace events for every cache transition and
+    [fbehavior] call, plus counter gauges on the sink's metrics
+    registry. [None] (the default) disables instrumentation; the
+    hot-path cost is then a single branch. *)
+
 (** {2 Data path} *)
 
 val read : ?prefetch:bool -> t -> pid:Pid.t -> Block.t -> [ `Hit | `Miss ]

@@ -17,3 +17,7 @@ val busy_time : t -> float
 
 val contended_wait : t -> float
 (** Total time requests spent waiting for the bus. *)
+
+val set_obs : t -> Acfc_obs.Sink.t option -> unit
+(** Register the bus statistics (busy time, contended wait, transfers
+    served, queue depth) as gauges on the sink's metrics registry. *)

@@ -1,4 +1,5 @@
 open Acfc_sim
+module Obs = Acfc_obs
 
 type kind = Read | Write
 
@@ -11,12 +12,19 @@ type waiter = {
   resume : unit -> unit;
 }
 
+type obs_state = {
+  sink : Obs.Sink.t;
+  h_service : Obs.Metrics.histogram;  (* seconds per request, in service *)
+  h_wait : Obs.Metrics.histogram;  (* seconds queued before service *)
+}
+
 type t = {
   engine : Engine.t;
   params : Params.t;
   bus : Bus.t option;
   rng : Rng.t option;
   sched : sched;
+  mutable obs : obs_state option;
   mutable busy : bool;
   mutable queue : waiter list;  (* unsorted; short in practice *)
   mutable next_seq : int;
@@ -37,6 +45,7 @@ let create engine ?bus ?rng ?(sched = Fcfs) params =
     bus;
     rng;
     sched;
+    obs = None;
     busy = false;
     queue = [];
     next_seq = 0;
@@ -54,6 +63,25 @@ let params t = t.params
 
 let sched t = t.sched
 
+let queue_length t = List.length t.queue
+
+let set_obs t obs =
+  match obs with
+  | None -> t.obs <- None
+  | Some sink ->
+    let m = Obs.Sink.metrics sink in
+    let name = t.params.Params.name in
+    let h label = Obs.Metrics.histogram m (Printf.sprintf "disk.%s.%s" name label) in
+    let g label read = Obs.Metrics.gauge m (Printf.sprintf "disk.%s.%s" name label) read in
+    g "reads" (fun () -> float_of_int t.reads);
+    g "writes" (fun () -> float_of_int t.writes);
+    g "sequential_hits" (fun () -> float_of_int t.sequential_hits);
+    g "blocks_transferred" (fun () -> float_of_int t.blocks_transferred);
+    g "busy_s" (fun () -> t.busy_time);
+    g "wait_s" (fun () -> t.total_wait);
+    g "queue_depth" (fun () -> float_of_int (queue_length t));
+    t.obs <- Some { sink; h_service = h "service_s"; h_wait = h "wait_s_hist" }
+
 let check_addr t addr =
   if addr < 0 || addr >= t.params.Params.capacity_blocks then
     invalid_arg
@@ -66,12 +94,6 @@ let rotational_latency t ~sequential =
     match t.rng with
     | None -> avg
     | Some rng -> Rng.float rng (2.0 *. avg)
-
-let positioning_time t ~addr ~sequential =
-  let distance = abs (addr - t.head) in
-  (t.params.Params.overhead_ms /. 1000.0)
-  +. Params.seek_time_s t.params ~distance
-  +. rotational_latency t ~sequential
 
 let service_time t ~addr =
   check_addr t addr;
@@ -124,11 +146,17 @@ let pick_next t =
     | None -> ());
     best
 
-let serve t kind ~addr ~blocks =
+let serve t kind ~addr ~blocks ~waited =
   let started = Engine.now t.engine in
   let sequential = addr = t.head in
   if sequential then t.sequential_hits <- t.sequential_hits + 1;
-  Engine.delay t.engine (positioning_time t ~addr ~sequential);
+  let distance = abs (addr - t.head) in
+  (* Positioning, decomposed so the trace can attribute the time. *)
+  let seek =
+    (t.params.Params.overhead_ms /. 1000.0) +. Params.seek_time_s t.params ~distance
+  in
+  let rot = rotational_latency t ~sequential in
+  Engine.delay t.engine (seek +. rot);
   (* A clustered request streams its blocks in one rotation-aligned
      burst: one positioning, [blocks] transfers. *)
   let transfer = float_of_int blocks *. Params.transfer_time_s t.params in
@@ -140,28 +168,53 @@ let serve t kind ~addr ~blocks =
   (match kind with
   | Read -> t.reads <- t.reads + 1
   | Write -> t.writes <- t.writes + 1);
-  t.busy_time <- t.busy_time +. (Engine.now t.engine -. started)
+  let service = Engine.now t.engine -. started in
+  t.busy_time <- t.busy_time +. service;
+  match t.obs with
+  | None -> ()
+  | Some { sink; h_service; h_wait } ->
+    Obs.Metrics.observe h_service service;
+    Obs.Metrics.observe h_wait waited;
+    Obs.Sink.emit sink
+      (Obs.Trace.Disk_io
+         {
+           disk = t.params.Params.name;
+           kind = (match kind with Read -> "read" | Write -> "write");
+           addr;
+           blocks;
+           seek;
+           rot;
+           xfer = transfer;
+           wait = waited;
+         })
 
 let io ?(blocks = 1) t kind ~addr =
   check_addr t addr;
   if blocks < 1 || addr + blocks > t.params.Params.capacity_blocks then
     invalid_arg "Disk.io: bad block count";
-  if t.busy then begin
-    let enqueued_at = Engine.now t.engine in
-    let seq = t.next_seq in
-    t.next_seq <- seq + 1;
-    Engine.suspend t.engine (fun resume ->
-        t.queue <- { w_addr = addr; w_seq = seq; enqueued_at; resume } :: t.queue);
-    (* Woken holding the drive: [busy] stayed true across the handoff. *)
-    t.total_wait <- t.total_wait +. (Engine.now t.engine -. enqueued_at)
-  end
-  else t.busy <- true;
+  let waited =
+    if t.busy then begin
+      let enqueued_at = Engine.now t.engine in
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      Engine.suspend t.engine (fun resume ->
+          t.queue <- { w_addr = addr; w_seq = seq; enqueued_at; resume } :: t.queue);
+      (* Woken holding the drive: [busy] stayed true across the handoff. *)
+      let waited = Engine.now t.engine -. enqueued_at in
+      t.total_wait <- t.total_wait +. waited;
+      waited
+    end
+    else begin
+      t.busy <- true;
+      0.0
+    end
+  in
   Fun.protect
     ~finally:(fun () ->
       match pick_next t with
       | Some w -> Engine.schedule t.engine ~at:(Engine.now t.engine) w.resume
       | None -> t.busy <- false)
-    (fun () -> serve t kind ~addr ~blocks)
+    (fun () -> serve t kind ~addr ~blocks ~waited)
 
 let reads t = t.reads
 
@@ -174,8 +227,6 @@ let blocks_transferred t = t.blocks_transferred
 let busy_time t = t.busy_time
 
 let total_wait t = t.total_wait
-
-let queue_length t = List.length t.queue
 
 let reset_stats t =
   t.reads <- 0;

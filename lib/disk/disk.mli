@@ -42,6 +42,13 @@ val params : t -> Params.t
 
 val sched : t -> sched
 
+val set_obs : t -> Acfc_obs.Sink.t option -> unit
+(** Install the observability sink: each request emits a
+    {!Acfc_obs.Trace.Disk_io} event with its seek / rotation / transfer
+    / queue-wait decomposition, service and wait latencies feed
+    histograms ([disk.<name>.service_s], [disk.<name>.wait_s_hist]),
+    and the drive counters are registered as gauges. *)
+
 val io : ?blocks:int -> t -> kind -> addr:int -> unit
 (** [io t kind ~addr] performs one request at absolute block address
     [addr], blocking the calling fiber for queueing plus service time.

@@ -4,6 +4,7 @@ module Cache = Acfc_core.Cache
 module Pid = Acfc_core.Pid
 module Disk = Acfc_disk.Disk
 module Params = Acfc_disk.Params
+module Obs = Acfc_obs
 
 let block_bytes = Params.block_bytes
 
@@ -28,11 +29,32 @@ type t = {
   images : (File.id, Bytes.t) Hashtbl.t;  (* on-disk data, when track_data *)
   pid_io : (Pid.t, io_stats) Hashtbl.t;
   mutable current_pid : Pid.t;
+  mutable obs : Obs.Sink.t option;
 }
+
+(* The kernel pid used for syscall events with no issuing process (the
+   update daemon's sync, unlink during teardown, …). *)
+let kernel_pid = -1
 
 let engine t = t.engine
 
 let cache t = t.cache
+
+let set_obs t obs =
+  t.obs <- obs;
+  match obs with
+  | None -> ()
+  | Some sink ->
+    let m = Obs.Sink.metrics sink in
+    Obs.Metrics.gauge m "fs.files" (fun () -> float_of_int (Hashtbl.length t.files));
+    Obs.Metrics.gauge m "fs.block_ios" (fun () ->
+        float_of_int
+          (Hashtbl.fold (fun _ s acc -> acc + s.disk_reads + s.disk_writes) t.pid_io 0))
+
+let obs_syscall t ~pid op detail =
+  match t.obs with
+  | None -> ()
+  | Some sink -> Obs.Sink.emit sink (Obs.Trace.Syscall { pid; op; detail = detail () })
 
 let io_stats t pid =
   match Hashtbl.find_opt t.pid_io pid with
@@ -128,6 +150,7 @@ let create engine ~config ?cpu ?(hit_cost = 0.0006) ?(io_cpu_cost = 0.002)
       images = Hashtbl.create 8;
       pid_io = Hashtbl.create 8;
       current_pid = Pid.make 0;
+      obs = None;
     }
   in
   let backend =
@@ -184,6 +207,9 @@ let create_file t ?owner ?reserve_bytes ~name ~disk ~size_bytes () =
   t.next_id <- t.next_id + 1;
   Hashtbl.replace t.files file.File.id file;
   Hashtbl.replace t.by_name name file.File.id;
+  obs_syscall t ~pid:(match owner with Some p -> Pid.to_int p | None -> kernel_pid)
+    "creat" (fun () ->
+      Printf.sprintf "file=%d name=%s size=%d" file.File.id name size_bytes);
   if t.track_data then
     Hashtbl.replace t.images file.File.id (Bytes.make (reserve_blocks * block_bytes) '\000');
   file
@@ -195,6 +221,8 @@ let file_of_id t id = Hashtbl.find_opt t.files id
 
 let unlink t (file : File.t) =
   if not file.File.unlinked then begin
+    obs_syscall t ~pid:kernel_pid "unlink" (fun () ->
+        Printf.sprintf "file=%d name=%s" (File.id file) file.File.name);
     file.File.unlinked <- true;
     ignore (Cache.invalidate_file t.cache ~file:(File.id file));
     Hashtbl.remove t.by_name file.File.name;
@@ -287,7 +315,10 @@ let read_internal t ~pid (file : File.t) ~off ~len ~out =
     done
   end
 
-let read t ~pid file ~off ~len = read_internal t ~pid file ~off ~len ~out:None
+let read t ~pid file ~off ~len =
+  obs_syscall t ~pid:(Pid.to_int pid) "read" (fun () ->
+      Printf.sprintf "file=%d off=%d len=%d" (File.id file) off len);
+  read_internal t ~pid file ~off ~len ~out:None
 
 (* [data], when given, holds the payload for [\[off, off+len)]; it is
    copied into each block's frame immediately after the block becomes
@@ -339,7 +370,10 @@ let write_internal t ~pid (file : File.t) ~off ~len ~data =
     if off + len > old_size then file.File.size_bytes <- off + len
   end
 
-let write t ~pid file ~off ~len = write_internal t ~pid file ~off ~len ~data:None
+let write t ~pid file ~off ~len =
+  obs_syscall t ~pid:(Pid.to_int pid) "write" (fun () ->
+      Printf.sprintf "file=%d off=%d len=%d" (File.id file) off len);
+  write_internal t ~pid file ~off ~len ~data:None
 
 let pread t ~pid file ~off ~len =
   if not t.track_data then invalid_arg "Fs.pread: data tracking is off";
@@ -351,9 +385,14 @@ let pwrite t ~pid file ~off data =
   if not t.track_data then invalid_arg "Fs.pwrite: data tracking is off";
   write_internal t ~pid file ~off ~len:(Bytes.length data) ~data:(Some data)
 
-let sync t = Cache.sync t.cache ()
+let sync t =
+  obs_syscall t ~pid:kernel_pid "sync" (fun () -> "");
+  Cache.sync t.cache ()
 
-let fsync t file = Cache.sync t.cache ~file:(File.id file) ()
+let fsync t file =
+  obs_syscall t ~pid:kernel_pid "fsync" (fun () ->
+      Printf.sprintf "file=%d" (File.id file));
+  Cache.sync t.cache ~file:(File.id file) ()
 
 let spawn_update_daemon t ?(interval = 30.0) () =
   let stop = ref false in

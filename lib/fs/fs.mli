@@ -49,6 +49,14 @@ val engine : t -> Acfc_sim.Engine.t
 
 val cache : t -> Acfc_core.Cache.t
 
+val set_obs : t -> Acfc_obs.Sink.t option -> unit
+(** Install the observability sink on the file-system layer only: each
+    data-path call ([read], [write], [sync], [fsync], [create_file],
+    [unlink]) emits one {!Acfc_obs.Trace.Syscall} event (pid [-1]
+    stands for the kernel / update daemon), and file and block-I/O
+    totals are registered as gauges. Use {!Acfc_core.Cache.set_obs} to
+    instrument the cache underneath. *)
+
 (** {2 Files} *)
 
 val create_file :

@@ -1,0 +1,138 @@
+type counter = { mutable count : int }
+
+let n_buckets = 44
+let bucket_lo = 1e-6
+
+type histogram = {
+  buckets : int array;  (* last bucket = overflow *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, unit -> float) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.replace t.counters name c;
+    c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.count | None -> 0
+
+let gauge t name read = Hashtbl.replace t.gauges name read
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.gauges name with Some read -> Some (read ()) | None -> None
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        buckets = Array.make n_buckets 0;
+        h_count = 0;
+        h_sum = 0.0;
+        h_min = Float.infinity;
+        h_max = Float.neg_infinity;
+      }
+    in
+    Hashtbl.replace t.histograms name h;
+    h
+
+let bucket_index v =
+  if v <= bucket_lo then 0
+  else
+    let i = int_of_float (Float.ceil (Float.log2 (v /. bucket_lo))) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+let observe h v =
+  h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let histogram_count t name =
+  match Hashtbl.find_opt t.histograms name with Some h -> h.h_count | None -> 0
+
+let sorted_names tbl =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) tbl [])
+
+let bucket_bound i = bucket_lo *. Float.pow 2.0 (float_of_int i)
+
+let histogram_json h =
+  let buckets =
+    List.filter_map
+      (fun i ->
+        if h.buckets.(i) = 0 then None
+        else
+          let le = if i = n_buckets - 1 then 0.0 else bucket_bound i in
+          Some
+            (Json.Obj
+               [ ("le", Json.Num le); ("n", Json.Num (float_of_int h.buckets.(i))) ]))
+      (List.init n_buckets Fun.id)
+  in
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int h.h_count));
+      ("sum", Json.Num h.h_sum);
+      ("min", Json.Num (if h.h_count = 0 then 0.0 else h.h_min));
+      ("max", Json.Num (if h.h_count = 0 then 0.0 else h.h_max));
+      ("mean", Json.Num (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count));
+      ("buckets", Json.List buckets);
+    ]
+
+let snapshot t ~now =
+  let counters =
+    List.map
+      (fun name ->
+        (name, Json.Num (float_of_int (Hashtbl.find t.counters name).count)))
+      (sorted_names t.counters)
+  in
+  let gauges =
+    List.map
+      (fun name -> (name, Json.Num ((Hashtbl.find t.gauges name) ())))
+      (sorted_names t.gauges)
+  in
+  let histograms =
+    List.map
+      (fun name -> (name, histogram_json (Hashtbl.find t.histograms name)))
+      (sorted_names t.histograms)
+  in
+  Json.Obj
+    [
+      ("now", Json.Num now);
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+    ]
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.count <- 0) t.counters;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 n_buckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- Float.infinity;
+      h.h_max <- Float.neg_infinity)
+    t.histograms

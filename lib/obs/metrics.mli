@@ -1,0 +1,58 @@
+(** Metrics registry: counters, gauges and histograms, snapshotable at
+    any simulated time.
+
+    Creation is idempotent by name, so independent layers can share one
+    registry without coordination. Gauges are callbacks sampled at
+    snapshot time — instrumented modules register a closure over their
+    existing statistics fields, so the hot path pays nothing. Snapshots
+    render names in sorted order: two runs with the same seed produce
+    byte-identical snapshots. *)
+
+type t
+
+type counter
+
+type histogram
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+val counter : t -> string -> counter
+(** Find or create the counter [name]. *)
+
+val incr : ?by:int -> counter -> unit
+
+val counter_value : t -> string -> int
+(** 0 if the counter does not exist. *)
+
+(** {2 Gauges} *)
+
+val gauge : t -> string -> (unit -> float) -> unit
+(** Register (or replace) the gauge [name]; the callback is invoked at
+    each {!snapshot}. *)
+
+val gauge_value : t -> string -> float option
+
+(** {2 Histograms} *)
+
+val histogram : t -> string -> histogram
+(** Find or create a histogram with logarithmic buckets: bucket [i]
+    holds observations in [(2^(i-1)·lo, 2^i·lo]] with [lo = 1 µs],
+    covering latencies from under a microsecond to hours. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : t -> string -> int
+(** Number of observations; 0 if the histogram does not exist. *)
+
+(** {2 Snapshot} *)
+
+val snapshot : t -> now:float -> Json.t
+(** [{"now": …, "counters": {…}, "gauges": {…}, "histograms": {…}}]
+    with each section's names sorted. Histograms carry count, sum, min,
+    max, mean and the non-empty buckets as [{"le": bound, "n": count}]
+    (an upper bound of [0] marks the overflow bucket). *)
+
+val reset : t -> unit
+(** Zero counters and histograms; gauges (callbacks) are kept. *)

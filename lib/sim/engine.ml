@@ -1,3 +1,5 @@
+module Obs = Acfc_obs
+
 type event = { time : float; seq : int; thunk : unit -> unit }
 
 type t = {
@@ -9,6 +11,7 @@ type t = {
   blocked : (int, string) Hashtbl.t;  (* fiber id -> name, while suspended *)
   mutable next_fiber_id : int;
   mutable processed : int;
+  mutable obs : Obs.Sink.t option;
 }
 
 exception Deadlock of string
@@ -27,9 +30,25 @@ let create () =
     blocked = Hashtbl.create 16;
     next_fiber_id = 0;
     processed = 0;
+    obs = None;
   }
 
 let now t = t.clock
+
+let set_obs t obs =
+  t.obs <- obs;
+  match obs with
+  | None -> ()
+  | Some sink ->
+    (* The engine owns virtual time, so it owns the sink's clock. *)
+    Obs.Sink.set_clock sink (fun () -> t.clock);
+    let m = Obs.Sink.metrics sink in
+    Obs.Metrics.gauge m "sim.clock" (fun () -> t.clock);
+    Obs.Metrics.gauge m "sim.live_fibers" (fun () -> float_of_int t.live);
+    Obs.Metrics.gauge m "sim.waiting_fibers" (fun () -> float_of_int t.waiting);
+    Obs.Metrics.gauge m "sim.events_processed" (fun () -> float_of_int t.processed);
+    Obs.Metrics.gauge m "sim.pending_events" (fun () ->
+        float_of_int (Heap.length t.events))
 
 let schedule t ~at thunk =
   if at < t.clock then
@@ -45,10 +64,18 @@ let start_fiber t ~name f =
   let id = t.next_fiber_id in
   t.next_fiber_id <- id + 1;
   t.live <- t.live + 1;
+  (match t.obs with
+  | None -> ()
+  | Some sink -> Obs.Sink.emit sink (Obs.Trace.Fiber { name; op = "spawn" }));
   let open Effect.Deep in
   let handler =
     {
-      retc = (fun () -> t.live <- t.live - 1);
+      retc =
+        (fun () ->
+          t.live <- t.live - 1;
+          match t.obs with
+          | None -> ()
+          | Some sink -> Obs.Sink.emit sink (Obs.Trace.Fiber { name; op = "finish" }));
       exnc = (fun e -> raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->

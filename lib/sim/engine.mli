@@ -22,6 +22,14 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time in seconds. *)
 
+val set_obs : t -> Acfc_obs.Sink.t option -> unit
+(** Install the observability sink. The engine points the sink's clock
+    at its own virtual clock (every event emitted anywhere in the
+    machine is then stamped with simulated time), registers gauges for
+    the scheduler (clock, live/waiting fibers, processed and pending
+    events), and emits a {!Acfc_obs.Trace.Fiber} event per fiber spawn
+    and finish. *)
+
 val schedule : t -> at:float -> (unit -> unit) -> unit
 (** [schedule t ~at f] runs callback [f] at virtual time [at]. [at] may
     not be in the past. Callbacks must not block; use {!spawn} for code

@@ -39,7 +39,7 @@ let blocks_of_mb mb = int_of_float (mb *. 1024.0 *. 1024.0 /. float_of_int Param
 
 let run ?(seed = 0) ?(disks = [ Params.rz56; Params.rz26 ]) ?disk_sched
     ?(update_interval = 30.0) ?hit_cost ?io_cpu_cost ?write_cluster ?readahead
-    ?(scattered_layout = false) ?revocation ?shared_files ?tracer ~cache_blocks
+    ?(scattered_layout = false) ?revocation ?shared_files ?tracer ?obs ~cache_blocks
     ~alloc_policy specs =
   if specs = [] then invalid_arg "Runner.run: no applications";
   let engine = Engine.create () in
@@ -65,6 +65,32 @@ let run ?(seed = 0) ?(disks = [ Params.rz56; Params.rz26 ]) ?disk_sched
   in
   let cache = Acfc_fs.Fs.cache fs in
   (match tracer with Some f -> Cache.set_tracer cache (Some f) | None -> ());
+  (* Thread the observability sink through every layer of the machine.
+     The engine goes first: it points the sink's clock at virtual time,
+     so all later events carry simulated timestamps. *)
+  (match obs with
+  | None -> ()
+  | Some sink ->
+    Engine.set_obs engine (Some sink);
+    Cache.set_obs cache (Some sink);
+    Acfc_fs.Fs.set_obs fs (Some sink);
+    Acfc_disk.Bus.set_obs bus (Some sink);
+    Array.iter (fun d -> Disk.set_obs d (Some sink)) disk_array;
+    let m = Acfc_obs.Sink.metrics sink in
+    List.iteri
+      (fun i spec ->
+        let pid = Pid.make i in
+        let prefix = Printf.sprintf "app.%d.%s" i spec.Spec.app.App.name in
+        Acfc_obs.Metrics.gauge m (prefix ^ ".hits") (fun () ->
+            float_of_int (Cache.pid_hits cache pid));
+        Acfc_obs.Metrics.gauge m (prefix ^ ".misses") (fun () ->
+            float_of_int (Cache.pid_misses cache pid));
+        Acfc_obs.Metrics.gauge m (prefix ^ ".hit_ratio") (fun () ->
+            let h = Cache.pid_hits cache pid and m = Cache.pid_misses cache pid in
+            if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m));
+        Acfc_obs.Metrics.gauge m (prefix ^ ".block_ios") (fun () ->
+            float_of_int (Acfc_fs.Fs.pid_block_ios fs pid)))
+      specs);
   let stop_daemon = Acfc_fs.Fs.spawn_update_daemon fs ~interval:update_interval () in
   let finish_times = Array.make (List.length specs) 0.0 in
   let done_ivars =

@@ -59,12 +59,16 @@ val run :
   ?revocation:Acfc_core.Config.revocation ->
   ?shared_files:Acfc_core.Config.shared_files ->
   ?tracer:(Acfc_core.Event.t -> unit) ->
+  ?obs:Acfc_obs.Sink.t ->
   cache_blocks:int ->
   alloc_policy:Acfc_core.Config.alloc_policy ->
   Spec.t list ->
   t
 (** Defaults: [seed = 0]; [disks = [rz56; rz26]]; a 30 s update daemon;
-    read-ahead on; no revocation. Raises [Invalid_argument] on an empty
-    spec list or an out-of-range disk index. *)
+    read-ahead on; no revocation. [obs], when given, is threaded
+    through every layer (engine, cache, file system, bus, disks) and
+    additionally carries per-application hit/miss/hit-ratio/block-I/O
+    gauges named [app.<index>.<name>.*]. Raises [Invalid_argument] on
+    an empty spec list or an out-of-range disk index. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Formatting check used by CI.
+#
+# The repository carries no ocamlformat dependency (the toolchain image
+# does not ship it), so `dune build @fmt` is a no-op: dune-project sets
+# (formatting disabled). This script is the enforced substitute — a
+# whitespace lint over every tracked source file:
+#
+#   * no trailing whitespace
+#   * no hard tabs in OCaml sources or dune files
+#   * every file ends with exactly one newline
+#
+# Exit status 0 when clean; 1 with a file:line listing otherwise.
+
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+
+files=$(git ls-files '*.ml' '*.mli' 'dune' '*/dune' '**/dune' 'dune-project' '*.sh' '*.md' 2>/dev/null | sort -u)
+
+for f in $files; do
+  [ -f "$f" ] || continue
+
+  if grep -n ' $' "$f" /dev/null; then
+    echo "error: trailing whitespace in $f (lines above)" >&2
+    status=1
+  fi
+
+  case "$f" in
+    *.ml | *.mli | dune | */dune | dune-project)
+      if grep -n "$(printf '\t')" "$f" /dev/null; then
+        echo "error: hard tab in $f (lines above)" >&2
+        status=1
+      fi
+      ;;
+  esac
+
+  if [ -s "$f" ] && [ -n "$(tail -c 1 "$f")" ]; then
+    echo "error: $f does not end with a newline" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check-fmt: clean"
+fi
+exit "$status"

@@ -21,4 +21,5 @@ let () =
          Test_integration.suites;
          Test_edge_cases.suites;
          Test_recorder.suites;
+         Test_obs.suites;
        ])
