@@ -19,6 +19,11 @@
      main.exe micro           micro-benchmarks only
      main.exe --quick         1 run and 2 cache sizes per artifact
      main.exe --runs N        cold-start runs per data point (default 3)
+     main.exe --jobs N        run grid cells on N domains (default
+                              ACFC_JOBS, else sequential); results are
+                              byte-identical for every N
+     main.exe fig5-par        time the fig5 grid sequential vs parallel
+                              and report the speedup
      main.exe --json FILE     also write machine-readable results
                               (the acfc-bench/1 schema; CI uploads this
                               as the BENCH_results.json artifact)
@@ -29,6 +34,7 @@ module Cache = Acfc_core.Cache
 module Policy = Acfc_core.Policy
 module Block = Acfc_core.Block
 module Dll = Acfc_core.Dll
+module Pool = Acfc_par.Pool
 open Acfc_experiments
 
 let pid0 = Acfc_core.Pid.make 0
@@ -216,7 +222,7 @@ let run_micro () =
 
 (* The acfc-bench/1 schema: a stable shape CI can diff across runs.
    NaN (no OLS estimate) becomes null, since JSON has no NaN. *)
-let write_json ~path ~quick ~runs ~artifacts ~micro ~total_wall_s =
+let write_json ~path ~quick ~runs ~jobs ~artifacts ~micro ~total_wall_s =
   let module J = Acfc_obs.Json in
   let num v = if Float.is_finite v then J.Num v else J.Null in
   let doc =
@@ -225,6 +231,7 @@ let write_json ~path ~quick ~runs ~artifacts ~micro ~total_wall_s =
         ("schema", J.Str "acfc-bench/1");
         ("quick", J.Bool quick);
         ("runs", J.Num (float_of_int runs));
+        ("jobs", J.Num (float_of_int jobs));
         ( "artifacts",
           J.List
             (List.map
@@ -251,31 +258,63 @@ let write_json ~path ~quick ~runs ~artifacts ~micro ~total_wall_s =
       output_char oc '\n');
   Format.printf "[bench results -> %s]@." path
 
+(* {2 Sequential vs parallel (fig5-par)} *)
+
+(* Times the fig5 grid at jobs=1 and jobs=n, checks the rendered tables
+   are byte-identical (the acfc.par determinism contract), and returns
+   both wall times as artifact rows for the machine-readable report. *)
+let run_fig5_par opts ~jobs =
+  let time f =
+    let t = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t)
+  in
+  let render jobs () =
+    Format.asprintf "%a" Multi.print
+      (Multi.run ~jobs ~runs:opts.Report.runs ~sizes:opts.Report.sizes ())
+  in
+  Format.printf "@.%s@.@." (String.make 74 '=');
+  Format.printf "fig5 grid: sequential vs %d domains@." jobs;
+  let seq_out, seq_wall = time (render 1) in
+  let par_out, par_wall = time (render jobs) in
+  if seq_out <> par_out then
+    failwith "fig5-par: parallel output differs from sequential";
+  Format.printf
+    "  jobs=1: %.1fs   jobs=%d: %.1fs   speedup %.2fx   (outputs identical)@."
+    seq_wall jobs par_wall (seq_wall /. par_wall);
+  [ ("fig5/jobs=1", seq_wall); (Printf.sprintf "fig5/jobs=%d" jobs, par_wall) ]
+
 (* {2 Driver} *)
 
 let () =
   let quick = ref false in
   let runs = ref 3 in
+  let jobs = ref None in
   let json_out = ref None in
   let selected = ref [] in
   let spec =
     [
       ("--quick", Arg.Set quick, "1 run, 2 cache sizes per artifact");
       ("--runs", Arg.Set_int runs, "N cold-start runs per data point (default 3)");
+      ( "--jobs",
+        Arg.Int (fun n -> jobs := Some n),
+        "N run grid cells on N domains (default ACFC_JOBS, else sequential)" );
       ( "--json",
         Arg.String (fun f -> json_out := Some f),
         "FILE write machine-readable results (acfc-bench/1 schema)" );
     ]
   in
   let usage =
-    "main.exe [--quick] [--runs N] [--json FILE] \
-     [all|micro|ablations|criteria|fig4|fig5|fig6|table1..table6]*"
+    "main.exe [--quick] [--runs N] [--jobs N] [--json FILE] \
+     [all|micro|ablations|criteria|fig5-par|fig4|fig5|fig6|table1..table6]*"
   in
   Arg.parse spec (fun a -> selected := a :: !selected) usage;
   let selected = if !selected = [] then [ "all"; "micro" ] else List.rev !selected in
   let opts =
     if !quick then Report.quick else { Report.default with runs = !runs }
   in
+  let opts = { opts with Report.jobs = !jobs } in
+  let eff_jobs = match !jobs with Some n -> n | None -> Pool.default_jobs () in
   let t0 = Unix.gettimeofday () in
   let micro_rows = ref [] in
   let artifact_walls = ref [] in
@@ -286,23 +325,35 @@ let () =
       | "micro" -> micro_rows := !micro_rows @ run_micro ()
       | "ablations" ->
         Format.printf "@.%s@.@." (String.make 74 '=');
-        Ablations.print_all ~runs:opts.Report.runs Format.std_formatter ()
+        Ablations.print_all ?jobs:opts.Report.jobs ~runs:opts.Report.runs
+          Format.std_formatter ()
       | "criteria" ->
         Format.printf "@.%s@.@." (String.make 74 '=');
-        Criteria.print Format.std_formatter (Criteria.run_all ~runs:opts.Report.runs ())
+        Criteria.print Format.std_formatter
+          (Criteria.run_all ?jobs:opts.Report.jobs ~runs:opts.Report.runs ())
+      | "fig5-par" ->
+        (* On the CI runners auto picks the vCPU count; locally the flag
+           wins, and a 1-CPU box still exercises the domain machinery. *)
+        let par_jobs = if eff_jobs > 1 then eff_jobs else max 2 (Pool.auto_jobs ()) in
+        List.iter
+          (fun row -> artifact_walls := row :: !artifact_walls)
+          (run_fig5_par opts ~jobs:par_jobs)
       | "all" ->
         Report.run_all opts Format.std_formatter;
         Format.printf "@.%s@.@." (String.make 74 '=');
-        Ablations.print_all ~runs:opts.Report.runs Format.std_formatter ();
+        Ablations.print_all ?jobs:opts.Report.jobs ~runs:opts.Report.runs
+          Format.std_formatter ();
         Format.printf "@.%s@.@." (String.make 74 '=');
-        Criteria.print Format.std_formatter (Criteria.run_all ~runs:opts.Report.runs ())
+        Criteria.print Format.std_formatter
+          (Criteria.run_all ?jobs:opts.Report.jobs ~runs:opts.Report.runs ())
       | name -> Report.run_artifact opts Format.std_formatter name);
-      artifact_walls := (artifact, Unix.gettimeofday () -. t) :: !artifact_walls)
+      if artifact <> "fig5-par" then
+        artifact_walls := (artifact, Unix.gettimeofday () -. t) :: !artifact_walls)
     selected;
   let total_wall_s = Unix.gettimeofday () -. t0 in
   Format.printf "@.[bench completed in %.1fs]@." total_wall_s;
   match !json_out with
   | None -> ()
   | Some path ->
-    write_json ~path ~quick:!quick ~runs:opts.Report.runs
+    write_json ~path ~quick:!quick ~runs:opts.Report.runs ~jobs:eff_jobs
       ~artifacts:(List.rev !artifact_walls) ~micro:!micro_rows ~total_wall_s

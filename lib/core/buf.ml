@@ -93,22 +93,18 @@ let pid_stats t pid =
 
 (* {2 Placeholder bookkeeping} *)
 
-let drop_incoming (target : Entry.t) key =
-  target.Entry.incoming_placeholders <-
-    List.filter (fun k -> not (Block.equal k key)) target.Entry.incoming_placeholders
-
 let remove_placeholder t key =
   match Hashtbl.find_opt t.placeholders key with
   | None -> None
   | Some ph ->
     Hashtbl.remove t.placeholders key;
-    drop_incoming ph.target key;
+    Entry.remove_incoming ph.target key;
     Some ph
 
 (* Forget every placeholder pointing at [e] (about to leave the cache). *)
 let drop_placeholders_at t (e : Entry.t) =
-  List.iter (fun key -> Hashtbl.remove t.placeholders key) e.Entry.incoming_placeholders;
-  e.Entry.incoming_placeholders <- []
+  Entry.iter_incoming (fun key -> Hashtbl.remove t.placeholders key) e;
+  Entry.clear_incoming e
 
 let add_placeholder t ~replaced ~target ~chooser =
   if t.config.Config.max_placeholders > 0 then begin
@@ -123,8 +119,7 @@ let add_placeholder t ~replaced ~target ~chooser =
     done;
     Hashtbl.replace t.placeholders replaced { target; chooser };
     Queue.push replaced t.ph_fifo;
-    target.Entry.incoming_placeholders <-
-      replaced :: target.Entry.incoming_placeholders;
+    Entry.add_incoming target replaced;
     t.placeholders_created <- t.placeholders_created + 1;
     emit t (Event.Placeholder_created { replaced; target = target.Entry.key; chooser });
     match t.obs with
@@ -527,9 +522,7 @@ let check_invariants t =
       (match Hashtbl.find_opt t.table ph.target.Entry.key with
       | Some e when e == ph.target -> ()
       | Some _ | None -> failwith "Buf: placeholder target not resident");
-      if
-        not
-          (List.exists (Block.equal key) ph.target.Entry.incoming_placeholders)
-      then failwith "Buf: placeholder missing from target's incoming list")
+      if not (Entry.has_incoming ph.target key) then
+        failwith "Buf: placeholder missing from target's incoming list")
     t.placeholders;
   Acm.check_invariants t.acm

@@ -10,7 +10,7 @@ type t = {
   mutable level : int;
   mutable temp : bool;
   mutable managed_by : Pid.t option;
-  mutable incoming_placeholders : Block.t list;
+  mutable incoming_placeholders : (Block.t, unit) Hashtbl.t option;
 }
 
 let make ~key ~owner =
@@ -26,8 +26,40 @@ let make ~key ~owner =
     level = 0;
     temp = false;
     managed_by = None;
-    incoming_placeholders = [];
+    incoming_placeholders = None;
   }
+
+(* The table is allocated on first use: most entries never become a
+   placeholder target, and the placeholder budget keeps live tables
+   small. *)
+let add_incoming t key =
+  let table =
+    match t.incoming_placeholders with
+    | Some table -> table
+    | None ->
+      let table = Hashtbl.create 8 in
+      t.incoming_placeholders <- Some table;
+      table
+  in
+  Hashtbl.replace table key ()
+
+let remove_incoming t key =
+  match t.incoming_placeholders with
+  | None -> ()
+  | Some table -> Hashtbl.remove table key
+
+let has_incoming t key =
+  match t.incoming_placeholders with
+  | None -> false
+  | Some table -> Hashtbl.mem table key
+
+let iter_incoming f t =
+  match t.incoming_placeholders with
+  | None -> ()
+  | Some table -> Hashtbl.iter (fun key () -> f key) table
+
+let clear_incoming t =
+  match t.incoming_placeholders with None -> () | Some table -> Hashtbl.reset table
 
 let is_pinned t = t.pinned > 0
 

@@ -22,12 +22,29 @@ type t = {
   mutable level : int;  (** current priority level *)
   mutable temp : bool;  (** [level] is a temporary priority *)
   mutable managed_by : Pid.t option;  (** manager whose lists hold it *)
-  mutable incoming_placeholders : Block.t list;
-      (** keys of placeholders whose target is this entry *)
+  mutable incoming_placeholders : (Block.t, unit) Hashtbl.t option;
+      (** keys of placeholders whose target is this entry, as a set;
+          [None] until the first placeholder arrives. Manipulate through
+          the [*_incoming] helpers below, which give O(1) add, remove
+          and membership (an entry can be the target of many
+          placeholders, and eviction must drop them all) *)
 }
 
 val make : key:Block.t -> owner:Pid.t -> t
 (** Fresh unlinked entry: clean, unpinned, level 0, unmanaged. *)
+
+val add_incoming : t -> Block.t -> unit
+(** Record a placeholder key targeting this entry (idempotent). *)
+
+val remove_incoming : t -> Block.t -> unit
+
+val has_incoming : t -> Block.t -> bool
+
+val iter_incoming : (Block.t -> unit) -> t -> unit
+(** Iteration order is unspecified; callers must not let it reach
+    observable results. *)
+
+val clear_incoming : t -> unit
 
 val is_pinned : t -> bool
 

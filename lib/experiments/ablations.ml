@@ -3,12 +3,18 @@ module Disk = Acfc_disk.Disk
 module Runner = Acfc_workload.Runner
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
+module Pool = Acfc_par.Pool
 open Acfc_workload
 
 let mean_of results f =
   Summary.mean (Summary.of_list (List.map (fun r -> float_of_int (f r)) results))
 
 let mean_fl results f = Summary.mean (Summary.of_list (List.map f results))
+
+(* Every ablation uses the same two-phase shape as the main artifacts:
+   schedule all (cell, seed) runs on one pool, then force the rows in
+   grid order so any [jobs] value yields identical tables. *)
+let force_all rows = List.map (fun force -> force ()) rows
 
 (* {2 Read-ahead} *)
 
@@ -19,28 +25,32 @@ type readahead_row = {
   ra_ios : int;
 }
 
-let readahead ?(runs = 3) ?(apps = [ "din"; "cs1"; "sort" ]) () =
+let readahead ?jobs ?(runs = 3) ?(apps = [ "din"; "cs1"; "sort" ]) () =
+  Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
       let app, disk = Registry.find name in
       List.map
         (fun ra ->
-          let results =
-            Measure.repeat ~runs (fun ~seed ->
+          let deferred =
+            Measure.repeat_async pool ~runs (fun ~seed ->
                 Runner.run ~seed ~readahead:ra ~cache_blocks:819
                   ~alloc_policy:Config.Global_lru
                   [ Runner.Spec.make ~smart:false ~disk app ])
           in
-          {
-            ra_app = name;
-            readahead = ra;
-            ra_elapsed = mean_fl results (fun r -> (List.hd r.Runner.apps).Runner.elapsed);
-            ra_ios =
-              int_of_float
-                (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
-          })
+          fun () ->
+            let results = deferred () in
+            {
+              ra_app = name;
+              readahead = ra;
+              ra_elapsed = mean_fl results (fun r -> (List.hd r.Runner.apps).Runner.elapsed);
+              ra_ios =
+                int_of_float
+                  (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+            })
         [ true; false ])
     apps
+  |> force_all
 
 (* {2 Disk scheduling} *)
 
@@ -51,10 +61,11 @@ type sched_row = {
   sc_ios : int;
 }
 
-let disk_sched ?(runs = 3) () =
+let disk_sched ?jobs ?(runs = 3) () =
   (* Two random-access processes on one disk build a queue that SCAN
      can reorder; pjn + pjn clone is the most disk-random pair. *)
   let combos = [ ([ "pjn"; "gli" ], "pjn+gli(one disk)"); ([ "pjn"; "sort" ], "pjn+sort(one disk)") ] in
+  Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun (names, label) ->
       let specs =
@@ -67,43 +78,50 @@ let disk_sched ?(runs = 3) () =
       in
       List.map
         (fun sched ->
-          let results =
-            Measure.repeat ~runs (fun ~seed ->
+          let deferred =
+            Measure.repeat_async pool ~runs (fun ~seed ->
                 Runner.run ~seed ~disk_sched:sched ~cache_blocks:819
                   ~alloc_policy:Config.Global_lru specs)
           in
-          {
-            sched;
-            combo = label;
-            sc_makespan = mean_fl results (fun r -> r.Runner.makespan);
-            sc_ios = int_of_float (mean_of results (fun r -> r.Runner.total_ios));
-          })
+          fun () ->
+            let results = deferred () in
+            {
+              sched;
+              combo = label;
+              sc_makespan = mean_fl results (fun r -> r.Runner.makespan);
+              sc_ios = int_of_float (mean_of results (fun r -> r.Runner.total_ios));
+            })
         [ Disk.Fcfs; Disk.Scan ])
     combos
+  |> force_all
 
 (* {2 Update-daemon interval} *)
 
 type update_row = { interval : float; up_ios : int; up_writes : int }
 
-let update_interval ?(runs = 3) ?(intervals = [ 5.0; 30.0; 120.0; 600.0 ]) () =
+let update_interval ?jobs ?(runs = 3) ?(intervals = [ 5.0; 30.0; 120.0; 600.0 ]) () =
   let app, disk = Registry.find "sort" in
+  Pool.with_pool ?jobs @@ fun pool ->
   List.map
     (fun interval ->
-      let results =
-        Measure.repeat ~runs (fun ~seed ->
+      let deferred =
+        Measure.repeat_async pool ~runs (fun ~seed ->
             Runner.run ~seed ~update_interval:interval ~cache_blocks:4096
               ~alloc_policy:Config.Lru_sp
               [ Runner.Spec.make ~smart:true ~disk app ])
       in
-      {
-        interval;
-        up_ios =
-          int_of_float (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
-        up_writes =
-          int_of_float
-            (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.disk_writes));
-      })
+      fun () ->
+        let results = deferred () in
+        {
+          interval;
+          up_ios =
+            int_of_float (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+          up_writes =
+            int_of_float
+              (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.disk_writes));
+        })
     intervals
+  |> force_all
 
 (* {2 File-system layout: packed vs aged/scattered} *)
 
@@ -114,51 +132,59 @@ type layout_row = {
   la_ios : int;
 }
 
-let layout ?(runs = 3) ?(apps = [ "cs2"; "ldk" ]) () =
+let layout ?jobs ?(runs = 3) ?(apps = [ "cs2"; "ldk" ]) () =
+  Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
       let app, disk = Registry.find name in
       List.map
         (fun scattered ->
-          let results =
-            Measure.repeat ~runs (fun ~seed ->
+          let deferred =
+            Measure.repeat_async pool ~runs (fun ~seed ->
                 Runner.run ~seed ~scattered_layout:scattered ~cache_blocks:819
                   ~alloc_policy:Config.Global_lru
                   [ Runner.Spec.make ~smart:false ~disk app ])
           in
-          {
-            la_app = name;
-            scattered;
-            la_elapsed = mean_fl results (fun r -> (List.hd r.Runner.apps).Runner.elapsed);
-            la_ios =
-              int_of_float
-                (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
-          })
+          fun () ->
+            let results = deferred () in
+            {
+              la_app = name;
+              scattered;
+              la_elapsed = mean_fl results (fun r -> (List.hd r.Runner.apps).Runner.elapsed);
+              la_ios =
+                int_of_float
+                  (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+            })
         [ false; true ])
     apps
+  |> force_all
 
 (* {2 Clustered write-back} *)
 
 type cluster_row = { cl_size : int; cl_elapsed : float; cl_ios : int }
 
-let write_clustering ?(runs = 3) ?(sizes = [ 1; 4; 8 ]) () =
+let write_clustering ?jobs ?(runs = 3) ?(sizes = [ 1; 4; 8 ]) () =
   let app, disk = Registry.find "sort" in
+  Pool.with_pool ?jobs @@ fun pool ->
   List.map
     (fun size ->
-      let results =
-        Measure.repeat ~runs (fun ~seed ->
+      let deferred =
+        Measure.repeat_async pool ~runs (fun ~seed ->
             Runner.run ~seed ~write_cluster:size ~cache_blocks:819
               ~alloc_policy:Config.Lru_sp
               [ Runner.Spec.make ~smart:true ~disk app ])
       in
-      {
-        cl_size = size;
-        cl_elapsed = mean_fl results (fun r -> (List.hd r.Runner.apps).Runner.elapsed);
-        cl_ios =
-          int_of_float
-            (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
-      })
+      fun () ->
+        let results = deferred () in
+        {
+          cl_size = size;
+          cl_elapsed = mean_fl results (fun r -> (List.hd r.Runner.apps).Runner.elapsed);
+          cl_ios =
+            int_of_float
+              (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+        })
     sizes
+  |> force_all
 
 (* {2 Global allocation order (Sec. 7: LRU vs CLOCK)} *)
 
@@ -169,27 +195,28 @@ type order_row = {
   or_ios : int;
 }
 
-let global_order ?(runs = 3) ?(apps = [ "din"; "cs1" ]) () =
+let global_order ?jobs ?(runs = 3) ?(apps = [ "din"; "cs1" ]) () =
+  Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
       let app, disk = Registry.find name in
-      List.concat_map
+      List.map
         (fun (policy, smart) ->
-          let results =
-            Measure.repeat ~runs (fun ~seed ->
+          let deferred =
+            Measure.repeat_async pool ~runs (fun ~seed ->
                 Runner.run ~seed ~cache_blocks:819 ~alloc_policy:policy
                   [ Runner.Spec.make ~smart ~disk app ])
           in
-          [
+          fun () ->
             {
               or_app = name;
               or_policy = policy;
               or_smart = smart;
               or_ios =
                 int_of_float
-                  (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
-            };
-          ])
+                  (mean_of (deferred ())
+                     (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+            })
         [
           (Config.Global_lru, false);
           (Config.Clock_sp, false);
@@ -197,6 +224,7 @@ let global_order ?(runs = 3) ?(apps = [ "din"; "cs1" ]) () =
           (Config.Clock_sp, true);
         ])
     apps
+  |> force_all
 
 (* {2 Revocation thresholds} *)
 
@@ -207,7 +235,7 @@ type revocation_row = {
   mistakes_caught : int;
 }
 
-let revocation ?(runs = 3) () =
+let revocation ?jobs ?(runs = 3) () =
   let thresholds =
     [
       None;
@@ -216,10 +244,11 @@ let revocation ?(runs = 3) () =
       Some { Config.min_decisions = 50; mistake_ratio = 0.3 };
     ]
   in
+  Pool.with_pool ?jobs @@ fun pool ->
   List.map
     (fun threshold ->
-      let results =
-        Measure.repeat ~runs (fun ~seed ->
+      let deferred =
+        Measure.repeat_async pool ~runs (fun ~seed ->
             Runner.run ~seed ?revocation:threshold ~cache_blocks:819
               ~alloc_policy:Config.Lru_sp
               [
@@ -229,21 +258,24 @@ let revocation ?(runs = 3) () =
                   (Readn.app ~n:300 ~mode:`Foolish ());
               ])
       in
-      {
-        threshold;
-        victim_ios =
-          int_of_float (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
-        fool_ios =
-          int_of_float
-            (mean_of results (fun r -> (List.nth r.Runner.apps 1).Runner.block_ios));
-        mistakes_caught =
-          int_of_float (mean_of results (fun r -> r.Runner.placeholders_used));
-      })
+      fun () ->
+        let results = deferred () in
+        {
+          threshold;
+          victim_ios =
+            int_of_float (mean_of results (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
+          fool_ios =
+            int_of_float
+              (mean_of results (fun r -> (List.nth r.Runner.apps 1).Runner.block_ios));
+          mistakes_caught =
+            int_of_float (mean_of results (fun r -> r.Runner.placeholders_used));
+        })
     thresholds
+  |> force_all
 
 (* {2 Printing} *)
 
-let print_all ?(runs = 3) ppf () =
+let print_all ?jobs ?(runs = 3) ppf () =
   Format.fprintf ppf "Ablation: one-block sequential read-ahead@\n";
   let t =
     Table.create
@@ -256,7 +288,7 @@ let print_all ?(runs = 3) ppf () =
       Table.add_row t
         [ r.ra_app; (if r.readahead then "on" else "off"); Measure.f1 r.ra_elapsed;
           string_of_int r.ra_ios ])
-    (readahead ~runs ());
+    (readahead ?jobs ~runs ());
   Format.fprintf ppf "%a@\n" Table.render t;
 
   Format.fprintf ppf "Ablation: disk scheduling under contention@\n";
@@ -271,7 +303,7 @@ let print_all ?(runs = 3) ppf () =
       Table.add_row t
         [ r.combo; (match r.sched with Disk.Fcfs -> "FCFS" | Disk.Scan -> "SCAN");
           Measure.f1 r.sc_makespan; string_of_int r.sc_ios ])
-    (disk_sched ~runs ());
+    (disk_sched ?jobs ~runs ());
   Format.fprintf ppf "%a@\n" Table.render t;
 
   Format.fprintf ppf
@@ -288,7 +320,7 @@ let print_all ?(runs = 3) ppf () =
       Table.add_row t
         [ Printf.sprintf "%g" r.interval; string_of_int r.up_ios;
           string_of_int r.up_writes ])
-    (update_interval ~runs ());
+    (update_interval ?jobs ~runs ());
   Format.fprintf ppf "%a@\n" Table.render t;
 
   Format.fprintf ppf
@@ -304,7 +336,7 @@ let print_all ?(runs = 3) ppf () =
     (fun r ->
       Table.add_row t
         [ string_of_int r.cl_size; Measure.f1 r.cl_elapsed; string_of_int r.cl_ios ])
-    (write_clustering ~runs ());
+    (write_clustering ?jobs ~runs ());
   Format.fprintf ppf "%a@\n" Table.render t;
 
   Format.fprintf ppf
@@ -321,7 +353,7 @@ let print_all ?(runs = 3) ppf () =
       Table.add_row t
         [ r.la_app; (if r.scattered then "scattered" else "packed");
           Measure.f1 r.la_elapsed; string_of_int r.la_ios ])
-    (layout ~runs ());
+    (layout ?jobs ~runs ());
   Format.fprintf ppf "%a@\n" Table.render t;
 
   Format.fprintf ppf
@@ -339,7 +371,7 @@ let print_all ?(runs = 3) ppf () =
         [ r.or_app; Config.alloc_policy_to_string r.or_policy;
           (if r.or_smart then "smart (MRU)" else "oblivious");
           string_of_int r.or_ios ])
-    (global_order ~runs ());
+    (global_order ?jobs ~runs ());
   Format.fprintf ppf "%a@\n" Table.render t;
 
   Format.fprintf ppf
@@ -361,5 +393,5 @@ let print_all ?(runs = 3) ppf () =
       Table.add_row t
         [ label; string_of_int r.victim_ios; string_of_int r.fool_ios;
           string_of_int r.mistakes_caught ])
-    (revocation ~runs ());
+    (revocation ?jobs ~runs ());
   Format.fprintf ppf "%a" Table.render t

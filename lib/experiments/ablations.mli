@@ -12,7 +12,7 @@ type readahead_row = {
   ra_ios : int;
 }
 
-val readahead : ?runs:int -> ?apps:string list -> unit -> readahead_row list
+val readahead : ?jobs:int -> ?runs:int -> ?apps:string list -> unit -> readahead_row list
 
 (** Disk scheduling: FCFS vs SCAN under a contended disk. *)
 type sched_row = {
@@ -22,14 +22,14 @@ type sched_row = {
   sc_ios : int;
 }
 
-val disk_sched : ?runs:int -> unit -> sched_row list
+val disk_sched : ?jobs:int -> ?runs:int -> unit -> sched_row list
 
 (** Update-daemon interval: how delayed write-back trades write traffic
     against data in flight (sort's deleted temporaries benefit from
     later flushes). *)
 type update_row = { interval : float; up_ios : int; up_writes : int }
 
-val update_interval : ?runs:int -> ?intervals:float list -> unit -> update_row list
+val update_interval : ?jobs:int -> ?runs:int -> ?intervals:float list -> unit -> update_row list
 
 (** File layout: packed (fresh file system) vs scattered (aged), for
     the multi-file scan workloads. *)
@@ -40,13 +40,13 @@ type layout_row = {
   la_ios : int;
 }
 
-val layout : ?runs:int -> ?apps:string list -> unit -> layout_row list
+val layout : ?jobs:int -> ?runs:int -> ?apps:string list -> unit -> layout_row list
 
 (** Clustered write-back: up to N contiguous dirty blocks per disk
     request (block-I/O counts unchanged; positioning amortised). *)
 type cluster_row = { cl_size : int; cl_elapsed : float; cl_ios : int }
 
-val write_clustering : ?runs:int -> ?sizes:int list -> unit -> cluster_row list
+val write_clustering : ?jobs:int -> ?runs:int -> ?sizes:int list -> unit -> cluster_row list
 
 (** Global allocation order: the paper's Sec. 7 claims the scheme works
     on a VM-style CLOCK list as well as on true LRU. *)
@@ -57,7 +57,7 @@ type order_row = {
   or_ios : int;
 }
 
-val global_order : ?runs:int -> ?apps:string list -> unit -> order_row list
+val global_order : ?jobs:int -> ?runs:int -> ?apps:string list -> unit -> order_row list
 
 (** Revocation thresholds: how quickly the kernel defuses a foolish
     manager, and what that does to the foolish process itself and its
@@ -69,6 +69,9 @@ type revocation_row = {
   mistakes_caught : int;
 }
 
-val revocation : ?runs:int -> unit -> revocation_row list
+val revocation : ?jobs:int -> ?runs:int -> unit -> revocation_row list
 
-val print_all : ?runs:int -> Format.formatter -> unit -> unit
+val print_all : ?jobs:int -> ?runs:int -> Format.formatter -> unit -> unit
+(** Runs every ablation above. In each of these functions [jobs]
+    parallelises the grid over domains with byte-identical rows
+    (default {!Acfc_par.Pool.default_jobs}). *)

@@ -1,6 +1,7 @@
 module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
 module Table = Acfc_stats.Table
+module Pool = Acfc_par.Pool
 
 type row = {
   combo : string;
@@ -9,33 +10,44 @@ type row = {
   alloc_lru : Measure.m;
 }
 
-let measure ~runs ~cache_blocks ~alloc_policy names =
-  let specs =
-    List.map
-      (fun name ->
-        let app, disk = Registry.find name in
-        Runner.Spec.make ~smart:true ~disk app)
-      names
-  in
+let measure pool ~runs ~cache_blocks ~alloc_policy names =
   let results =
-    Measure.repeat ~runs (fun ~seed -> Runner.run ~seed ~cache_blocks ~alloc_policy specs)
+    Measure.repeat_async pool ~runs (fun ~seed ->
+        let specs =
+          List.map
+            (fun name ->
+              let app, disk = Registry.find name in
+              Runner.Spec.make ~smart:true ~disk app)
+            names
+        in
+        Runner.run ~seed ~cache_blocks ~alloc_policy specs)
   in
-  Measure.total_summary results
+  fun () -> Measure.total_summary (results ())
 
-let run ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb) ?(combos = Registry.fig6_combos)
-    () =
+let run ?jobs ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb)
+    ?(combos = Registry.fig6_combos) () =
+  Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun names ->
       List.map
         (fun mb ->
           let cache_blocks = Runner.blocks_of_mb mb in
-          let lru_sp = measure ~runs ~cache_blocks ~alloc_policy:Config.Lru_sp names in
-          let alloc_lru =
-            measure ~runs ~cache_blocks ~alloc_policy:Config.Alloc_lru names
+          let lru_sp =
+            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Lru_sp names
           in
-          { combo = Registry.combo_name names; mb; lru_sp; alloc_lru })
+          let alloc_lru =
+            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Alloc_lru names
+          in
+          fun () ->
+            {
+              combo = Registry.combo_name names;
+              mb;
+              lru_sp = lru_sp ();
+              alloc_lru = alloc_lru ();
+            })
         sizes)
     combos
+  |> List.map (fun force -> force ())
 
 let print ppf rows =
   let table =

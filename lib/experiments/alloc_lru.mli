@@ -13,6 +13,13 @@ type row = {
 }
 
 val run :
-  ?runs:int -> ?sizes:float list -> ?combos:string list list -> unit -> row list
+  ?jobs:int ->
+  ?runs:int ->
+  ?sizes:float list ->
+  ?combos:string list list ->
+  unit ->
+  row list
+(** [jobs] parallelises the grid over domains with byte-identical
+    results (default {!Acfc_par.Pool.default_jobs}). *)
 
 val print : Format.formatter -> row list -> unit

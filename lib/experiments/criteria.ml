@@ -2,6 +2,7 @@ module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
+module Pool = Acfc_par.Pool
 open Acfc_workload
 
 type verdict = { criterion : string; detail : string; measured : string; pass : bool }
@@ -19,12 +20,13 @@ let mean_elapsed results index =
 (* Criterion 1: an oblivious Read300 on its own disk, with each partner
    oblivious vs smart. Its I/Os must be identical (compulsory only) and
    its elapsed time must not degrade materially. *)
-let criterion1 ?(runs = 3) () =
+let criterion1 ?jobs ?(runs = 3) () =
+  Pool.with_pool ?jobs @@ fun pool ->
   List.map
     (fun name ->
       let app, _ = Registry.find name in
       let measure ~partner_smart ~alloc_policy =
-        Measure.repeat ~runs (fun ~seed ->
+        Measure.repeat_async pool ~runs (fun ~seed ->
             Runner.run ~seed ~cache_blocks:819 ~alloc_policy
               [
                 Runner.Spec.make ~smart:false ~disk:1 (Readn.app ~n:300 ~mode:`Oblivious ());
@@ -33,24 +35,28 @@ let criterion1 ?(runs = 3) () =
       in
       let oblivious = measure ~partner_smart:false ~alloc_policy:Config.Global_lru in
       let smart = measure ~partner_smart:true ~alloc_policy:Config.Lru_sp in
-      let ios_o = mean_ios oblivious 0 and ios_s = mean_ios smart 0 in
-      let t_o = mean_elapsed oblivious 0 and t_s = mean_elapsed smart 0 in
-      {
-        criterion = "1: oblivious unharmed";
-        detail = "Read300 w. " ^ name;
-        measured =
-          Printf.sprintf "ios %.0f->%.0f, elapsed %.1fs->%.1fs" ios_o ios_s t_o t_s;
-        pass = ios_s <= 1.01 *. ios_o && t_s <= 1.05 *. t_o;
-      })
+      fun () ->
+        let oblivious = oblivious () and smart = smart () in
+        let ios_o = mean_ios oblivious 0 and ios_s = mean_ios smart 0 in
+        let t_o = mean_elapsed oblivious 0 and t_s = mean_elapsed smart 0 in
+        {
+          criterion = "1: oblivious unharmed";
+          detail = "Read300 w. " ^ name;
+          measured =
+            Printf.sprintf "ios %.0f->%.0f, elapsed %.1fs->%.1fs" ios_o ios_s t_o t_s;
+          pass = ios_s <= 1.01 *. ios_o && t_s <= 1.05 *. t_o;
+        })
     [ "din"; "cs2"; "gli"; "ldk" ]
+  |> List.map (fun force -> force ())
 
 (* Criterion 2: placeholders bound the I/O damage a foolish manager can
    do to an oblivious victim. *)
-let criterion2 ?(runs = 3) () =
+let criterion2 ?jobs ?(runs = 3) () =
+  Pool.with_pool ?jobs @@ fun pool ->
   List.map
     (fun n ->
       let measure ~bg_mode ~bg_smart ~alloc_policy =
-        Measure.repeat ~runs (fun ~seed ->
+        Measure.repeat_async pool ~runs (fun ~seed ->
             Runner.run ~seed ~cache_blocks:819 ~alloc_policy
               [
                 Runner.Spec.make ~smart:false ~disk:0 (Readn.app ~n ~mode:`Oblivious ());
@@ -61,17 +67,20 @@ let criterion2 ?(runs = 3) () =
         measure ~bg_mode:`Oblivious ~bg_smart:false ~alloc_policy:Config.Lru_sp
       in
       let attacked = measure ~bg_mode:`Foolish ~bg_smart:true ~alloc_policy:Config.Lru_sp in
-      let ios_b = mean_ios baseline 0 and ios_a = mean_ios attacked 0 in
-      {
-        criterion = "2: foolishness contained";
-        detail = Printf.sprintf "Read%d vs foolish Read300" n;
-        measured = Printf.sprintf "victim ios %.0f->%.0f" ios_b ios_a;
-        pass = ios_a <= 1.05 *. ios_b;
-      })
+      fun () ->
+        let ios_b = mean_ios (baseline ()) 0 and ios_a = mean_ios (attacked ()) 0 in
+        {
+          criterion = "2: foolishness contained";
+          detail = Printf.sprintf "Read%d vs foolish Read300" n;
+          measured = Printf.sprintf "victim ios %.0f->%.0f" ios_b ios_a;
+          pass = ios_a <= 1.05 *. ios_b;
+        })
     [ 390; 490 ]
+  |> List.map (fun force -> force ())
 
 (* Criterion 3: smart never worse than oblivious, per app and size. *)
-let criterion3 ?(runs = 3) ?(apps = List.map (fun (n, _, _) -> n) Registry.apps) () =
+let criterion3 ?jobs ?(runs = 3) ?(apps = List.map (fun (n, _, _) -> n) Registry.apps) () =
+  Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
       let app, disk = Registry.find name in
@@ -79,24 +88,26 @@ let criterion3 ?(runs = 3) ?(apps = List.map (fun (n, _, _) -> n) Registry.apps)
         (fun mb ->
           let cache_blocks = Runner.blocks_of_mb mb in
           let measure ~smart ~alloc_policy =
-            Measure.repeat ~runs (fun ~seed ->
+            Measure.repeat_async pool ~runs (fun ~seed ->
                 Runner.run ~seed ~cache_blocks ~alloc_policy
                   [ Runner.Spec.make ~smart ~disk app ])
           in
           let oblivious = measure ~smart:false ~alloc_policy:Config.Global_lru in
           let smart = measure ~smart:true ~alloc_policy:Config.Lru_sp in
-          let ios_o = mean_ios oblivious 0 and ios_s = mean_ios smart 0 in
-          {
-            criterion = "3: smart never worse";
-            detail = Printf.sprintf "%s @ %gMB" name mb;
-            measured = Printf.sprintf "ios %.0f->%.0f" ios_o ios_s;
-            pass = ios_s <= 1.03 *. ios_o;
-          })
+          fun () ->
+            let ios_o = mean_ios (oblivious ()) 0 and ios_s = mean_ios (smart ()) 0 in
+            {
+              criterion = "3: smart never worse";
+              detail = Printf.sprintf "%s @ %gMB" name mb;
+              measured = Printf.sprintf "ios %.0f->%.0f" ios_o ios_s;
+              pass = ios_s <= 1.03 *. ios_o;
+            })
         [ 6.4; 16.0 ])
     apps
+  |> List.map (fun force -> force ())
 
-let run_all ?(runs = 3) () =
-  criterion1 ~runs () @ criterion2 ~runs () @ criterion3 ~runs ()
+let run_all ?jobs ?(runs = 3) () =
+  criterion1 ?jobs ~runs () @ criterion2 ?jobs ~runs () @ criterion3 ?jobs ~runs ()
 
 let print ppf verdicts =
   let table =

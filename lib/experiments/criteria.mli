@@ -18,15 +18,18 @@
 
 type verdict = { criterion : string; detail : string; measured : string; pass : bool }
 
-val criterion1 : ?runs:int -> unit -> verdict list
-(** One verdict per partner application (din, cs2, gli, ldk). *)
+val criterion1 : ?jobs:int -> ?runs:int -> unit -> verdict list
+(** One verdict per partner application (din, cs2, gli, ldk). [jobs]
+    parallelises the underlying runs over domains with byte-identical
+    verdicts (default {!Acfc_par.Pool.default_jobs}); same for the
+    other criteria below. *)
 
-val criterion2 : ?runs:int -> unit -> verdict list
+val criterion2 : ?jobs:int -> ?runs:int -> unit -> verdict list
 (** One verdict per foreground ReadN size. *)
 
-val criterion3 : ?runs:int -> ?apps:string list -> unit -> verdict list
+val criterion3 : ?jobs:int -> ?runs:int -> ?apps:string list -> unit -> verdict list
 (** One verdict per (application, cache size). *)
 
-val run_all : ?runs:int -> unit -> verdict list
+val run_all : ?jobs:int -> ?runs:int -> unit -> verdict list
 
 val print : Format.formatter -> verdict list -> unit

@@ -2,14 +2,16 @@ module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
+module Pool = Acfc_par.Pool
 open Acfc_workload
 
 type row = { app : string; bg_foolish : bool; smart_app : Measure.m }
 
 let default_apps = [ "din"; "cs2"; "gli"; "ldk" ]
 
-let run ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) () =
+let run ?jobs ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) () =
   let cache_blocks = Runner.blocks_of_mb cache_mb in
+  Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
       let app, disk = Registry.find name in
@@ -19,17 +21,23 @@ let run ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) () =
             if bg_foolish then Readn.app ~n:300 ~mode:`Foolish ()
             else Readn.app ~n:300 ~mode:`Oblivious ()
           in
-          let results =
-            Measure.repeat ~runs (fun ~seed ->
+          let deferred =
+            Measure.repeat_async pool ~runs (fun ~seed ->
                 Runner.run ~seed ~cache_blocks ~alloc_policy:Config.Lru_sp
                   [
                     Runner.Spec.make ~smart:true ~disk app;
                     Runner.Spec.make ~smart:bg_foolish ~disk:0 bg;
                   ])
           in
-          { app = name; bg_foolish; smart_app = Measure.app_summary results ~index:0 })
+          fun () ->
+            {
+              app = name;
+              bg_foolish;
+              smart_app = Measure.app_summary (deferred ()) ~index:0;
+            })
         [ false; true ])
     apps
+  |> List.map (fun force -> force ())
 
 let print ppf rows =
   let apps = List.sort_uniq compare (List.map (fun r -> r.app) rows) in

@@ -12,6 +12,9 @@ type row = {
   smart_app : Measure.m;  (** the measured smart application *)
 }
 
-val run : ?runs:int -> ?cache_mb:float -> ?apps:string list -> unit -> row list
+val run :
+  ?jobs:int -> ?runs:int -> ?cache_mb:float -> ?apps:string list -> unit -> row list
+(** [jobs] parallelises the grid over domains with byte-identical
+    results (default {!Acfc_par.Pool.default_jobs}). *)
 
 val print : Format.formatter -> row list -> unit

@@ -1,11 +1,23 @@
 module Summary = Acfc_stats.Summary
 module Runner = Acfc_workload.Runner
+module Pool = Acfc_par.Pool
 
 type m = { elapsed : Summary.t; ios : Summary.t }
 
-let repeat ~runs f =
-  if runs <= 0 then invalid_arg "Measure.repeat: runs must be positive";
-  List.init runs (fun seed -> f ~seed)
+let check_runs runs =
+  if runs <= 0 then invalid_arg "Measure.repeat: runs must be positive"
+
+let repeat_async pool ~runs f =
+  check_runs runs;
+  let futures = List.init runs (fun seed -> Pool.async pool (fun () -> f ~seed)) in
+  fun () -> List.map (Pool.await pool) futures
+
+let repeat ?pool ~runs f =
+  match pool with
+  | None ->
+    check_runs runs;
+    List.init runs (fun seed -> f ~seed)
+  | Some pool -> repeat_async pool ~runs f ()
 
 let app_summary results ~index =
   let apps = List.map (fun r -> List.nth r.Runner.apps index) results in

@@ -3,8 +3,18 @@
 
 type m = { elapsed : Acfc_stats.Summary.t; ios : Acfc_stats.Summary.t }
 
-val repeat : runs:int -> (seed:int -> Acfc_workload.Runner.t) -> Acfc_workload.Runner.t list
-(** Run with seeds 0 .. runs−1. [runs] must be positive. *)
+val repeat : ?pool:Acfc_par.Pool.t -> runs:int -> (seed:int -> 'a) -> 'a list
+(** Run with seeds 0 .. runs−1. [runs] must be positive. Without a
+    pool (or on a [jobs = 1] pool) the runs execute sequentially in
+    seed order, the historical code path; on a parallel pool they run
+    concurrently and the results are still returned in seed order. *)
+
+val repeat_async :
+  Acfc_par.Pool.t -> runs:int -> (seed:int -> 'a) -> unit -> 'a list
+(** Two-phase {!repeat}: schedule the runs on the pool now, return a
+    thunk that awaits them in seed order. Scheduling a whole experiment
+    grid before forcing any cell is what lets independent
+    (combo, cache-size, seed) cells overlap across domains. *)
 
 val app_summary : Acfc_workload.Runner.t list -> index:int -> m
 (** Elapsed/IO summary of the [index]-th application across runs. *)

@@ -1,6 +1,7 @@
 module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
 module Table = Acfc_stats.Table
+module Pool = Acfc_par.Pool
 
 type row = {
   combo : string;
@@ -16,30 +17,42 @@ let specs_of ~smart names =
       Runner.Spec.make ~smart ~disk app)
     names
 
-let measure ~runs ~cache_blocks ~alloc_policy ~smart names =
+let measure pool ~runs ~cache_blocks ~alloc_policy ~smart names =
   let results =
-    Measure.repeat ~runs (fun ~seed ->
+    Measure.repeat_async pool ~runs (fun ~seed ->
         Runner.run ~seed ~cache_blocks ~alloc_policy (specs_of ~smart names))
   in
-  Measure.total_summary results
+  fun () -> Measure.total_summary (results ())
 
-let run ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb) ?(combos = Registry.fig5_combos)
-    () =
+let run ?jobs ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb)
+    ?(combos = Registry.fig5_combos) () =
+  Pool.with_pool ?jobs @@ fun pool ->
+  (* Two phases: schedule every (combo, size, kernel, seed) cell on the
+     pool, then force the rows in grid order. With jobs = 1 scheduling
+     executes in place, which is exactly the sequential path. *)
   List.concat_map
     (fun names ->
       List.map
         (fun mb ->
           let cache_blocks = Runner.blocks_of_mb mb in
           let original =
-            measure ~runs ~cache_blocks ~alloc_policy:Config.Global_lru ~smart:false
-              names
+            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Global_lru
+              ~smart:false names
           in
           let controlled =
-            measure ~runs ~cache_blocks ~alloc_policy:Config.Lru_sp ~smart:true names
+            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Lru_sp ~smart:true
+              names
           in
-          { combo = Registry.combo_name names; mb; original; controlled })
+          fun () ->
+            {
+              combo = Registry.combo_name names;
+              mb;
+              original = original ();
+              controlled = controlled ();
+            })
         sizes)
     combos
+  |> List.map (fun force -> force ())
 
 let print ppf rows =
   let table =

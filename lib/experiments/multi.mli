@@ -13,8 +13,15 @@ type row = {
 }
 
 val run :
-  ?runs:int -> ?sizes:float list -> ?combos:string list list -> unit -> row list
+  ?jobs:int ->
+  ?runs:int ->
+  ?sizes:float list ->
+  ?combos:string list list ->
+  unit ->
+  row list
 (** Defaults: 3 runs (as the paper), the four cache sizes, the paper's
-    nine combinations. *)
+    nine combinations. [jobs] (default {!Acfc_par.Pool.default_jobs})
+    runs independent (combo, size, kernel, seed) cells on that many
+    domains; any value produces byte-identical rows. *)
 
 val print : Format.formatter -> row list -> unit

@@ -2,6 +2,7 @@ module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
+module Pool = Acfc_par.Pool
 open Acfc_workload
 
 type setting = Oblivious | Unprotected | Protected
@@ -28,33 +29,37 @@ let alloc_policy = function
   | Oblivious | Protected -> Config.Lru_sp
   | Unprotected -> Config.Lru_s
 
-let run ?(runs = 3) ?(cache_mb = 6.4) ?(ns = [ 390; 400; 490; 500 ]) () =
+let run ?jobs ?(runs = 3) ?(cache_mb = 6.4) ?(ns = [ 390; 400; 490; 500 ]) () =
   let cache_blocks = Runner.blocks_of_mb cache_mb in
+  Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun setting ->
       let bg_app, bg_smart = background setting in
       List.map
         (fun n ->
           let fg = Readn.app ~n ~mode:`Oblivious () in
-          let results =
-            Measure.repeat ~runs (fun ~seed ->
+          let deferred =
+            Measure.repeat_async pool ~runs (fun ~seed ->
                 Runner.run ~seed ~cache_blocks ~alloc_policy:(alloc_policy setting)
                   [
                     Runner.Spec.make ~smart:false ~disk:0 fg;
                     Runner.Spec.make ~smart:bg_smart ~disk:0 bg_app;
                   ])
           in
-          let foreground = Measure.app_summary results ~index:0 in
-          let placeholders_used =
-            Summary.mean
-              (Summary.of_list
-                 (List.map
-                    (fun r -> float_of_int r.Runner.placeholders_used)
-                    results))
-          in
-          { setting; n; foreground; placeholders_used })
+          fun () ->
+            let results = deferred () in
+            let foreground = Measure.app_summary results ~index:0 in
+            let placeholders_used =
+              Summary.mean
+                (Summary.of_list
+                   (List.map
+                      (fun r -> float_of_int r.Runner.placeholders_used)
+                      results))
+            in
+            { setting; n; foreground; placeholders_used })
         ns)
     settings
+  |> List.map (fun force -> force ())
 
 let print ppf rows =
   let ns = List.sort_uniq compare (List.map (fun r -> r.n) rows) in

@@ -22,7 +22,9 @@ type row = {
   placeholders_used : float;  (** mean per run *)
 }
 
-val run : ?runs:int -> ?cache_mb:float -> ?ns:int list -> unit -> row list
+val run : ?jobs:int -> ?runs:int -> ?cache_mb:float -> ?ns:int list -> unit -> row list
+(** [jobs] parallelises the grid over domains with byte-identical
+    results (default {!Acfc_par.Pool.default_jobs}). *)
 
 val setting_name : setting -> string
 

@@ -1,8 +1,8 @@
-type options = { runs : int; sizes : float list }
+type options = { runs : int; sizes : float list; jobs : int option }
 
-let default = { runs = 3; sizes = Paper_data.cache_sizes_mb }
+let default = { runs = 3; sizes = Paper_data.cache_sizes_mb; jobs = None }
 
-let quick = { runs = 1; sizes = [ 6.4; 16.0 ] }
+let quick = { runs = 1; sizes = [ 6.4; 16.0 ]; jobs = None }
 
 let artifacts =
   [ "fig4"; "fig5"; "fig6"; "table1"; "table2"; "table3"; "table4"; "table5"; "table6" ]
@@ -10,7 +10,7 @@ let artifacts =
 let hr ppf = Format.fprintf ppf "@\n%s@\n@\n" (String.make 74 '=')
 
 let run_single_family opts ppf which =
-  let rows = Single.run ~runs:opts.runs ~sizes:opts.sizes () in
+  let rows = Single.run ?jobs:opts.jobs ~runs:opts.runs ~sizes:opts.sizes () in
   List.iter
     (fun w ->
       hr ppf;
@@ -26,22 +26,24 @@ let run_artifact opts ppf = function
   | "table6" -> run_single_family opts ppf [ `Table6 ]
   | "fig5" ->
     hr ppf;
-    Multi.print ppf (Multi.run ~runs:opts.runs ~sizes:opts.sizes ())
+    Multi.print ppf (Multi.run ?jobs:opts.jobs ~runs:opts.runs ~sizes:opts.sizes ())
   | "fig6" ->
     hr ppf;
-    Alloc_lru.print ppf (Alloc_lru.run ~runs:opts.runs ~sizes:opts.sizes ())
+    Alloc_lru.print ppf (Alloc_lru.run ?jobs:opts.jobs ~runs:opts.runs ~sizes:opts.sizes ())
   | "table1" ->
     hr ppf;
-    Placeholders.print ppf (Placeholders.run ~runs:opts.runs ())
+    Placeholders.print ppf (Placeholders.run ?jobs:opts.jobs ~runs:opts.runs ())
   | "table2" ->
     hr ppf;
-    Foolish.print ppf (Foolish.run ~runs:opts.runs ())
+    Foolish.print ppf (Foolish.run ?jobs:opts.jobs ~runs:opts.runs ())
   | "table3" ->
     hr ppf;
-    Smart_oblivious.print ppf (Smart_oblivious.run ~runs:opts.runs ~two_disks:false ())
+    Smart_oblivious.print ppf
+      (Smart_oblivious.run ?jobs:opts.jobs ~runs:opts.runs ~two_disks:false ())
   | "table4" ->
     hr ppf;
-    Smart_oblivious.print ppf (Smart_oblivious.run ~runs:opts.runs ~two_disks:true ())
+    Smart_oblivious.print ppf
+      (Smart_oblivious.run ?jobs:opts.jobs ~runs:opts.runs ~two_disks:true ())
   | name -> invalid_arg ("Report.run_artifact: unknown artifact " ^ name)
 
 let run_all opts ppf =

@@ -4,13 +4,18 @@
 type options = {
   runs : int;  (** cold-start runs averaged per data point *)
   sizes : float list;  (** cache sizes (MB) for the size sweeps *)
+  jobs : int option;
+      (** domains used to run grid cells concurrently; [None] defers to
+          {!Acfc_par.Pool.default_jobs} (the [ACFC_JOBS] environment
+          variable, else sequential). Results are byte-identical for
+          every value. *)
 }
 
 val default : options
-(** 3 runs, the paper's four cache sizes. *)
+(** 3 runs, the paper's four cache sizes, [jobs = None]. *)
 
 val quick : options
-(** 1 run, sizes 6.4 and 16 MB only — for smoke tests. *)
+(** 1 run, sizes 6.4 and 16 MB only — for smoke tests. [jobs = None]. *)
 
 val artifacts : string list
 (** ["fig4"; "fig5"; "fig6"; "table1"; "table2"; "table3"; "table4";

@@ -2,6 +2,7 @@ module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
+module Pool = Acfc_par.Pool
 
 type row = {
   app : string;
@@ -10,14 +11,14 @@ type row = {
   controlled : Measure.m;
 }
 
-let measure ~runs ~cache_blocks ~alloc_policy ~smart (app, disk) =
+let measure pool ~runs ~cache_blocks ~alloc_policy ~smart (app, disk) =
   let results =
-    Measure.repeat ~runs (fun ~seed ->
+    Measure.repeat_async pool ~runs (fun ~seed ->
         Runner.run ~seed ~cache_blocks ~alloc_policy [ Runner.Spec.make ~smart ~disk app ])
   in
-  Measure.app_summary results ~index:0
+  fun () -> Measure.app_summary (results ()) ~index:0
 
-let run ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb) ?apps () =
+let run ?jobs ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb) ?apps () =
   let selected =
     match apps with
     | None -> Registry.apps
@@ -28,22 +29,25 @@ let run ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb) ?apps () =
           (name, app, disk))
         names
   in
+  Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun (name, app, disk) ->
       List.map
         (fun mb ->
           let cache_blocks = Runner.blocks_of_mb mb in
           let original =
-            measure ~runs ~cache_blocks ~alloc_policy:Config.Global_lru ~smart:false
-              (app, disk)
+            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Global_lru
+              ~smart:false (app, disk)
           in
           let controlled =
-            measure ~runs ~cache_blocks ~alloc_policy:Config.Lru_sp ~smart:true
+            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Lru_sp ~smart:true
               (app, disk)
           in
-          { app = name; mb; original; controlled })
+          fun () ->
+            { app = name; mb; original = original (); controlled = controlled () })
         sizes)
     selected
+  |> List.map (fun force -> force ())
 
 let by_app rows =
   List.fold_left

@@ -13,9 +13,11 @@ type row = {
 }
 
 val run :
-  ?runs:int -> ?sizes:float list -> ?apps:string list -> unit -> row list
+  ?jobs:int -> ?runs:int -> ?sizes:float list -> ?apps:string list -> unit -> row list
 (** Defaults: 3 runs (the paper uses 5), the paper's four cache sizes,
-    all eight applications. *)
+    all eight applications. [jobs] (default
+    {!Acfc_par.Pool.default_jobs}) parallelises the grid over domains
+    with byte-identical results. *)
 
 val print_elapsed : Format.formatter -> row list -> unit
 (** Table 5 reproduction: measured elapsed seconds with ratios, paper

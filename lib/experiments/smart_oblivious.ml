@@ -2,6 +2,7 @@ module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
+module Pool = Acfc_par.Pool
 open Acfc_workload
 
 type row = {
@@ -13,9 +14,10 @@ type row = {
 
 let default_apps = [ "din"; "cs2"; "gli"; "ldk" ]
 
-let run ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) ~two_disks () =
+let run ?jobs ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) ~two_disks () =
   let cache_blocks = Runner.blocks_of_mb cache_mb in
   let read300_disk = if two_disks then 1 else 0 in
+  Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
       let app, _paper_disk = Registry.find name in
@@ -25,8 +27,8 @@ let run ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) ~two_disks () =
           let alloc_policy =
             if partner_smart then Config.Lru_sp else Config.Global_lru
           in
-          let results =
-            Measure.repeat ~runs (fun ~seed ->
+          let deferred =
+            Measure.repeat_async pool ~runs (fun ~seed ->
                 Runner.run ~seed ~cache_blocks ~alloc_policy
                   [
                     Runner.Spec.make ~smart:false ~disk:read300_disk bg;
@@ -35,14 +37,16 @@ let run ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) ~two_disks () =
                     Runner.Spec.make ~smart:partner_smart ~disk:0 app;
                   ])
           in
-          {
-            app = name;
-            partner_smart;
-            two_disks;
-            read300 = Measure.app_summary results ~index:0;
-          })
+          fun () ->
+            {
+              app = name;
+              partner_smart;
+              two_disks;
+              read300 = Measure.app_summary (deferred ()) ~index:0;
+            })
         [ false; true ])
     apps
+  |> List.map (fun force -> force ())
 
 let print ppf rows =
   List.iter

@@ -15,7 +15,15 @@ type row = {
 }
 
 val run :
-  ?runs:int -> ?cache_mb:float -> ?apps:string list -> two_disks:bool -> unit -> row list
+  ?jobs:int ->
+  ?runs:int ->
+  ?cache_mb:float ->
+  ?apps:string list ->
+  two_disks:bool ->
+  unit ->
+  row list
+(** [jobs] parallelises the grid over domains with byte-identical
+    results (default {!Acfc_par.Pool.default_jobs}). *)
 
 val print : Format.formatter -> row list -> unit
 (** Pass rows from one or both configurations; they are grouped. *)

@@ -1,0 +1,85 @@
+(** Fixed-size domain pool for parallel experiment execution.
+
+    The simulator is a single-domain machine: every run builds its own
+    engine, cache, disks and bus and shares nothing mutable, so
+    independent runs (distinct seeds, cache sizes, application combos)
+    can execute on separate OCaml 5 domains. This module provides the
+    one concurrency primitive the repository uses: a fixed-size pool of
+    worker domains fed by a work queue, with order-preserving [map] /
+    [run_list] wrappers and a two-phase [async]/[await] interface for
+    scheduling a whole experiment grid before collecting any result.
+
+    {2 Determinism contract}
+
+    Tasks must be self-contained: each task creates its own {!Acfc_sim.Rng.t}
+    from an explicit seed, its own engine, and (if it traces) its own
+    {!Acfc_obs.Sink.t}. Sinks and generators are single-domain values and
+    must never be shared between concurrently running tasks. Under that
+    discipline a pool only changes {e when} tasks run, never what they
+    compute, so results are byte-identical for any [jobs] value; results
+    are always delivered in scheduling order.
+
+    {2 Sequential fallback}
+
+    With [jobs = 1] no domain is spawned: [async] runs its task
+    immediately on the calling domain and [map f] is exactly [List.map f]
+    over the same closures in the same order — the pre-pool sequential
+    code path.
+
+    {2 Nesting}
+
+    Pools do not compose: calling any function of this module from
+    inside a pool task raises {!Nested} (under every [jobs] value,
+    including 1, so misuse cannot hide in sequential runs).
+    Parallelise at the outermost grid level instead. *)
+
+type t
+(** A pool of worker domains (or the sequential stand-in when
+    [jobs = 1]). Valid only inside the [with_pool] callback that
+    created it. *)
+
+exception Nested
+(** Raised when a pool operation is invoked from inside a pool task. *)
+
+val auto_jobs : unit -> int
+(** Job count used when the caller asks for automatic sizing
+    ([--jobs 0] / [ACFC_JOBS=0]): [Domain.recommended_domain_count],
+    capped at 8 so CI runners are not oversubscribed. At least 1. *)
+
+val default_jobs : unit -> int
+(** Job count used when none is given explicitly: the [ACFC_JOBS]
+    environment variable if it parses as a positive integer, {!auto_jobs}
+    if it is ["0"] or ["auto"], and 1 (sequential) otherwise. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool of [jobs] workers and
+    tears the pool down (joining every domain) when [f] returns or
+    raises. [jobs] defaults to {!default_jobs}; [0] (or a negative
+    value) means {!auto_jobs}. Requests above 32 are clamped — the
+    OCaml runtime degrades well before that many domains help. *)
+
+val jobs : t -> int
+(** Worker count of the pool (1 for the sequential stand-in). *)
+
+type 'a future
+(** The pending result of a task submitted with {!async}. *)
+
+val async : t -> (unit -> 'a) -> 'a future
+(** Submit a task. With [jobs = 1] the task runs right here, right now,
+    and any exception it raises propagates immediately — exactly the
+    sequential code path. Otherwise the task is queued for the worker
+    domains and exceptions are stored in the future. *)
+
+val await : t -> 'a future -> 'a
+(** Block until the task finishes; return its value or re-raise its
+    exception (with its original backtrace). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element on a temporary pool,
+    preserving input order. All tasks are run to completion (the pool
+    drains) even when some fail; the first failure in {e input} order is
+    then re-raised. [map ~jobs:1 f xs] is [List.map f xs]. *)
+
+val run_list : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run_list ~jobs tasks] runs independent thunks under {!map}'s
+    ordering and failure rules. *)

@@ -2,7 +2,18 @@
 
     Every stochastic component of the simulator draws from an explicit
     [Rng.t] so that simulation runs are reproducible bit-for-bit from a
-    seed, independently of the global [Random] state. *)
+    seed, independently of the global [Random] state.
+
+    {b Thread safety.} The module has no global state: every generator's
+    state lives in its own [t], so distinct values may be used from
+    distinct domains freely (this is what lets {!Acfc_par.Pool} run
+    whole simulations in parallel and still reproduce sequential
+    results bit-for-bit). A single [t] is {e not} synchronised —
+    concurrent draws from two domains race and break reproducibility.
+    Each parallel task must {!create} its own generator from an
+    explicit seed, or take one derived for it via {!split}/{!copy}
+    before the tasks are spawned; never share a live generator across
+    concurrently running tasks. *)
 
 type t
 

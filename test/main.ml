@@ -22,4 +22,5 @@ let () =
          Test_edge_cases.suites;
          Test_recorder.suites;
          Test_obs.suites;
+         Test_par.suites;
        ])
