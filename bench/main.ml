@@ -17,6 +17,14 @@
      main.exe                 everything (full reproduction + micro)
      main.exe fig4 table1     selected artifacts only
      main.exe micro           micro-benchmarks only
+     main.exe perf            hot-path microbench family (engine-events,
+                              disk-queue, policy-miss, cache-churn):
+                              ops/sec and minor-heap words per op, into
+                              the JSON "perf" section (see docs/PERF.md)
+     main.exe check           equivalence replay: recorded + synthetic
+                              reference traces through the naive and the
+                              indexed disk-queue pickers and replacement
+                              policies; exits non-zero on any divergence
      main.exe --quick         1 run and 2 cache sizes per artifact
      main.exe --runs N        cold-start runs per data point (default 3)
      main.exe --jobs N        run grid cells on N domains (default
@@ -27,6 +35,9 @@
      main.exe --json FILE     also write machine-readable results
                               (the acfc-bench/1 schema; CI uploads this
                               as the BENCH_results.json artifact)
+     main.exe --baseline FILE with perf: compare indexed-vs-naive
+                              speedups against the committed baseline
+                              and exit non-zero on a >30% regression
 *)
 
 module Config = Acfc_core.Config
@@ -218,11 +229,337 @@ let run_micro () =
   let micro_rows = run_bechamel ~quota_s:0.5 micro_tests in
   artifact_rows @ micro_rows
 
+(* {2 Perf microbench family}
+
+   Hand-rolled steady-state loops (not bechamel): each benchmark reports
+   throughput (ops/sec) and minor-heap allocation per op, the two
+   quantities the hot-path re-indexing work (Sched_queue, indexed
+   LRU-2/OPT/RAND) is meant to improve. The *-naive rows run the
+   reference implementations on the identical op sequence, so the
+   indexed/naive ratio is a machine-independent speedup — that ratio is
+   what the --baseline gate checks. See docs/PERF.md. *)
+
+module Sq = Acfc_disk.Sched_queue
+module Rt = Acfc_replacement.Trace
+module Policy_sim = Acfc_replacement.Policy_sim
+module Policies = Acfc_replacement.Policies
+module Reference = Acfc_replacement.Reference
+
+type perf_row = {
+  p_name : string;
+  ops_per_sec : float;
+  alloc_words_per_op : float;
+  p_ops : int;  (* total ops measured *)
+}
+
+(* Indexed benchmark vs its naive-reference twin: the ratio of their
+   ops/sec is the speedup the re-indexing buys, and what --baseline
+   gates on. *)
+let speedup_pairs =
+  [
+    ("disk-queue/fcfs", "disk-queue/fcfs-naive");
+    ("disk-queue/scan", "disk-queue/scan-naive");
+    ("policy-miss/lru2", "policy-miss/lru2-naive");
+    ("policy-miss/opt", "policy-miss/opt-naive");
+  ]
+
+(* Best wall time of three timed passes: scheduler and frequency
+   jitter only ever slow a pass down, so the minimum is the least
+   noisy estimate. Allocation is deterministic, so one pass's words
+   suffice. *)
+let measure_perf ~name ~warmup ~iters ~batch f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let ops = iters * batch in
+  let fops = float_of_int ops in
+  let best_wall = ref Float.infinity and words = ref 0.0 in
+  for pass = 1 to 3 do
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    if pass = 1 then words := Gc.minor_words () -. w0;
+    if wall < !best_wall then best_wall := wall
+  done;
+  {
+    p_name = name;
+    ops_per_sec = (if !best_wall > 0.0 then fops /. !best_wall else Float.infinity);
+    alloc_words_per_op = !words /. fops;
+    p_ops = ops;
+  }
+
+(* One op = one dispatch (pick) plus one arrival (add) at a steady
+   queue depth of 64, over a fixed pseudo-random address sequence. *)
+let disk_queue_depth = 64
+
+let disk_queue_addrs =
+  let rng = Acfc_sim.Rng.create 42 in
+  Array.init 4096 (fun _ -> Acfc_sim.Rng.int rng 100_000)
+
+let bench_disk_queue ~name ~add ~pick =
+  let n = Array.length disk_queue_addrs in
+  for i = 0 to disk_queue_depth - 1 do
+    add ~addr:disk_queue_addrs.(i) disk_queue_addrs.(i)
+  done;
+  let pos = ref disk_queue_depth in
+  (* The head follows the served request, as in the real drive. Both
+     implementations pick the same requests (see [check]), so they see
+     identical head sequences. *)
+  let head = ref 0 in
+  measure_perf ~name ~warmup:20_000 ~iters:200_000 ~batch:1 (fun () ->
+      (match pick ~head:!head with Some a -> head := a | None -> ());
+      let addr = disk_queue_addrs.(!pos land (n - 1)) in
+      add ~addr addr;
+      incr pos)
+
+let bench_disk_queues () =
+  List.concat_map
+    (fun (label, discipline) ->
+      let indexed =
+        let q = Sq.create discipline in
+        bench_disk_queue
+          ~name:(Printf.sprintf "disk-queue/%s" label)
+          ~add:(fun ~addr v -> Sq.add q ~addr v)
+          ~pick:(fun ~head -> Sq.pick q ~head)
+      in
+      let naive =
+        let q = Sq.Naive.create discipline in
+        bench_disk_queue
+          ~name:(Printf.sprintf "disk-queue/%s-naive" label)
+          ~add:(fun ~addr v -> Sq.Naive.add q ~addr v)
+          ~pick:(fun ~head -> Sq.Naive.pick q ~head)
+      in
+      [ indexed; naive ])
+    [ ("fcfs", Sq.Fcfs); ("scan", Sq.Scan) ]
+
+(* One op = one trace reference against a full cache of 4096 resident
+   blocks (every reference past the fill is a likely miss), comparing
+   the indexed policies against the linear-scan references. *)
+let policy_miss_trace =
+  let rng = Acfc_sim.Rng.create 9 in
+  let fill = Array.init 4096 (fun i -> Acfc_core.Block.make ~file:0 ~index:i) in
+  let tail = Rt.random ~rng ~file:0 ~blocks:8192 ~length:6_000 in
+  Array.append fill tail
+
+let bench_policy_miss () =
+  List.map
+    (fun (name, policy) ->
+      let batch = Array.length policy_miss_trace in
+      measure_perf ~name ~warmup:1 ~iters:1 ~batch (fun () ->
+          ignore (Policy_sim.run policy ~capacity:4096 policy_miss_trace)))
+    [
+      ("policy-miss/lru2", (module Policies.Lru_2 : Policy_sim.POLICY));
+      ("policy-miss/lru2-naive", (module Reference.Lru_2));
+      ("policy-miss/opt", (module Policies.Opt));
+      ("policy-miss/opt-naive", (module Reference.Opt));
+      ("policy-miss/rand", (module Policies.Rand));
+    ]
+
+(* One op = one simulator event (a timer fire through the engine's
+   event heap and effect handler). *)
+let bench_engine_events () =
+  let fibers = 32 and delays = 8 in
+  measure_perf ~name:"engine-events" ~warmup:20 ~iters:400 ~batch:(fibers * delays)
+    (fun () ->
+      let e = Acfc_sim.Engine.create () in
+      for _ = 1 to fibers do
+        Acfc_sim.Engine.spawn e (fun () ->
+            for _ = 1 to delays do
+              Acfc_sim.Engine.delay e 1.0
+            done)
+      done;
+      Acfc_sim.Engine.run e)
+
+(* One op = one miss-plus-eviction through the full BUF/ACM cache. *)
+let bench_cache_churn () =
+  let cache = Cache.create (Config.make ~capacity_blocks:1024 ()) in
+  for i = 0 to 1023 do
+    ignore (Cache.read cache ~pid:pid0 (Block.make ~file:0 ~index:i))
+  done;
+  let next = ref 1024 in
+  measure_perf ~name:"cache-churn" ~warmup:10_000 ~iters:300_000 ~batch:1 (fun () ->
+      ignore (Cache.read cache ~pid:pid0 (Block.make ~file:0 ~index:!next));
+      incr next)
+
+let run_perf () =
+  Format.printf "@.%s@." (String.make 74 '=');
+  Format.printf "Hot-path microbenchmarks: ops/sec and minor words per op@.";
+  let rows =
+    bench_engine_events () :: (bench_disk_queues () @ bench_policy_miss ())
+    @ [ bench_cache_churn () ]
+  in
+  List.iter
+    (fun r ->
+      Format.printf "  %-28s %12.0f ops/s   %8.1f w/op@." r.p_name r.ops_per_sec
+        r.alloc_words_per_op)
+    rows;
+  (* Print the indexed/naive speedups next to the raw rates. *)
+  let rate name =
+    List.find_map (fun r -> if r.p_name = name then Some r.ops_per_sec else None) rows
+  in
+  List.iter
+    (fun (fast, slow) ->
+      match (rate fast, rate slow) with
+      | Some f, Some s when s > 0.0 ->
+        Format.printf "  %-28s %12.2fx vs %s@." fast (f /. s) slow
+      | _ -> ())
+    speedup_pairs;
+  rows
+
+(* {2 Equivalence replay (check)}
+
+   Replays reference traces through the naive and indexed
+   implementations and fails on the first divergence. The disk-queue
+   replay drives randomized arrival/dispatch sequences; the policy
+   replay uses both synthetic traces and a trace recorded from a real
+   workload run (the cache's own reference stream). *)
+
+let check_disk_queues () =
+  let rng = Acfc_sim.Rng.create 2024 in
+  List.iter
+    (fun (label, discipline) ->
+      for round = 1 to 50 do
+        let indexed = Sq.create discipline in
+        let naive = Sq.Naive.create discipline in
+        let next = ref 0 in
+        for step = 1 to 400 do
+          if Acfc_sim.Rng.bool rng && !next > 0 then begin
+            let head = Acfc_sim.Rng.int rng 128 in
+            let a = Sq.pick indexed ~head and b = Sq.Naive.pick naive ~head in
+            if a <> b then
+              failwith
+                (Printf.sprintf
+                   "check: disk-queue %s diverged (round %d step %d head %d)" label
+                   round step head)
+          end
+          else begin
+            let addr = Acfc_sim.Rng.int rng 128 in
+            Sq.add indexed ~addr !next;
+            Sq.Naive.add naive ~addr !next;
+            incr next
+          end
+        done
+      done;
+      Format.printf "  check disk-queue/%s: 50 sequences, no divergence@." label)
+    [ ("fcfs", Sq.Fcfs); ("scan", Sq.Scan) ]
+
+(* A block-reference trace recorded from a live workload run: the same
+   stream the cache saw, replayed through old-vs-new policy code. *)
+let recorded_trace () =
+  let recorder = Acfc_replacement.Recorder.create () in
+  let sink = Acfc_obs.Sink.create ~backend:Acfc_obs.Sink.Null () in
+  ignore
+    (Acfc_workload.Runner.run ~seed:11 ~obs:sink
+       ~tracer:(Acfc_replacement.Recorder.tracer recorder)
+       ~cache_blocks:256 ~alloc_policy:Config.Lru_sp
+       [
+         Acfc_workload.Runner.Spec.make ~smart:false ~disk:0
+           (Acfc_workload.Readn.app ~n:400 ~mode:`Oblivious ());
+       ]);
+  Acfc_replacement.Recorder.to_trace recorder
+
+let check_policies () =
+  let rng = Acfc_sim.Rng.create 7 in
+  let traces =
+    [
+      ("recorded/readn-400", recorded_trace ());
+      ("synthetic/random", Rt.random ~rng ~file:0 ~blocks:512 ~length:4_000);
+      ("synthetic/zipf", Rt.zipf ~rng ~file:0 ~blocks:512 ~skew:1.0 ~length:4_000);
+      ("synthetic/cyclic", Rt.cyclic ~file:0 ~blocks:300 ~passes:10);
+    ]
+  in
+  let pairs =
+    [
+      ("lru2", (module Policies.Lru_2 : Policy_sim.POLICY),
+        (module Reference.Lru_2 : Policy_sim.POLICY));
+      ("opt", (module Policies.Opt), (module Reference.Opt));
+    ]
+  in
+  List.iter
+    (fun (tname, trace) ->
+      List.iter
+        (fun (pname, indexed, reference) ->
+          List.iter
+            (fun capacity ->
+              match Reference.lockstep indexed reference ~capacity trace with
+              | None -> ()
+              | Some (pos, va, vb) ->
+                failwith
+                  (Format.asprintf
+                     "check: policy %s diverged on %s cap=%d at pos %d (%a vs %a)"
+                     pname tname capacity pos Block.pp va Block.pp vb))
+            [ 64; 200 ])
+        pairs;
+      Format.printf "  check policies on %s (%d refs): lru2, opt identical@." tname
+        (Array.length trace))
+    traces
+
+let run_check () =
+  Format.printf "@.%s@." (String.make 74 '=');
+  Format.printf "Equivalence replay: naive reference vs indexed hot paths@.";
+  check_disk_queues ();
+  check_policies ();
+  Format.printf "  check: all implementations agree@."
+
+(* {2 Baseline regression gate (--baseline)}
+
+   The committed baseline stores the indexed/naive speedup measured at
+   commit time for each gated benchmark. Raw ops/sec vary wildly across
+   CI machines; the speedup ratio is stable, so the gate fails when the
+   measured ratio drops below 70% of the baseline (a >30% regression of
+   the indexing win). File format: one "name speedup" pair per line,
+   '#' comments. *)
+
+let read_baseline path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let rows = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | [ name; speedup ] -> rows := (name, float_of_string speedup) :: !rows
+         | _ -> failwith (Printf.sprintf "baseline: bad line %S" line)
+     done
+   with End_of_file -> ());
+  List.rev !rows
+
+let check_baseline ~path perf_rows =
+  let rate name =
+    List.find_map
+      (fun r -> if r.p_name = name then Some r.ops_per_sec else None)
+      perf_rows
+  in
+  let baseline = read_baseline path in
+  let failures = ref 0 in
+  List.iter
+    (fun (fast, slow) ->
+      match (rate fast, rate slow, List.assoc_opt fast baseline) with
+      | Some f, Some s, Some expected when s > 0.0 ->
+        let measured = f /. s in
+        let floor = 0.7 *. expected in
+        let verdict = if measured >= floor then "ok" else "REGRESSION" in
+        if measured < floor then incr failures;
+        Format.printf "  baseline %-24s %6.2fx (floor %.2fx of %.2fx committed) %s@."
+          fast measured floor expected verdict
+      | _, _, None -> ()
+      | _ -> Format.printf "  baseline %-24s missing measurement, skipped@." fast)
+    speedup_pairs;
+  if !failures > 0 then begin
+    Format.printf "[baseline check FAILED: %d benchmark(s) regressed >30%%]@." !failures;
+    exit 1
+  end
+  else Format.printf "[baseline check passed: %s]@." path
+
 (* {2 Machine-readable report (--json)} *)
 
 (* The acfc-bench/1 schema: a stable shape CI can diff across runs.
    NaN (no OLS estimate) becomes null, since JSON has no NaN. *)
-let write_json ~path ~quick ~runs ~jobs ~artifacts ~micro ~total_wall_s =
+let write_json ~path ~quick ~runs ~jobs ~artifacts ~micro ~perf ~total_wall_s =
   let module J = Acfc_obs.Json in
   let num v = if Float.is_finite v then J.Num v else J.Null in
   let doc =
@@ -249,6 +586,18 @@ let write_json ~path ~quick ~runs ~jobs ~artifacts ~micro ~total_wall_s =
                      ("r2", num r2);
                    ])
                micro) );
+        ( "perf",
+          J.List
+            (List.map
+               (fun r ->
+                 J.Obj
+                   [
+                     ("name", J.Str r.p_name);
+                     ("ops_per_sec", num r.ops_per_sec);
+                     ("alloc_words_per_op", num r.alloc_words_per_op);
+                     ("ops", J.Num (float_of_int r.p_ops));
+                   ])
+               perf) );
         ("total_wall_s", num total_wall_s);
       ]
   in
@@ -291,6 +640,7 @@ let () =
   let runs = ref 3 in
   let jobs = ref None in
   let json_out = ref None in
+  let baseline = ref None in
   let selected = ref [] in
   let spec =
     [
@@ -302,11 +652,14 @@ let () =
       ( "--json",
         Arg.String (fun f -> json_out := Some f),
         "FILE write machine-readable results (acfc-bench/1 schema)" );
+      ( "--baseline",
+        Arg.String (fun f -> baseline := Some f),
+        "FILE with perf: fail on a >30% speedup regression vs this baseline" );
     ]
   in
   let usage =
-    "main.exe [--quick] [--runs N] [--jobs N] [--json FILE] \
-     [all|micro|ablations|criteria|fig5-par|fig4|fig5|fig6|table1..table6]*"
+    "main.exe [--quick] [--runs N] [--jobs N] [--json FILE] [--baseline FILE] \
+     [all|micro|perf|check|ablations|criteria|fig5-par|fig4|fig5|fig6|table1..table6]*"
   in
   Arg.parse spec (fun a -> selected := a :: !selected) usage;
   let selected = if !selected = [] then [ "all"; "micro" ] else List.rev !selected in
@@ -317,12 +670,15 @@ let () =
   let eff_jobs = match !jobs with Some n -> n | None -> Pool.default_jobs () in
   let t0 = Unix.gettimeofday () in
   let micro_rows = ref [] in
+  let perf_rows = ref [] in
   let artifact_walls = ref [] in
   List.iter
     (fun artifact ->
       let t = Unix.gettimeofday () in
       (match artifact with
       | "micro" -> micro_rows := !micro_rows @ run_micro ()
+      | "perf" -> perf_rows := !perf_rows @ run_perf ()
+      | "check" -> run_check ()
       | "ablations" ->
         Format.printf "@.%s@.@." (String.make 74 '=');
         Ablations.print_all ?jobs:opts.Report.jobs ~runs:opts.Report.runs
@@ -352,8 +708,18 @@ let () =
     selected;
   let total_wall_s = Unix.gettimeofday () -. t0 in
   Format.printf "@.[bench completed in %.1fs]@." total_wall_s;
-  match !json_out with
+  (match !json_out with
   | None -> ()
   | Some path ->
     write_json ~path ~quick:!quick ~runs:opts.Report.runs ~jobs:eff_jobs
-      ~artifacts:(List.rev !artifact_walls) ~micro:!micro_rows ~total_wall_s
+      ~artifacts:(List.rev !artifact_walls) ~micro:!micro_rows ~perf:!perf_rows
+      ~total_wall_s);
+  (* The gate runs last so the JSON artifact is written even on failure. *)
+  match !baseline with
+  | None -> ()
+  | Some path ->
+    if !perf_rows = [] then begin
+      Format.printf "[--baseline requires the perf family to have run]@.";
+      exit 2
+    end;
+    check_baseline ~path !perf_rows

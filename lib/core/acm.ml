@@ -6,6 +6,7 @@ type manager = {
   pid : Pid.t;
   levels : (int, level) Hashtbl.t;
   mutable sorted_levels : level list;  (* ascending priority *)
+  mutable n_levels : int;  (* cached |levels| = |sorted_levels|, kept on insert *)
   file_prio : (Block.file, int) Hashtbl.t;  (* only non-zero priorities stored *)
   blocks : (Block.t, Entry.t) Hashtbl.t;  (* every entry this manager holds *)
   mutable chooser : chooser option;  (* upcall replacement handler *)
@@ -48,8 +49,7 @@ let ensure_level t mgr prio =
   match Hashtbl.find_opt mgr.levels prio with
   | Some lvl -> Ok lvl
   | None ->
-    if Hashtbl.length mgr.levels >= t.config.Config.max_levels then
-      Error Error.Too_many_levels
+    if mgr.n_levels >= t.config.Config.max_levels then Error Error.Too_many_levels
     else begin
       let lvl = { prio; policy = Policy.default; list = Dll.create () } in
       Hashtbl.replace mgr.levels prio lvl;
@@ -58,6 +58,8 @@ let ensure_level t mgr prio =
         | l :: rest as all -> if l.prio > prio then lvl :: all else l :: insert rest
       in
       mgr.sorted_levels <- insert mgr.sorted_levels;
+      (* Levels are never removed; a removal path must decrement this. *)
+      mgr.n_levels <- mgr.n_levels + 1;
       Ok lvl
     end
 
@@ -105,6 +107,7 @@ let register t pid =
         pid;
         levels = Hashtbl.create 8;
         sorted_levels = [];
+        n_levels = 0;
         file_prio = Hashtbl.create 8;
         blocks = Hashtbl.create 256;
         chooser = None;
@@ -411,10 +414,13 @@ let check_invariants t =
   Hashtbl.iter
     (fun pid mgr ->
       if not (Pid.equal pid mgr.pid) then failwith "Acm: manager key/pid mismatch";
-      (* sorted_levels mirrors the level table, ascending. *)
-      let n_sorted = List.length mgr.sorted_levels in
-      if n_sorted <> Hashtbl.length mgr.levels then
-        failwith "Acm: sorted_levels out of sync";
+      (* sorted_levels and the cached count mirror the level table. *)
+      if mgr.n_levels <> Hashtbl.length mgr.levels then
+        failwith "Acm: cached level count out of sync";
+      let n_sorted =
+        List.fold_left (fun n _ -> n + 1) 0 mgr.sorted_levels
+      in
+      if n_sorted <> mgr.n_levels then failwith "Acm: sorted_levels out of sync";
       let rec ascending = function
         | a :: (b :: _ as rest) ->
           if a.prio >= b.prio then failwith "Acm: sorted_levels not ascending";

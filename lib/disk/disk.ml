@@ -5,12 +5,7 @@ type kind = Read | Write
 
 type sched = Fcfs | Scan
 
-type waiter = {
-  w_addr : int;
-  w_seq : int;  (* arrival order, for FCFS and tie-breaks *)
-  enqueued_at : float;
-  resume : unit -> unit;
-}
+type waiter = { enqueued_at : float; resume : unit -> unit }
 
 type obs_state = {
   sink : Obs.Sink.t;
@@ -26,9 +21,7 @@ type t = {
   sched : sched;
   mutable obs : obs_state option;
   mutable busy : bool;
-  mutable queue : waiter list;  (* unsorted; short in practice *)
-  mutable next_seq : int;
-  mutable sweep_up : bool;  (* SCAN direction *)
+  queue : waiter Sched_queue.t;  (* indexed by discipline; see Sched_queue *)
   mutable head : int;  (* block address after the last transfer *)
   mutable reads : int;
   mutable writes : int;
@@ -47,9 +40,9 @@ let create engine ?bus ?rng ?(sched = Fcfs) params =
     sched;
     obs = None;
     busy = false;
-    queue = [];
-    next_seq = 0;
-    sweep_up = true;
+    queue =
+      Sched_queue.create
+        (match sched with Fcfs -> Sched_queue.Fcfs | Scan -> Sched_queue.Scan);
     head = 0;
     reads = 0;
     writes = 0;
@@ -63,7 +56,7 @@ let params t = t.params
 
 let sched t = t.sched
 
-let queue_length t = List.length t.queue
+let queue_length t = Sched_queue.length t.queue
 
 let set_obs t obs =
   match obs with
@@ -105,46 +98,10 @@ let service_time t ~addr =
   +. (if sequential then t.params.Params.seq_rot_factor *. avg_rot else avg_rot)
   +. Params.transfer_time_s t.params
 
-(* Choose which waiter the freed drive serves next. *)
-let pick_next t =
-  match t.queue with
-  | [] -> None
-  | queue ->
-    let best =
-      match t.sched with
-      | Fcfs ->
-        List.fold_left
-          (fun best w ->
-            match best with Some b when b.w_seq < w.w_seq -> best | _ -> Some w)
-          None queue
-      | Scan ->
-        (* Nearest request in the sweep direction; if the direction is
-           empty, reverse the sweep. *)
-        let ahead =
-          List.filter
-            (fun w -> if t.sweep_up then w.w_addr >= t.head else w.w_addr <= t.head)
-            queue
-        in
-        let candidates =
-          match ahead with
-          | [] ->
-            t.sweep_up <- not t.sweep_up;
-            queue
-          | _ -> ahead
-        in
-        List.fold_left
-          (fun best w ->
-            match best with
-            | None -> Some w
-            | Some b ->
-              let bd = abs (b.w_addr - t.head) and wd = abs (w.w_addr - t.head) in
-              if wd < bd || (wd = bd && w.w_seq < b.w_seq) then Some w else best)
-          None candidates
-    in
-    (match best with
-    | Some w -> t.queue <- List.filter (fun x -> x != w) t.queue
-    | None -> ());
-    best
+(* Choose which waiter the freed drive serves next: an O(1)/O(log n)
+   lookup in the indexed queue (arrival order for FCFS, elevator order
+   from the current head position for SCAN). *)
+let pick_next t = Sched_queue.pick t.queue ~head:t.head
 
 let serve t kind ~addr ~blocks ~waited =
   let started = Engine.now t.engine in
@@ -195,10 +152,8 @@ let io ?(blocks = 1) t kind ~addr =
   let waited =
     if t.busy then begin
       let enqueued_at = Engine.now t.engine in
-      let seq = t.next_seq in
-      t.next_seq <- seq + 1;
       Engine.suspend t.engine (fun resume ->
-          t.queue <- { w_addr = addr; w_seq = seq; enqueued_at; resume } :: t.queue);
+          Sched_queue.add t.queue ~addr { enqueued_at; resume });
       (* Woken holding the drive: [busy] stayed true across the handoff. *)
       let waited = Engine.now t.engine -. enqueued_at in
       t.total_wait <- t.total_wait +. waited;

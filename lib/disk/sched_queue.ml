@@ -1,0 +1,293 @@
+(* Indexed pending-request queue for the disk.
+
+   The drive's dispatch decision used to fold and re-filter an unsorted
+   waiter list on every request completion — O(n) per event, O(n²) per
+   busy period. This module replaces it with structures whose per-event
+   cost is constant or logarithmic while reproducing the old picker's
+   choices exactly:
+
+   - FCFS: a plain FIFO. Sequence numbers are assigned in [add] order,
+     so popping the front is exactly "minimum sequence number".
+   - SCAN: the classic two-heap elevator. The [up] heap orders waiters
+     by (addr, seq) ascending — "nearest request at or above the head,
+     oldest first on address ties" is its top; the [down] heap orders by
+     addr descending then seq ascending — nearest request at or below
+     the head. Waiters are partitioned between the heaps against the
+     head position, and because the head only moves monotonically within
+     a sweep, each waiter migrates between heaps at most once per sweep
+     reversal (amortised O(log n) per event; still correct, merely
+     slower, if the head ever jumped arbitrarily). When the sweep
+     direction has no candidates the sweep reverses, and the other
+     heap's top is exactly the old picker's choice: every remaining
+     address is strictly on that side, so minimum distance is the
+     nearest address there, ties to the oldest arrival.
+
+   The elevator heaps are hand-specialised on parallel int arrays
+   rather than built on {!Acfc_sim.Heap}: the dispatch loop then does
+   no allocation at all (the generic heap would box each (addr, seq,
+   payload) element and make an indirect [leq] call per sift step).
+
+   [Naive] is a straight port of the original list-based picker, kept as
+   the reference implementation for the equivalence tests and the bench
+   [check] replay. *)
+
+type discipline = Fcfs | Scan
+
+(* A binary heap over (addr, seq, payload) triples kept in parallel
+   arrays. [asc = true] orders by (addr, seq) ascending; [asc = false]
+   by addr descending then seq ascending. Seqs are unique, so the order
+   is total either way. *)
+module Eheap = struct
+  type 'a t = {
+    asc : bool;
+    mutable addrs : int array;
+    mutable seqs : int array;
+    mutable payloads : 'a array;
+    mutable size : int;
+  }
+
+  let create asc = { asc; addrs = [||]; seqs = [||]; payloads = [||]; size = 0 }
+
+  let length t = t.size
+
+  (* Does slot [i] sort strictly before slot [j]? *)
+  let before t i j =
+    let ai = t.addrs.(i) and aj = t.addrs.(j) in
+    if ai = aj then t.seqs.(i) < t.seqs.(j)
+    else if t.asc then ai < aj
+    else ai > aj
+
+  let swap t i j =
+    let a = t.addrs.(i) in
+    t.addrs.(i) <- t.addrs.(j);
+    t.addrs.(j) <- a;
+    let s = t.seqs.(i) in
+    t.seqs.(i) <- t.seqs.(j);
+    t.seqs.(j) <- s;
+    let p = t.payloads.(i) in
+    t.payloads.(i) <- t.payloads.(j);
+    t.payloads.(j) <- p
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before t i parent then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let first = ref i in
+    if l < t.size && before t l !first then first := l;
+    if r < t.size && before t r !first then first := r;
+    if !first <> i then begin
+      swap t i !first;
+      sift_down t !first
+    end
+
+  let grow t payload =
+    let cap = Array.length t.addrs in
+    if t.size = cap then begin
+      let ncap = if cap = 0 then 16 else cap * 2 in
+      let naddrs = Array.make ncap 0 and nseqs = Array.make ncap 0 in
+      let npayloads = Array.make ncap payload in
+      Array.blit t.addrs 0 naddrs 0 t.size;
+      Array.blit t.seqs 0 nseqs 0 t.size;
+      Array.blit t.payloads 0 npayloads 0 t.size;
+      t.addrs <- naddrs;
+      t.seqs <- nseqs;
+      t.payloads <- npayloads
+    end
+
+  let push t ~addr ~seq payload =
+    grow t payload;
+    let i = t.size in
+    t.addrs.(i) <- addr;
+    t.seqs.(i) <- seq;
+    t.payloads.(i) <- payload;
+    t.size <- i + 1;
+    sift_up t i
+
+  (* Precondition: non-empty (callers check [length]). *)
+  let top_addr t = t.addrs.(0)
+
+  let pop t =
+    let addr = t.addrs.(0) and seq = t.seqs.(0) and payload = t.payloads.(0) in
+    let last = t.size - 1 in
+    t.size <- last;
+    t.addrs.(0) <- t.addrs.(last);
+    t.seqs.(0) <- t.seqs.(last);
+    t.payloads.(0) <- t.payloads.(last);
+    (* Drop the stale slot so the GC can reclaim the payload. *)
+    t.payloads.(last) <- t.payloads.(0);
+    if last > 0 then sift_down t 0;
+    (addr, seq, payload)
+
+  let move ~from ~into =
+    let addr, seq, payload = pop from in
+    push into ~addr ~seq payload
+end
+
+type 'a scan_state = {
+  up : 'a Eheap.t;  (* candidates at or above the head *)
+  down : 'a Eheap.t;  (* candidates at or below the head *)
+  mutable last_head : int;  (* partition point for new arrivals *)
+}
+
+type 'a impl =
+  | Fifo of 'a Queue.t
+  | Elevator of 'a scan_state
+
+type 'a t = {
+  discipline : discipline;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable sweep_up : bool;
+  impl : 'a impl;
+}
+
+let create discipline =
+  let impl =
+    match discipline with
+    | Fcfs -> Fifo (Queue.create ())
+    | Scan ->
+      Elevator { up = Eheap.create true; down = Eheap.create false; last_head = 0 }
+  in
+  { discipline; len = 0; next_seq = 0; sweep_up = true; impl }
+
+let discipline t = t.discipline
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let sweep_up t = t.sweep_up
+
+let add t ~addr payload =
+  (match t.impl with
+  | Fifo q -> Queue.push payload q
+  | Elevator s ->
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    (* Best-effort placement against the last known head; [pick]
+       migrates anything the head has since passed. *)
+    let goes_up = if t.sweep_up then addr >= s.last_head else addr > s.last_head in
+    Eheap.push (if goes_up then s.up else s.down) ~addr ~seq payload);
+  t.len <- t.len + 1
+
+(* Repartition both heaps against the current head. Ordered tops make
+   each direction a prefix drain: once the top is on the correct side,
+   so is the rest of that heap. While sweeping up, "at or above head"
+   belongs to [up] and strictly below to [down]; sweeping down, "at or
+   below" belongs to [down] and strictly above to [up]. *)
+let repartition_up_sweep s head =
+  while Eheap.length s.down > 0 && Eheap.top_addr s.down >= head do
+    Eheap.move ~from:s.down ~into:s.up
+  done;
+  while Eheap.length s.up > 0 && Eheap.top_addr s.up < head do
+    Eheap.move ~from:s.up ~into:s.down
+  done
+
+let repartition_down_sweep s head =
+  while Eheap.length s.up > 0 && Eheap.top_addr s.up <= head do
+    Eheap.move ~from:s.up ~into:s.down
+  done;
+  while Eheap.length s.down > 0 && Eheap.top_addr s.down > head do
+    Eheap.move ~from:s.down ~into:s.up
+  done
+
+let third (_, _, p) = p
+
+let pick t ~head =
+  if t.len = 0 then None
+  else begin
+    t.len <- t.len - 1;
+    match t.impl with
+    | Fifo q -> Some (Queue.pop q)
+    | Elevator s ->
+      s.last_head <- head;
+      if t.sweep_up then begin
+        repartition_up_sweep s head;
+        if Eheap.length s.up > 0 then Some (third (Eheap.pop s.up))
+        else begin
+          (* Nothing ahead: reverse the sweep. Every waiter is below
+             [head], so the nearest is the down heap's top. *)
+          t.sweep_up <- false;
+          Some (third (Eheap.pop s.down))
+        end
+      end
+      else begin
+        repartition_down_sweep s head;
+        if Eheap.length s.down > 0 then Some (third (Eheap.pop s.down))
+        else begin
+          t.sweep_up <- true;
+          Some (third (Eheap.pop s.up))
+        end
+      end
+  end
+
+(* The original unsorted-list implementation (one fold per pick for
+   FCFS; a filter plus a fold for SCAN), verbatim semantics. O(n) per
+   pick — reference only. *)
+module Naive = struct
+  type 'a waiter = { w_addr : int; w_seq : int; payload : 'a }
+
+  type 'a t = {
+    discipline : discipline;
+    mutable queue : 'a waiter list;
+    mutable next_seq : int;
+    mutable sweep_up : bool;
+  }
+
+  let create discipline = { discipline; queue = []; next_seq = 0; sweep_up = true }
+
+  let length t = List.length t.queue
+
+  let sweep_up t = t.sweep_up
+
+  let add t ~addr payload =
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    t.queue <- { w_addr = addr; w_seq = seq; payload } :: t.queue
+
+  let pick t ~head =
+    match t.queue with
+    | [] -> None
+    | queue ->
+      let best =
+        match t.discipline with
+        | Fcfs ->
+          List.fold_left
+            (fun best w ->
+              match best with Some b when b.w_seq < w.w_seq -> best | _ -> Some w)
+            None queue
+        | Scan ->
+          let ahead =
+            List.filter
+              (fun w -> if t.sweep_up then w.w_addr >= head else w.w_addr <= head)
+              queue
+          in
+          let candidates =
+            match ahead with
+            | [] ->
+              t.sweep_up <- not t.sweep_up;
+              queue
+            | _ -> ahead
+          in
+          List.fold_left
+            (fun best w ->
+              match best with
+              | None -> Some w
+              | Some b ->
+                let bd = abs (b.w_addr - head) and wd = abs (w.w_addr - head) in
+                if wd < bd || (wd = bd && w.w_seq < b.w_seq) then Some w else best)
+            None candidates
+      in
+      (match best with
+      | Some w ->
+        t.queue <- List.filter (fun x -> x != w) t.queue;
+        Some w.payload
+      | None -> None)
+end

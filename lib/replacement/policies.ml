@@ -82,70 +82,132 @@ module Clock = struct
   let evicted t block = Hashtbl.remove t.referenced block
 end
 
+(* Victim orderings for the indexed LRU-2 and OPT below. Both keys are
+   total orders: last-reference positions are unique across resident
+   blocks (each trace position references exactly one block), and the
+   OPT key carries the block identity for the never-used-again tier. *)
+module Pair_map = Map.Make (struct
+  type t = int * int
+
+  let compare (a1, b1) (a2, b2) =
+    match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+end)
+
 module Lru_2 = struct
-  (* history: positions of the last two references, most recent first. *)
-  type t = { history : (Block.t, int * int) Hashtbl.t }
+  (* history: positions of the last two references, most recent first;
+     victims: the same entries keyed by (penultimate, last) so the
+     eviction choice — oldest penultimate reference, ties broken by the
+     older last reference — is the map's minimum binding instead of a
+     full-table scan per miss. *)
+  type t = {
+    history : (Block.t, int * int) Hashtbl.t;
+    mutable victims : Block.t Pair_map.t;
+  }
 
   let name = "LRU-2"
 
   let never = -1
 
-  let init ~capacity:_ _trace = { history = Hashtbl.create 1024 }
+  let init ~capacity:_ _trace =
+    { history = Hashtbl.create 1024; victims = Pair_map.empty }
 
   let record t ~pos block =
-    let last, _ = Option.value (Hashtbl.find_opt t.history block) ~default:(never, never) in
-    Hashtbl.replace t.history block (pos, last)
+    let last, penultimate =
+      Option.value (Hashtbl.find_opt t.history block) ~default:(never, never)
+    in
+    if last <> never then t.victims <- Pair_map.remove (penultimate, last) t.victims;
+    Hashtbl.replace t.history block (pos, last);
+    t.victims <- Pair_map.add (last, pos) block t.victims
 
   let hit t ~pos block = record t ~pos block
 
   let choose_victim t ~pos:_ ~missing:_ =
-    (* Evict the block with the oldest penultimate reference; ties and
-       blocks referenced only once (penultimate = never) go first, broken
-       by the older last reference for determinism. *)
-    let best = ref None in
-    Hashtbl.iter
-      (fun block (last, penultimate) ->
-        let better =
-          match !best with
-          | None -> true
-          | Some (_, (blast, bpenultimate)) ->
-            penultimate < bpenultimate
-            || (penultimate = bpenultimate && last < blast)
-        in
-        if better then best := Some (block, (last, penultimate)))
-      t.history;
-    match !best with Some (block, _) -> block | None -> failwith "LRU-2: empty"
+    match Pair_map.min_binding_opt t.victims with
+    | Some (_, block) -> block
+    | None -> failwith "LRU-2: empty"
 
   let inserted t ~pos block = record t ~pos block
 
-  let evicted t block = Hashtbl.remove t.history block
+  let evicted t block =
+    match Hashtbl.find_opt t.history block with
+    | Some (last, penultimate) ->
+      t.victims <- Pair_map.remove (penultimate, last) t.victims;
+      Hashtbl.remove t.history block
+    | None -> ()
 end
 
 module Rand = struct
-  type t = { rng : Acfc_sim.Rng.t; mutable resident : Block.t list }
+  (* Swap-with-last dynamic array: uniform choice and eviction are both
+     O(1), instead of materialising the resident list into a fresh array
+     on every miss and filtering it on every eviction. The RNG draw
+     sequence is unchanged, but the array order differs from the old
+     insertion-ordered list, so individual victims (not the uniform
+     distribution) differ from the pre-indexed implementation. *)
+  type t = {
+    rng : Acfc_sim.Rng.t;
+    mutable arr : Block.t array;
+    mutable n : int;
+    index : (Block.t, int) Hashtbl.t;  (* block -> slot in [arr] *)
+  }
 
   let name = "RAND"
 
-  let init ~capacity _trace = { rng = Acfc_sim.Rng.create (capacity + 7); resident = [] }
+  let init ~capacity _trace =
+    {
+      rng = Acfc_sim.Rng.create (capacity + 7);
+      arr = [||];
+      n = 0;
+      index = Hashtbl.create 1024;
+    }
 
   let hit _ ~pos:_ _ = ()
 
   let choose_victim t ~pos:_ ~missing:_ =
-    let arr = Array.of_list t.resident in
-    Acfc_sim.Rng.pick t.rng arr
+    if t.n = 0 then failwith "RAND: empty";
+    t.arr.(Acfc_sim.Rng.int t.rng t.n)
 
-  let inserted t ~pos:_ block = t.resident <- block :: t.resident
+  let inserted t ~pos:_ block =
+    if t.n = Array.length t.arr then begin
+      let cap = Stdlib.max 16 (2 * t.n) in
+      let arr = Array.make cap block in
+      Array.blit t.arr 0 arr 0 t.n;
+      t.arr <- arr
+    end;
+    t.arr.(t.n) <- block;
+    Hashtbl.replace t.index block t.n;
+    t.n <- t.n + 1
 
   let evicted t block =
-    t.resident <- List.filter (fun b -> not (Block.equal b block)) t.resident
+    match Hashtbl.find_opt t.index block with
+    | None -> ()
+    | Some i ->
+      let last = t.n - 1 in
+      let moved = t.arr.(last) in
+      t.arr.(i) <- moved;
+      Hashtbl.replace t.index moved i;
+      Hashtbl.remove t.index block;
+      t.n <- last
 end
+
+module Opt_victims = Set.Make (struct
+  type t = int * Block.t  (* (next use, block) *)
+
+  let compare (u1, b1) (u2, b2) =
+    match Int.compare u1 u2 with 0 -> Block.compare b1 b2 | c -> c
+end)
 
 module Opt = struct
   type t = {
     (* For each block, the trace positions where it is referenced, in
        order, with the already-consumed prefix removed. *)
     future : (Block.t, int list ref) Hashtbl.t;
-    resident : (Block.t, unit) Hashtbl.t;
+    resident : (Block.t, int) Hashtbl.t;  (* block -> its key in [victims] *)
+    (* Resident blocks keyed by next use, so the farthest-future victim
+       is the maximum element instead of a full-table scan per miss.
+       Never-used-again blocks sit at max_int, tied; the block identity
+       in the key makes the choice deterministic, and any choice among
+       them yields the same miss count (none is referenced again). *)
+    mutable victims : Opt_victims.t;
   }
 
   let name = "OPT"
@@ -159,7 +221,7 @@ module Opt = struct
         | None -> Hashtbl.replace future block (ref [ pos ]))
       trace;
     Hashtbl.iter (fun _ l -> l := List.rev !l) future;
-    { future; resident = Hashtbl.create 1024 }
+    { future; resident = Hashtbl.create 1024; victims = Opt_victims.empty }
 
   let consume t ~pos block =
     let l = Hashtbl.find t.future block in
@@ -167,27 +229,37 @@ module Opt = struct
     | p :: rest when p = pos -> l := rest
     | _ -> failwith "OPT: trace position mismatch"
 
-  let hit t ~pos block = consume t ~pos block
-
   let next_use t block =
     match !(Hashtbl.find t.future block) with [] -> max_int | p :: _ -> p
 
+  let reindex t block use =
+    Hashtbl.replace t.resident block use;
+    t.victims <- Opt_victims.add (use, block) t.victims
+
+  let hit t ~pos block =
+    (* The stored key is the block's next use, which is this reference:
+       drop it, consume the position, and re-key at the new next use. *)
+    (match Hashtbl.find_opt t.resident block with
+    | Some use -> t.victims <- Opt_victims.remove (use, block) t.victims
+    | None -> failwith "OPT: hit on non-resident block");
+    consume t ~pos block;
+    reindex t block (next_use t block)
+
   let choose_victim t ~pos:_ ~missing:_ =
-    let best = ref None in
-    Hashtbl.iter
-      (fun block () ->
-        let use = next_use t block in
-        match !best with
-        | Some (_, buse) when buse >= use -> ()
-        | Some _ | None -> best := Some (block, use))
-      t.resident;
-    match !best with Some (block, _) -> block | None -> failwith "OPT: empty"
+    match Opt_victims.max_elt_opt t.victims with
+    | Some (_, block) -> block
+    | None -> failwith "OPT: empty"
 
   let inserted t ~pos block =
     consume t ~pos block;
-    Hashtbl.replace t.resident block ()
+    reindex t block (next_use t block)
 
-  let evicted t block = Hashtbl.remove t.resident block
+  let evicted t block =
+    match Hashtbl.find_opt t.resident block with
+    | Some use ->
+      t.victims <- Opt_victims.remove (use, block) t.victims;
+      Hashtbl.remove t.resident block
+    | None -> ()
 end
 
 module Two_q = struct

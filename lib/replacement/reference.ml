@@ -1,0 +1,138 @@
+(* Naive reference implementations of the indexed policies.
+
+   These are the pre-indexing linear-scan algorithms, kept so that the
+   equivalence tests and the bench [check] replay can prove the indexed
+   LRU-2 and OPT in {!Policies} choose the same victims. Both scans use
+   the same deterministic total order as their indexed counterparts:
+   LRU-2's (penultimate, last) key was already total (last-reference
+   positions are unique); OPT's never-used-again tier is broken by the
+   block identity, where the old implementation depended on hash-table
+   iteration order (any choice in that tier yields the same miss
+   count). O(n) per miss — do not use outside tests and benches. *)
+
+module Block = Acfc_core.Block
+
+module Lru_2 = struct
+  type t = { history : (Block.t, int * int) Hashtbl.t }
+
+  let name = "LRU-2-REF"
+
+  let never = -1
+
+  let init ~capacity:_ _trace = { history = Hashtbl.create 1024 }
+
+  let record t ~pos block =
+    let last, _ = Option.value (Hashtbl.find_opt t.history block) ~default:(never, never) in
+    Hashtbl.replace t.history block (pos, last)
+
+  let hit t ~pos block = record t ~pos block
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    let best = ref None in
+    Hashtbl.iter
+      (fun block (last, penultimate) ->
+        let better =
+          match !best with
+          | None -> true
+          | Some (_, (blast, bpenultimate)) ->
+            penultimate < bpenultimate
+            || (penultimate = bpenultimate && last < blast)
+        in
+        if better then best := Some (block, (last, penultimate)))
+      t.history;
+    match !best with Some (block, _) -> block | None -> failwith "LRU-2-REF: empty"
+
+  let inserted t ~pos block = record t ~pos block
+
+  let evicted t block = Hashtbl.remove t.history block
+end
+
+module Opt = struct
+  type t = {
+    future : (Block.t, int list ref) Hashtbl.t;
+    resident : (Block.t, unit) Hashtbl.t;
+  }
+
+  let name = "OPT-REF"
+
+  let init ~capacity:_ trace =
+    let future = Hashtbl.create 1024 in
+    Array.iteri
+      (fun pos block ->
+        match Hashtbl.find_opt future block with
+        | Some l -> l := pos :: !l
+        | None -> Hashtbl.replace future block (ref [ pos ]))
+      trace;
+    Hashtbl.iter (fun _ l -> l := List.rev !l) future;
+    { future; resident = Hashtbl.create 1024 }
+
+  let consume t ~pos block =
+    let l = Hashtbl.find t.future block in
+    match !l with
+    | p :: rest when p = pos -> l := rest
+    | _ -> failwith "OPT-REF: trace position mismatch"
+
+  let hit t ~pos block = consume t ~pos block
+
+  let next_use t block =
+    match !(Hashtbl.find t.future block) with [] -> max_int | p :: _ -> p
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    let best = ref None in
+    Hashtbl.iter
+      (fun block () ->
+        let use = next_use t block in
+        let better =
+          match !best with
+          | None -> true
+          | Some (bblock, buse) ->
+            use > buse || (use = buse && Block.compare block bblock > 0)
+        in
+        if better then best := Some (block, use))
+      t.resident;
+    match !best with Some (block, _) -> block | None -> failwith "OPT-REF: empty"
+
+  let inserted t ~pos block =
+    consume t ~pos block;
+    Hashtbl.replace t.resident block ()
+
+  let evicted t block = Hashtbl.remove t.resident block
+end
+
+(* Drive two policies through the same reference stream in lockstep,
+   comparing every eviction decision. The first policy's victim is the
+   one applied to both (they must agree, so this only matters after a
+   divergence is already flagged). Returns the first divergence as
+   [(trace position, first's victim, second's victim)]. *)
+let lockstep (module A : Policy_sim.POLICY) (module B : Policy_sim.POLICY) ~capacity
+    trace =
+  if capacity <= 0 then invalid_arg "Reference.lockstep: capacity must be positive";
+  let a = A.init ~capacity trace and b = B.init ~capacity trace in
+  let resident = Hashtbl.create (2 * capacity) in
+  let divergence = ref None in
+  (try
+     Array.iteri
+       (fun pos block ->
+         if Hashtbl.mem resident block then begin
+           A.hit a ~pos block;
+           B.hit b ~pos block
+         end
+         else begin
+           if Hashtbl.length resident >= capacity then begin
+             let va = A.choose_victim a ~pos ~missing:block in
+             let vb = B.choose_victim b ~pos ~missing:block in
+             if not (Block.equal va vb) then begin
+               divergence := Some (pos, va, vb);
+               raise Exit
+             end;
+             Hashtbl.remove resident va;
+             A.evicted a va;
+             B.evicted b va
+           end;
+           Hashtbl.replace resident block ();
+           A.inserted a ~pos block;
+           B.inserted b ~pos block
+         end)
+       trace
+   with Exit -> ());
+  !divergence

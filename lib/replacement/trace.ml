@@ -47,19 +47,38 @@ let concat traces = Array.concat traces
 
 let interleave ~rng traces =
   let arr = Array.of_list traces in
-  let positions = Array.map (fun _ -> ref 0) arr in
+  let positions = Array.map (fun _ -> 0) arr in
   let total = Array.fold_left (fun acc tr -> acc + Array.length tr) 0 arr in
   let out = Array.make total (Block.make ~file:0 ~index:0) in
+  (* Non-exhausted trace indices, kept in ascending order so each draw
+     selects the same trace as the old per-step rebuild of the live
+     list (same RNG sequence, same picks). The set only shrinks when a
+     trace exhausts — at most once per trace, not once per step. *)
+  let live = Array.init (Array.length arr) Fun.id in
+  let n_live = ref (Array.length arr) in
+  (* Empty input traces are never live. *)
+  let k = ref 0 in
+  for j = 0 to Array.length arr - 1 do
+    if Array.length arr.(j) > 0 then begin
+      live.(!k) <- j;
+      incr k
+    end
+  done;
+  n_live := !k;
   for i = 0 to total - 1 do
     (* Pick a non-exhausted trace uniformly. *)
-    let live =
-      Array.to_list arr
-      |> List.mapi (fun j tr -> (j, tr))
-      |> List.filter (fun (j, tr) -> !(positions.(j)) < Array.length tr)
-    in
-    let j, tr = List.nth live (Rng.int rng (List.length live)) in
-    out.(i) <- tr.(!(positions.(j)));
-    incr positions.(j)
+    let slot = Rng.int rng !n_live in
+    let j = live.(slot) in
+    let tr = arr.(j) in
+    out.(i) <- tr.(positions.(j));
+    positions.(j) <- positions.(j) + 1;
+    if positions.(j) >= Array.length tr then begin
+      (* Exhausted: close the gap, preserving ascending order. *)
+      for s = slot to !n_live - 2 do
+        live.(s) <- live.(s + 1)
+      done;
+      decr n_live
+    end
   done;
   out
 

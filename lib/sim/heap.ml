@@ -50,22 +50,22 @@ let push t x =
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    t.data.(0) <- t.data.(t.size);
-    (* Drop the stale slot so the GC can reclaim the element. *)
-    t.data.(t.size) <- t.data.(0);
-    if t.size > 0 then sift_down t 0;
-    Some top
-  end
+let top_exn t =
+  if t.size = 0 then invalid_arg "Heap.top_exn: empty heap";
+  t.data.(0)
 
+(* Allocation-free so the disk's dispatch loop can pop without boxing. *)
 let pop_exn t =
-  match pop t with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+  if t.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  t.data.(0) <- t.data.(t.size);
+  (* Drop the stale slot so the GC can reclaim the element. *)
+  t.data.(t.size) <- t.data.(0);
+  if t.size > 0 then sift_down t 0;
+  top
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)
 
 let clear t =
   t.data <- [||];

@@ -18,6 +18,10 @@ val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
 (** Minimum element, if any, without removing it. *)
 
+val top_exn : 'a t -> 'a
+(** Like {!peek} but allocation-free. Raises [Invalid_argument] on an
+    empty heap. *)
+
 val pop : 'a t -> 'a option
 (** Remove and return the minimum element. *)
 

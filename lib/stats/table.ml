@@ -30,32 +30,32 @@ let pad align width s =
 
 let render ppf t =
   let rows = List.rev t.rows in
-  let headers = List.map fst t.columns in
-  let widths =
-    List.mapi
-      (fun i h ->
-        List.fold_left
-          (fun w row ->
-            match row with
-            | Rule -> w
-            | Cells cells -> Stdlib.max w (String.length (List.nth cells i)))
-          (String.length h) rows)
-      headers
-  in
+  (* Columns and widths as arrays, computed once: per-cell work is then
+     O(1) instead of List.nth over both lists for every cell. *)
+  let columns = Array.of_list t.columns in
+  let widths = Array.map (fun (h, _) -> String.length h) columns in
+  List.iter
+    (function
+      | Rule -> ()
+      | Cells cells ->
+        List.iteri
+          (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+          cells)
+    rows;
   let rule =
-    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+    String.concat "-+-" (Array.to_list (Array.map (fun w -> String.make w '-') widths))
   in
   let print_cells cells =
     let padded =
       List.mapi
         (fun i cell ->
-          let _, align = List.nth t.columns i in
-          pad align (List.nth widths i) cell)
+          let _, align = columns.(i) in
+          pad align widths.(i) cell)
         cells
     in
     Format.fprintf ppf "%s@\n" (String.concat " | " padded)
   in
-  print_cells headers;
+  print_cells (List.map fst (Array.to_list columns));
   Format.fprintf ppf "%s@\n" rule;
   List.iter
     (function Rule -> Format.fprintf ppf "%s@\n" rule | Cells cells -> print_cells cells)

@@ -1,0 +1,26 @@
+(* Regenerates the golden snapshots under test/golden/.
+
+   The goldens pin the observable outputs of the simulation core —
+   fig5/fig6 tables, criteria verdicts, and a metrics snapshot — so that
+   hot-path re-indexing work (indexed disk queues, indexed replacement
+   policies) can be proven byte-identical to the behaviour before the
+   change. Run from the repo root:
+
+     dune exec test/gen_golden.exe -- test/golden
+
+   Only regenerate when an intentional behaviour change is made, and
+   record the justification in the commit message. *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, render) ->
+      let contents = render () in
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc contents);
+      Printf.printf "wrote %s (%d bytes)\n%!" path (String.length contents))
+    (Golden_defs.snapshots ~jobs:1)

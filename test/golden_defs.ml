@@ -1,0 +1,40 @@
+(* The exact computations pinned by the golden snapshots under
+   test/golden/. Shared by gen_golden.exe (which writes the snapshots)
+   and test_golden.ml (which asserts the live system still reproduces
+   them byte-for-byte), so the two can never drift apart. *)
+
+open Acfc_experiments
+module Obs = Acfc_obs
+module Runner = Acfc_workload.Runner
+
+let fig5 ~jobs () =
+  Format.asprintf "%a" Multi.print
+    (Multi.run ~jobs ~runs:2 ~sizes:[ 6.4 ] ~combos:[ [ "cs3"; "ldk" ] ] ())
+
+let fig6 ~jobs () =
+  Format.asprintf "%a" Alloc_lru.print
+    (Alloc_lru.run ~jobs ~runs:2 ~sizes:[ 6.4 ] ~combos:[ [ "cs2"; "gli" ] ] ())
+
+let criteria ~jobs () =
+  Format.asprintf "%a" Criteria.print (Criteria.criterion3 ~jobs ~runs:1 ~apps:[ "din" ] ())
+
+let metrics () =
+  let sink = Obs.Sink.create ~backend:Obs.Sink.Null () in
+  ignore
+    (Runner.run ~seed:7 ~obs:sink ~cache_blocks:128
+       ~alloc_policy:Acfc_core.Config.Lru_sp
+       [
+         Runner.Spec.make ~smart:false ~disk:0
+           (Acfc_workload.Readn.app ~n:60 ~mode:`Oblivious ());
+       ]);
+  Obs.Json.to_string
+    (Obs.Metrics.snapshot (Obs.Sink.metrics sink) ~now:(Obs.Sink.now sink))
+  ^ "\n"
+
+let snapshots ~jobs =
+  [
+    ("fig5_cs3_ldk.txt", fig5 ~jobs);
+    ("fig6_cs2_gli.txt", fig6 ~jobs);
+    ("criteria3_din.txt", criteria ~jobs);
+    ("metrics_readn.json", fun () -> metrics ());
+  ]

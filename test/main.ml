@@ -23,4 +23,6 @@ let () =
          Test_recorder.suites;
          Test_obs.suites;
          Test_par.suites;
+         Test_sched_queue.suites;
+         Test_golden.suites;
        ])

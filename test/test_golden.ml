@@ -1,0 +1,45 @@
+(* Golden determinism: the committed snapshots under test/golden/ were
+   generated before the hot-path re-indexing (indexed disk queues,
+   indexed LRU-2/OPT, interleave and table rewrites); the live system
+   must reproduce them byte-for-byte, at every [jobs] value. This is the
+   acceptance gate for "observable behaviour unchanged" — if a change
+   legitimately moves these outputs, regenerate with gen_golden.exe and
+   justify the diff in the commit message. *)
+
+open Tutil
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Under `dune runtest` the cwd is the sandboxed test directory and the
+   snapshots are staged at golden/; under a bare `dune exec
+   test/main.exe` (as CI's ACFC_JOBS=2 pass runs it) the cwd is the
+   project root, so fall back to the source tree. *)
+let golden name =
+  let candidates =
+    [ Filename.concat "golden" name; Filename.concat "test/golden" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> read_file path
+  | None ->
+    Alcotest.fail
+      (Printf.sprintf "missing golden %s — run: dune exec test/gen_golden.exe"
+         (List.hd candidates))
+
+let chk_snapshot name render () =
+  check Alcotest.string (name ^ " byte-identical to golden") (golden name) (render ())
+
+let suites =
+  [
+    ( "golden",
+      List.concat_map
+        (fun jobs ->
+          List.map
+            (fun (name, render) ->
+              case (Printf.sprintf "%s (jobs=%d)" name jobs) (chk_snapshot name render))
+            (Golden_defs.snapshots ~jobs))
+        [ 1; 3 ] );
+  ]

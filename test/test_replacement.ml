@@ -178,6 +178,56 @@ let two_q_scan_resistance () =
   let r = run_policy (module Policies.Two_q) ~capacity:8 loop in
   chk_int "compulsory only when fitting" 3 r.Policy_sim.misses
 
+(* {2 Indexed vs reference policies}
+
+   The indexed LRU-2 and OPT must choose the exact victim the naive
+   linear-scan reference chooses, decision by decision, on randomised
+   traces (Reference.lockstep reports the first divergence). RAND is
+   excluded by design: its swap-with-last array changes the victim for a
+   given draw, see docs/PERF.md. *)
+
+let lockstep_trace_gen =
+  QCheck2.Gen.(
+    pair (int_range 1 8) (list_size (int_range 1 400) (int_range 0 25)))
+
+let lockstep_agrees name indexed reference =
+  qcheck
+    (Printf.sprintf "%s indexed == reference on random traces" name)
+    ~count:120 lockstep_trace_gen
+    (fun (capacity, refs) ->
+      let t = Array.of_list (List.map blk refs) in
+      Reference.lockstep indexed reference ~capacity t = None)
+
+let lru2_lockstep = lockstep_agrees "LRU-2" (module Policies.Lru_2) (module Reference.Lru_2)
+
+let opt_lockstep = lockstep_agrees "OPT" (module Policies.Opt) (module Reference.Opt)
+
+let reference_results_match =
+  (* Same hit/miss accounting end to end, not just the same victims. *)
+  qcheck "indexed and reference miss counts agree" ~count:80 lockstep_trace_gen
+    (fun (capacity, refs) ->
+      let t = Array.of_list (List.map blk refs) in
+      List.for_all
+        (fun (indexed, reference) ->
+          (run_policy indexed ~capacity t).Policy_sim.misses
+          = (run_policy reference ~capacity t).Policy_sim.misses)
+        [
+          ((module Policies.Lru_2 : Policy_sim.POLICY), (module Reference.Lru_2 : Policy_sim.POLICY));
+          ((module Policies.Opt), (module Reference.Opt));
+        ])
+
+let rand_uniform_and_resident =
+  (* RAND's indexed array must only ever evict resident blocks (the
+     framework validates this) and keep hit/miss counts plausible: at
+     most the reference working set, at least the compulsory misses. *)
+  qcheck "RAND stays within compulsory/total bounds" ~count:80
+    QCheck2.Gen.(pair (int_range 1 8) (list_size (int_range 1 300) (int_range 0 15)))
+    (fun (capacity, refs) ->
+      let t = Array.of_list (List.map blk refs) in
+      let r = run_policy (module Policies.Rand) ~capacity t in
+      let ws = Trace.working_set_size t in
+      r.Policy_sim.misses >= ws && r.Policy_sim.misses <= Array.length t)
+
 let framework_validation () =
   Alcotest.check_raises "bad capacity"
     (Invalid_argument "Policy_sim.run: capacity must be positive") (fun () ->
@@ -238,5 +288,12 @@ let suites =
         fits_in_cache_only_compulsory;
         opt_is_lower_bound;
         opt_matches_brute_force;
+      ] );
+    ( "replacement: indexed vs reference",
+      [
+        lru2_lockstep;
+        opt_lockstep;
+        reference_results_match;
+        rand_uniform_and_resident;
       ] );
   ]
