@@ -452,13 +452,11 @@ let recorded_trace () =
   let recorder = Acfc_replacement.Recorder.create () in
   let sink = Acfc_obs.Sink.create ~backend:Acfc_obs.Sink.Null () in
   ignore
-    (Acfc_workload.Runner.run ~seed:11 ~obs:sink
+    (Acfc_scenario.Scenario.run ~obs:sink
        ~tracer:(Acfc_replacement.Recorder.tracer recorder)
-       ~cache_blocks:256 ~alloc_policy:Config.Lru_sp
-       [
-         Acfc_workload.Runner.Spec.make ~smart:false ~disk:0
-           (Acfc_workload.Readn.app ~n:400 ~mode:`Oblivious ());
-       ]);
+       (Acfc_scenario.Scenario.make ~seed:11 ~cache_blocks:256
+          ~alloc_policy:Config.Lru_sp
+          [ Acfc_scenario.Scenario.workload ~smart:false ~disk:0 "read400" ]));
   Acfc_replacement.Recorder.to_trace recorder
 
 let check_policies () =
@@ -557,9 +555,30 @@ let check_baseline ~path perf_rows =
 
 (* {2 Machine-readable report (--json)} *)
 
+(* The fingerprint of the exact scenario grid behind an artifact row
+   (fig5-par rows fingerprint the fig5 grid they time); null for rows
+   with no scenario grid (micro, perf, check). *)
+let scenario_hash opts name =
+  let base =
+    match String.index_opt name '/' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let scenarios =
+    match base with
+    | "all" ->
+      List.concat_map
+        (Report.artifact_scenarios opts)
+        (Report.artifacts @ [ "ablations"; "criteria" ])
+    | _ -> Report.artifact_scenarios opts base
+  in
+  match scenarios with
+  | [] -> None
+  | grid -> Some (Acfc_scenario.Scenario.hash_list grid)
+
 (* The acfc-bench/1 schema: a stable shape CI can diff across runs.
    NaN (no OLS estimate) becomes null, since JSON has no NaN. *)
-let write_json ~path ~quick ~runs ~jobs ~artifacts ~micro ~perf ~total_wall_s =
+let write_json ~path ~quick ~runs ~jobs ~opts ~artifacts ~micro ~perf ~total_wall_s =
   let module J = Acfc_obs.Json in
   let num v = if Float.is_finite v then J.Num v else J.Null in
   let doc =
@@ -573,7 +592,17 @@ let write_json ~path ~quick ~runs ~jobs ~artifacts ~micro ~perf ~total_wall_s =
           J.List
             (List.map
                (fun (name, wall_s) ->
-                 J.Obj [ ("name", J.Str name); ("wall_s", num wall_s) ])
+                 let hash =
+                   match scenario_hash opts name with
+                   | Some h -> J.Str h
+                   | None -> J.Null
+                 in
+                 J.Obj
+                   [
+                     ("name", J.Str name);
+                     ("wall_s", num wall_s);
+                     ("scenario_hash", hash);
+                   ])
                artifacts) );
         ( "micro",
           J.List
@@ -711,7 +740,7 @@ let () =
   (match !json_out with
   | None -> ()
   | Some path ->
-    write_json ~path ~quick:!quick ~runs:opts.Report.runs ~jobs:eff_jobs
+    write_json ~path ~quick:!quick ~runs:opts.Report.runs ~jobs:eff_jobs ~opts
       ~artifacts:(List.rev !artifact_walls) ~micro:!micro_rows ~perf:!perf_rows
       ~total_wall_s);
   (* The gate runs last so the JSON artifact is written even on failure. *)

@@ -3,12 +3,15 @@
 
    Subcommands:
      run        one or more applications over a shared cache
+     scenario   run a machine description from an acfc-scenario/1 file
      report     regenerate the paper's tables and figures
+     record     run applications and record the block reference trace
      policies   trace-driven replacement-policy comparison *)
 
 open Cmdliner
 module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 module Experiments = Acfc_experiments
 module Obs = Acfc_obs
 
@@ -50,6 +53,14 @@ let jobs =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let dump_scenario =
+  let doc =
+    "Also save the run's machine description as an acfc-scenario/1 JSON file \
+     to $(docv), replayable with $(b,acfc-run scenario). The run itself \
+     proceeds unchanged."
+  in
+  Arg.(value & opt (some string) None & info [ "dump-scenario" ] ~docv:"FILE" ~doc)
+
 (* {2 run} *)
 
 let app_names =
@@ -81,12 +92,13 @@ let metrics_out =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
-(* Build the sink for [--trace]/[--metrics]; returns the sink and a
-   [finish] closure that writes the metrics file and closes channels. *)
-let make_obs trace_out metrics_out =
-  match (trace_out, metrics_out) with
+(* Build the sink for the scenario's trace/metrics outputs; returns the
+   sink and a [finish] closure that writes the metrics file and closes
+   channels. *)
+let make_obs (spec : Scenario.obs_spec) =
+  match (spec.trace_path, spec.metrics_path) with
   | None, None -> (None, fun () -> ())
-  | _ ->
+  | trace_out, metrics_out ->
     let channel = ref None in
     let backend =
       match trace_out with
@@ -120,50 +132,83 @@ let make_obs trace_out metrics_out =
     in
     (Some sink, finish)
 
-let parse_app name =
-  match Experiments.Registry.find name with
-  | app, disk -> (app, disk, true)
-  | exception Not_found ->
-    let foolish = String.length name > 0 && name.[String.length name - 1] = '!' in
-    let base = if foolish then String.sub name 0 (String.length name - 1) else name in
-    (match
-       if String.length base > 4 && String.sub base 0 4 = "read" then
-         int_of_string_opt (String.sub base 4 (String.length base - 4))
-       else None
-     with
-    | Some n ->
-      let mode = if foolish then `Foolish else `Oblivious in
-      (Acfc_workload.Readn.app ~n ~mode (), 0, foolish)
-    | None -> failwith ("unknown application: " ^ name))
+let maybe_dump scenario = function
+  | None -> ()
+  | Some path -> Scenario.save scenario path
+
+(* Execute a scenario exactly as [run] does: wire its trace/metrics
+   outputs, run, print the per-app results and the cache summary. *)
+let execute_scenario scenario =
+  let obs, finish_obs = make_obs scenario.Scenario.obs in
+  let result = Scenario.run ?obs scenario in
+  Format.printf "%a" Runner.pp result;
+  Format.printf
+    "cache: %d hits, %d misses; %d overrules, %d placeholders (%d used)@."
+    result.Runner.cache_hits result.Runner.cache_misses result.Runner.overrules
+    result.Runner.placeholders_created result.Runner.placeholders_used;
+  finish_obs ();
+  result
+
+let cli_workloads ~oblivious names =
+  List.map
+    (fun name ->
+      let smart = if oblivious then Some false else None in
+      try Scenario.workload ?smart name
+      with Invalid_argument msg -> failwith msg)
+    names
 
 let run_cmd =
-  let go cache_mb alloc_policy seed oblivious trace_out metrics_out names =
-    let specs =
-      List.map
-        (fun name ->
-          let app, disk, smart_default = parse_app name in
-          Runner.Spec.make ~smart:((not oblivious) && smart_default) ~disk app)
-        names
+  let go cache_mb alloc_policy seed oblivious trace_out metrics_out dump names =
+    let scenario =
+      Scenario.make ~seed ~cache_blocks:(Scenario.blocks_of_mb cache_mb)
+        ~alloc_policy
+        ~obs:{ Scenario.trace_path = trace_out; metrics_path = metrics_out }
+        (cli_workloads ~oblivious names)
     in
-    let obs, finish_obs = make_obs trace_out metrics_out in
-    let result =
-      Runner.run ~seed ?obs ~cache_blocks:(Runner.blocks_of_mb cache_mb)
-        ~alloc_policy specs
-    in
-    Format.printf "%a" Runner.pp result;
-    Format.printf
-      "cache: %d hits, %d misses; %d overrules, %d placeholders (%d used)@."
-      result.Runner.cache_hits result.Runner.cache_misses result.Runner.overrules
-      result.Runner.placeholders_created result.Runner.placeholders_used;
-    finish_obs ()
+    maybe_dump scenario dump;
+    ignore (execute_scenario scenario)
   in
   let term =
     Term.(
       const go $ cache_mb $ alloc_policy $ seed $ oblivious $ trace_out $ metrics_out
-      $ app_names)
+      $ dump_scenario $ app_names)
   in
   let info =
     Cmd.info "run" ~doc:"Run applications over the application-controlled cache"
+  in
+  Cmd.v info term
+
+(* {2 scenario} *)
+
+let scenario_file =
+  let doc = "An acfc-scenario/1 JSON machine description." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let scenario_cmd =
+  let go dump file =
+    match Scenario.load file with
+    | Error msg ->
+      prerr_endline ("acfc-run: " ^ msg);
+      exit 1
+    | Ok scenario ->
+      maybe_dump scenario dump;
+      ignore (execute_scenario scenario)
+  in
+  let term = Term.(const go $ dump_scenario $ scenario_file) in
+  let info =
+    Cmd.info "scenario"
+      ~doc:"Run a complete machine description from a scenario file"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Loads an $(b,acfc-scenario/1) JSON file — cache configuration, \
+             allocation policy, disks and their schedulers, workloads, seed, \
+             observability outputs — assembles exactly that machine and runs \
+             it. Produce such files by hand (see docs/TUTORIAL.md), from \
+             $(b,examples/scenarios/), or with $(b,--dump-scenario) on \
+             $(b,acfc-run run). Unknown fields are rejected with their path.";
+        ]
   in
   Cmd.v info term
 
@@ -171,8 +216,9 @@ let run_cmd =
 
 let artifact =
   let doc =
-    "Artifact to regenerate: " ^ String.concat ", " Experiments.Report.artifacts
-    ^ ", ablations, criteria, or 'all'."
+    "Artifact to regenerate: "
+    ^ String.concat ", " Experiments.Registry.experiment_names
+    ^ ", or 'all'. See $(b,--list) for descriptions."
   in
   Arg.(value & pos 0 string "all" & info [] ~docv:"ARTIFACT" ~doc)
 
@@ -180,25 +226,35 @@ let quick =
   let doc = "Single run, two cache sizes (fast smoke mode)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let list_experiments =
+  let doc = "List runnable experiments with descriptions and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
 let report_cmd =
-  let go runs quick jobs artifact =
-    let opts =
-      if quick then Experiments.Report.quick
-      else { Experiments.Report.default with runs }
-    in
-    let opts = { opts with Experiments.Report.jobs } in
-    (match artifact with
-    | "all" -> Experiments.Report.run_all opts Format.std_formatter
-    | "ablations" ->
-      Experiments.Ablations.print_all ?jobs ~runs:opts.Experiments.Report.runs
-        Format.std_formatter ()
-    | "criteria" ->
-      Experiments.Criteria.print Format.std_formatter
-        (Experiments.Criteria.run_all ?jobs ~runs:opts.Experiments.Report.runs ())
-    | name -> Experiments.Report.run_artifact opts Format.std_formatter name);
-    Format.printf "@."
+  let go runs quick jobs list artifact =
+    if list then
+      List.iter
+        (fun (name, doc) -> Format.printf "%-10s %s@." name doc)
+        Experiments.Registry.experiments
+    else begin
+      let opts =
+        if quick then Experiments.Report.quick
+        else { Experiments.Report.default with runs }
+      in
+      let opts = { opts with Experiments.Report.jobs } in
+      (match artifact with
+      | "all" -> Experiments.Report.run_all opts Format.std_formatter
+      | "ablations" ->
+        Experiments.Ablations.print_all ?jobs ~runs:opts.Experiments.Report.runs
+          Format.std_formatter ()
+      | "criteria" ->
+        Experiments.Criteria.print Format.std_formatter
+          (Experiments.Criteria.run_all ?jobs ~runs:opts.Experiments.Report.runs ())
+      | name -> Experiments.Report.run_artifact opts Format.std_formatter name);
+      Format.printf "@."
+    end
   in
-  let term = Term.(const go $ runs $ quick $ jobs $ artifact) in
+  let term = Term.(const go $ runs $ quick $ jobs $ list_experiments $ artifact) in
   let info = Cmd.info "report" ~doc:"Regenerate the paper's tables and figures" in
   Cmd.v info term
 
@@ -209,20 +265,16 @@ let record_cmd =
     let doc = "Output trace file." in
     Cmdliner.Arg.(value & opt string "acfc.trace" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let go cache_mb alloc_policy seed oblivious out names =
+  let go cache_mb alloc_policy seed oblivious out dump names =
     let recorder = Acfc_replacement.Recorder.create () in
-    let specs =
-      List.map
-        (fun name ->
-          let app, disk, smart_default = parse_app name in
-          Runner.Spec.make ~smart:((not oblivious) && smart_default) ~disk app)
-        names
+    let scenario =
+      Scenario.make ~seed ~cache_blocks:(Scenario.blocks_of_mb cache_mb)
+        ~alloc_policy
+        (cli_workloads ~oblivious names)
     in
+    maybe_dump scenario dump;
     let result =
-      Runner.run ~seed
-        ~tracer:(Acfc_replacement.Recorder.tracer recorder)
-        ~cache_blocks:(Runner.blocks_of_mb cache_mb)
-        ~alloc_policy specs
+      Scenario.run ~tracer:(Acfc_replacement.Recorder.tracer recorder) scenario
     in
     let oc = open_out out in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
@@ -232,7 +284,11 @@ let record_cmd =
       (Acfc_replacement.Recorder.length recorder)
       out
   in
-  let term = Term.(const go $ cache_mb $ alloc_policy $ seed $ oblivious $ out $ app_names) in
+  let term =
+    Term.(
+      const go $ cache_mb $ alloc_policy $ seed $ oblivious $ out $ dump_scenario
+      $ app_names)
+  in
   let info =
     Cmd.info "record" ~doc:"Run applications and record the block reference trace"
   in
@@ -300,4 +356,7 @@ let () =
     Cmd.info "acfc-run" ~version:"1.0.0"
       ~doc:"Application-controlled file caching (OSDI '94) simulator"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; report_cmd; record_cmd; policies_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; scenario_cmd; report_cmd; record_cmd; policies_cmd ]))

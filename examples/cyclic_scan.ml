@@ -11,6 +11,7 @@
 
 module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 
 let () =
   Format.printf "din (9 sequential passes over an 8 MB trace file)@.";
@@ -19,8 +20,11 @@ let () =
     (fun mb ->
       let run ~alloc_policy ~smart =
         let r =
-          Runner.run ~cache_blocks:(Runner.blocks_of_mb mb) ~alloc_policy
-            [ Runner.Spec.make ~smart ~disk:0 Acfc_workload.Dinero.din ]
+          Scenario.run
+            (Scenario.make
+               ~cache_blocks:(Scenario.blocks_of_mb mb)
+               ~alloc_policy
+               [ Scenario.workload ~smart "din" ])
         in
         (List.hd r.Runner.apps).Runner.block_ios
       in

@@ -11,6 +11,7 @@
 
 module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 module Pid = Acfc_core.Pid
 
 let () =
@@ -21,8 +22,11 @@ let () =
     (fun mb ->
       let run ~alloc_policy ~smart =
         let r =
-          Runner.run ~cache_blocks:(Runner.blocks_of_mb mb) ~alloc_policy
-            [ Runner.Spec.make ~smart ~disk:1 Acfc_workload.Postgres.pjn ]
+          Scenario.run
+            (Scenario.make
+               ~cache_blocks:(Scenario.blocks_of_mb mb)
+               ~alloc_policy
+               [ Scenario.workload ~smart "pjn" ])
         in
         let a = List.hd r.Runner.apps in
         (a.Runner.block_ios, a.Runner.elapsed)

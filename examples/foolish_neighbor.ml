@@ -12,14 +12,16 @@
 
 module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
-open Acfc_workload
+module Scenario = Acfc_scenario.Scenario
 
 let experiment ~label ~alloc_policy ~revocation =
-  let fg = Readn.app ~n:490 ~mode:`Oblivious () in
-  let bg = Readn.app ~n:300 ~mode:`Foolish () in
   let r =
-    Runner.run ~cache_blocks:819 ~alloc_policy ?revocation
-      [ Runner.Spec.make ~smart:false ~disk:0 fg; Runner.Spec.make ~smart:true ~disk:0 bg ]
+    Scenario.run
+      (Scenario.make ~cache_blocks:819 ~alloc_policy ?revocation
+         [
+           Scenario.workload ~smart:false ~disk:0 "read490";
+           Scenario.workload ~smart:true ~disk:0 "read300!";
+         ])
   in
   let f = List.hd r.Runner.apps and b = List.nth r.Runner.apps 1 in
   Format.printf

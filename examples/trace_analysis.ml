@@ -12,6 +12,7 @@
 
 module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 module Recorder = Acfc_replacement.Recorder
 module Policy_sim = Acfc_replacement.Policy_sim
 module Policies = Acfc_replacement.Policies
@@ -20,9 +21,10 @@ let () =
   (* Record din's reference stream from a live LRU-SP run. *)
   let recorder = Recorder.create () in
   let result =
-    Runner.run ~cache_blocks:819 ~alloc_policy:Config.Lru_sp
+    Scenario.run
       ~tracer:(Recorder.tracer recorder)
-      [ Runner.Spec.make ~smart:true ~disk:0 Acfc_workload.Dinero.din ]
+      (Scenario.make ~cache_blocks:819 ~alloc_policy:Config.Lru_sp
+         [ Scenario.workload ~smart:true "din" ])
   in
   let live = (List.hd result.Runner.apps).Runner.block_ios in
   let trace = Recorder.to_trace recorder in

@@ -1,10 +1,10 @@
 module Config = Acfc_core.Config
 module Disk = Acfc_disk.Disk
 module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
 module Pool = Acfc_par.Pool
-open Acfc_workload
 
 let mean_of results f =
   Summary.mean (Summary.of_list (List.map (fun r -> float_of_int (f r)) results))
@@ -25,18 +25,20 @@ type readahead_row = {
   ra_ios : int;
 }
 
+let readahead_scenario ~ra ~seed name =
+  Scenario.make ~seed ~readahead:ra ~cache_blocks:819
+    ~alloc_policy:Config.Global_lru
+    [ Scenario.workload ~smart:false name ]
+
 let readahead ?jobs ?(runs = 3) ?(apps = [ "din"; "cs1"; "sort" ]) () =
   Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
-      let app, disk = Registry.find name in
       List.map
         (fun ra ->
           let deferred =
             Measure.repeat_async pool ~runs (fun ~seed ->
-                Runner.run ~seed ~readahead:ra ~cache_blocks:819
-                  ~alloc_policy:Config.Global_lru
-                  [ Runner.Spec.make ~smart:false ~disk app ])
+                Scenario.run (readahead_scenario ~ra ~seed name))
           in
           fun () ->
             let results = deferred () in
@@ -61,27 +63,26 @@ type sched_row = {
   sc_ios : int;
 }
 
-let disk_sched ?jobs ?(runs = 3) () =
+let sched_combos =
   (* Two random-access processes on one disk build a queue that SCAN
      can reorder; pjn + pjn clone is the most disk-random pair. *)
-  let combos = [ ([ "pjn"; "gli" ], "pjn+gli(one disk)"); ([ "pjn"; "sort" ], "pjn+sort(one disk)") ] in
+  [ ([ "pjn"; "gli" ], "pjn+gli(one disk)"); ([ "pjn"; "sort" ], "pjn+sort(one disk)") ]
+
+let sched_scenario ~sched ~seed names =
+  Scenario.make ~seed ~disk_sched:sched ~cache_blocks:819
+    ~alloc_policy:Config.Global_lru
+    (* Force everything onto disk 0 to create contention. *)
+    (List.map (fun name -> Scenario.workload ~smart:false ~disk:0 name) names)
+
+let disk_sched ?jobs ?(runs = 3) () =
   Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun (names, label) ->
-      let specs =
-        List.map
-          (fun name ->
-            let app, _ = Registry.find name in
-            (* Force everything onto disk 0 to create contention. *)
-            Runner.Spec.make ~smart:false ~disk:0 app)
-          names
-      in
       List.map
         (fun sched ->
           let deferred =
             Measure.repeat_async pool ~runs (fun ~seed ->
-                Runner.run ~seed ~disk_sched:sched ~cache_blocks:819
-                  ~alloc_policy:Config.Global_lru specs)
+                Scenario.run (sched_scenario ~sched ~seed names))
           in
           fun () ->
             let results = deferred () in
@@ -92,23 +93,25 @@ let disk_sched ?jobs ?(runs = 3) () =
               sc_ios = int_of_float (mean_of results (fun r -> r.Runner.total_ios));
             })
         [ Disk.Fcfs; Disk.Scan ])
-    combos
+    sched_combos
   |> force_all
 
 (* {2 Update-daemon interval} *)
 
 type update_row = { interval : float; up_ios : int; up_writes : int }
 
+let update_scenario ~interval ~seed =
+  Scenario.make ~seed ~update_interval:interval ~cache_blocks:4096
+    ~alloc_policy:Config.Lru_sp
+    [ Scenario.workload ~smart:true "sort" ]
+
 let update_interval ?jobs ?(runs = 3) ?(intervals = [ 5.0; 30.0; 120.0; 600.0 ]) () =
-  let app, disk = Registry.find "sort" in
   Pool.with_pool ?jobs @@ fun pool ->
   List.map
     (fun interval ->
       let deferred =
         Measure.repeat_async pool ~runs (fun ~seed ->
-            Runner.run ~seed ~update_interval:interval ~cache_blocks:4096
-              ~alloc_policy:Config.Lru_sp
-              [ Runner.Spec.make ~smart:true ~disk app ])
+            Scenario.run (update_scenario ~interval ~seed))
       in
       fun () ->
         let results = deferred () in
@@ -132,18 +135,20 @@ type layout_row = {
   la_ios : int;
 }
 
+let layout_scenario ~scattered ~seed name =
+  Scenario.make ~seed ~scattered_layout:scattered ~cache_blocks:819
+    ~alloc_policy:Config.Global_lru
+    [ Scenario.workload ~smart:false name ]
+
 let layout ?jobs ?(runs = 3) ?(apps = [ "cs2"; "ldk" ]) () =
   Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
-      let app, disk = Registry.find name in
       List.map
         (fun scattered ->
           let deferred =
             Measure.repeat_async pool ~runs (fun ~seed ->
-                Runner.run ~seed ~scattered_layout:scattered ~cache_blocks:819
-                  ~alloc_policy:Config.Global_lru
-                  [ Runner.Spec.make ~smart:false ~disk app ])
+                Scenario.run (layout_scenario ~scattered ~seed name))
           in
           fun () ->
             let results = deferred () in
@@ -163,16 +168,18 @@ let layout ?jobs ?(runs = 3) ?(apps = [ "cs2"; "ldk" ]) () =
 
 type cluster_row = { cl_size : int; cl_elapsed : float; cl_ios : int }
 
+let cluster_scenario ~size ~seed =
+  Scenario.make ~seed ~write_cluster:size ~cache_blocks:819
+    ~alloc_policy:Config.Lru_sp
+    [ Scenario.workload ~smart:true "sort" ]
+
 let write_clustering ?jobs ?(runs = 3) ?(sizes = [ 1; 4; 8 ]) () =
-  let app, disk = Registry.find "sort" in
   Pool.with_pool ?jobs @@ fun pool ->
   List.map
     (fun size ->
       let deferred =
         Measure.repeat_async pool ~runs (fun ~seed ->
-            Runner.run ~seed ~write_cluster:size ~cache_blocks:819
-              ~alloc_policy:Config.Lru_sp
-              [ Runner.Spec.make ~smart:true ~disk app ])
+            Scenario.run (cluster_scenario ~size ~seed))
       in
       fun () ->
         let results = deferred () in
@@ -195,17 +202,27 @@ type order_row = {
   or_ios : int;
 }
 
+let order_cases =
+  [
+    (Config.Global_lru, false);
+    (Config.Clock_sp, false);
+    (Config.Lru_sp, true);
+    (Config.Clock_sp, true);
+  ]
+
+let order_scenario ~policy ~smart ~seed name =
+  Scenario.make ~seed ~cache_blocks:819 ~alloc_policy:policy
+    [ Scenario.workload ~smart name ]
+
 let global_order ?jobs ?(runs = 3) ?(apps = [ "din"; "cs1" ]) () =
   Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
-      let app, disk = Registry.find name in
       List.map
         (fun (policy, smart) ->
           let deferred =
             Measure.repeat_async pool ~runs (fun ~seed ->
-                Runner.run ~seed ~cache_blocks:819 ~alloc_policy:policy
-                  [ Runner.Spec.make ~smart ~disk app ])
+                Scenario.run (order_scenario ~policy ~smart ~seed name))
           in
           fun () ->
             {
@@ -217,12 +234,7 @@ let global_order ?jobs ?(runs = 3) ?(apps = [ "din"; "cs1" ]) () =
                   (mean_of (deferred ())
                      (fun r -> (List.hd r.Runner.apps).Runner.block_ios));
             })
-        [
-          (Config.Global_lru, false);
-          (Config.Clock_sp, false);
-          (Config.Lru_sp, true);
-          (Config.Clock_sp, true);
-        ])
+        order_cases)
     apps
   |> force_all
 
@@ -235,28 +247,29 @@ type revocation_row = {
   mistakes_caught : int;
 }
 
-let revocation ?jobs ?(runs = 3) () =
-  let thresholds =
+let revocation_thresholds =
+  [
+    None;
+    Some { Config.min_decisions = 500; mistake_ratio = 0.9 };
+    Some { Config.min_decisions = 200; mistake_ratio = 0.5 };
+    Some { Config.min_decisions = 50; mistake_ratio = 0.3 };
+  ]
+
+let revocation_scenario ~threshold ~seed =
+  Scenario.make ~seed ?revocation:threshold ~cache_blocks:819
+    ~alloc_policy:Config.Lru_sp
     [
-      None;
-      Some { Config.min_decisions = 500; mistake_ratio = 0.9 };
-      Some { Config.min_decisions = 200; mistake_ratio = 0.5 };
-      Some { Config.min_decisions = 50; mistake_ratio = 0.3 };
+      Scenario.workload ~smart:false ~disk:0 "read490";
+      Scenario.workload ~smart:true ~disk:0 "read300!";
     ]
-  in
+
+let revocation ?jobs ?(runs = 3) () =
   Pool.with_pool ?jobs @@ fun pool ->
   List.map
     (fun threshold ->
       let deferred =
         Measure.repeat_async pool ~runs (fun ~seed ->
-            Runner.run ~seed ?revocation:threshold ~cache_blocks:819
-              ~alloc_policy:Config.Lru_sp
-              [
-                Runner.Spec.make ~smart:false ~disk:0
-                  (Readn.app ~n:490 ~mode:`Oblivious ());
-                Runner.Spec.make ~smart:true ~disk:0
-                  (Readn.app ~n:300 ~mode:`Foolish ());
-              ])
+            Scenario.run (revocation_scenario ~threshold ~seed))
       in
       fun () ->
         let results = deferred () in
@@ -270,8 +283,32 @@ let revocation ?jobs ?(runs = 3) () =
           mistakes_caught =
             int_of_float (mean_of results (fun r -> r.Runner.placeholders_used));
         })
-    thresholds
+    revocation_thresholds
   |> force_all
+
+(* {2 The full grid as data} *)
+
+let scenarios ?(runs = 3) () =
+  let seeds = List.init runs (fun seed -> seed) in
+  let over xs f = List.concat_map f xs in
+  over [ "din"; "cs1"; "sort" ] (fun name ->
+      over [ true; false ] (fun ra ->
+          List.map (fun seed -> readahead_scenario ~ra ~seed name) seeds))
+  @ over sched_combos (fun (names, _) ->
+        over [ Disk.Fcfs; Disk.Scan ] (fun sched ->
+            List.map (fun seed -> sched_scenario ~sched ~seed names) seeds))
+  @ over [ 5.0; 30.0; 120.0; 600.0 ] (fun interval ->
+        List.map (fun seed -> update_scenario ~interval ~seed) seeds)
+  @ over [ "cs2"; "ldk" ] (fun name ->
+        over [ false; true ] (fun scattered ->
+            List.map (fun seed -> layout_scenario ~scattered ~seed name) seeds))
+  @ over [ 1; 4; 8 ] (fun size ->
+        List.map (fun seed -> cluster_scenario ~size ~seed) seeds)
+  @ over [ "din"; "cs1" ] (fun name ->
+        over order_cases (fun (policy, smart) ->
+            List.map (fun seed -> order_scenario ~policy ~smart ~seed name) seeds))
+  @ over revocation_thresholds (fun threshold ->
+        List.map (fun seed -> revocation_scenario ~threshold ~seed) seeds)
 
 (* {2 Printing} *)
 

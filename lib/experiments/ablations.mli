@@ -71,6 +71,10 @@ type revocation_row = {
 
 val revocation : ?jobs:int -> ?runs:int -> unit -> revocation_row list
 
+val scenarios : ?runs:int -> unit -> Acfc_scenario.Scenario.t list
+(** Every scenario the default ablation sweep executes, in print
+    order — the machine descriptions behind {!print_all}. *)
+
 val print_all : ?jobs:int -> ?runs:int -> Format.formatter -> unit -> unit
 (** Runs every ablation above. In each of these functions [jobs]
     parallelises the grid over domains with byte-identical rows

@@ -1,5 +1,5 @@
 module Config = Acfc_core.Config
-module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 module Table = Acfc_stats.Table
 module Pool = Acfc_par.Pool
 
@@ -10,17 +10,27 @@ type row = {
   alloc_lru : Measure.m;
 }
 
-let measure pool ~runs ~cache_blocks ~alloc_policy names =
+let scenario ~mb ~alloc_policy ~seed names =
+  Scenario.make ~seed ~cache_blocks:(Scenario.blocks_of_mb mb) ~alloc_policy
+    (List.map (fun name -> Scenario.workload ~smart:true name) names)
+
+let scenarios ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb)
+    ?(combos = Registry.fig6_combos) () =
+  List.concat_map
+    (fun names ->
+      List.concat_map
+        (fun mb ->
+          List.concat_map
+            (fun alloc_policy ->
+              List.init runs (fun seed -> scenario ~mb ~alloc_policy ~seed names))
+            [ Config.Lru_sp; Config.Alloc_lru ])
+        sizes)
+    combos
+
+let measure pool ~runs ~mb ~alloc_policy names =
   let results =
     Measure.repeat_async pool ~runs (fun ~seed ->
-        let specs =
-          List.map
-            (fun name ->
-              let app, disk = Registry.find name in
-              Runner.Spec.make ~smart:true ~disk app)
-            names
-        in
-        Runner.run ~seed ~cache_blocks ~alloc_policy specs)
+        Scenario.run (scenario ~mb ~alloc_policy ~seed names))
   in
   fun () -> Measure.total_summary (results ())
 
@@ -31,12 +41,9 @@ let run ?jobs ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb)
     (fun names ->
       List.map
         (fun mb ->
-          let cache_blocks = Runner.blocks_of_mb mb in
-          let lru_sp =
-            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Lru_sp names
-          in
+          let lru_sp = measure pool ~runs ~mb ~alloc_policy:Config.Lru_sp names in
           let alloc_lru =
-            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Alloc_lru names
+            measure pool ~runs ~mb ~alloc_policy:Config.Alloc_lru names
           in
           fun () ->
             {

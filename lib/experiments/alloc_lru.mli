@@ -12,6 +12,23 @@ type row = {
   alloc_lru : Measure.m;
 }
 
+val scenario :
+  mb:float ->
+  alloc_policy:Acfc_core.Config.alloc_policy ->
+  seed:int ->
+  string list ->
+  Acfc_scenario.Scenario.t
+(** One grid cell: a smart combination at a cache size under the given
+    allocation policy. *)
+
+val scenarios :
+  ?runs:int ->
+  ?sizes:float list ->
+  ?combos:string list list ->
+  unit ->
+  Acfc_scenario.Scenario.t list
+(** Every scenario {!run} would execute, in grid order. *)
+
 val run :
   ?jobs:int ->
   ?runs:int ->

@@ -1,9 +1,9 @@
 module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
 module Pool = Acfc_par.Pool
-open Acfc_workload
 
 type verdict = { criterion : string; detail : string; measured : string; pass : bool }
 
@@ -17,24 +17,33 @@ let mean_elapsed results index =
     (Summary.of_list
        (List.map (fun r -> (List.nth r.Runner.apps index).Runner.elapsed) results))
 
+let criterion1_apps = [ "din"; "cs2"; "gli"; "ldk" ]
+
+let criterion2_ns = [ 390; 490 ]
+
+let criterion3_sizes = [ 6.4; 16.0 ]
+
 (* Criterion 1: an oblivious Read300 on its own disk, with each partner
    oblivious vs smart. Its I/Os must be identical (compulsory only) and
    its elapsed time must not degrade materially. *)
+let scenario1 ~partner_smart ~seed name =
+  let alloc_policy = if partner_smart then Config.Lru_sp else Config.Global_lru in
+  Scenario.make ~seed ~cache_blocks:819 ~alloc_policy
+    [
+      Scenario.workload ~smart:false ~disk:1 "read300";
+      Scenario.workload ~smart:partner_smart ~disk:0 name;
+    ]
+
 let criterion1 ?jobs ?(runs = 3) () =
   Pool.with_pool ?jobs @@ fun pool ->
   List.map
     (fun name ->
-      let app, _ = Registry.find name in
-      let measure ~partner_smart ~alloc_policy =
+      let measure ~partner_smart =
         Measure.repeat_async pool ~runs (fun ~seed ->
-            Runner.run ~seed ~cache_blocks:819 ~alloc_policy
-              [
-                Runner.Spec.make ~smart:false ~disk:1 (Readn.app ~n:300 ~mode:`Oblivious ());
-                Runner.Spec.make ~smart:partner_smart ~disk:0 app;
-              ])
+            Scenario.run (scenario1 ~partner_smart ~seed name))
       in
-      let oblivious = measure ~partner_smart:false ~alloc_policy:Config.Global_lru in
-      let smart = measure ~partner_smart:true ~alloc_policy:Config.Lru_sp in
+      let oblivious = measure ~partner_smart:false in
+      let smart = measure ~partner_smart:true in
       fun () ->
         let oblivious = oblivious () and smart = smart () in
         let ios_o = mean_ios oblivious 0 and ios_s = mean_ios smart 0 in
@@ -46,27 +55,29 @@ let criterion1 ?jobs ?(runs = 3) () =
             Printf.sprintf "ios %.0f->%.0f, elapsed %.1fs->%.1fs" ios_o ios_s t_o t_s;
           pass = ios_s <= 1.01 *. ios_o && t_s <= 1.05 *. t_o;
         })
-    [ "din"; "cs2"; "gli"; "ldk" ]
+    criterion1_apps
   |> List.map (fun force -> force ())
 
 (* Criterion 2: placeholders bound the I/O damage a foolish manager can
    do to an oblivious victim. *)
+let scenario2 ~foolish ~n ~seed =
+  let bg =
+    if foolish then Scenario.workload ~smart:true ~disk:0 "read300!"
+    else Scenario.workload ~smart:false ~disk:0 "read300"
+  in
+  Scenario.make ~seed ~cache_blocks:819 ~alloc_policy:Config.Lru_sp
+    [ Scenario.workload ~smart:false ~disk:0 (Printf.sprintf "read%d" n); bg ]
+
 let criterion2 ?jobs ?(runs = 3) () =
   Pool.with_pool ?jobs @@ fun pool ->
   List.map
     (fun n ->
-      let measure ~bg_mode ~bg_smart ~alloc_policy =
+      let measure ~foolish =
         Measure.repeat_async pool ~runs (fun ~seed ->
-            Runner.run ~seed ~cache_blocks:819 ~alloc_policy
-              [
-                Runner.Spec.make ~smart:false ~disk:0 (Readn.app ~n ~mode:`Oblivious ());
-                Runner.Spec.make ~smart:bg_smart ~disk:0 (Readn.app ~n:300 ~mode:bg_mode ());
-              ])
+            Scenario.run (scenario2 ~foolish ~n ~seed))
       in
-      let baseline =
-        measure ~bg_mode:`Oblivious ~bg_smart:false ~alloc_policy:Config.Lru_sp
-      in
-      let attacked = measure ~bg_mode:`Foolish ~bg_smart:true ~alloc_policy:Config.Lru_sp in
+      let baseline = measure ~foolish:false in
+      let attacked = measure ~foolish:true in
       fun () ->
         let ios_b = mean_ios (baseline ()) 0 and ios_a = mean_ios (attacked ()) 0 in
         {
@@ -75,25 +86,27 @@ let criterion2 ?jobs ?(runs = 3) () =
           measured = Printf.sprintf "victim ios %.0f->%.0f" ios_b ios_a;
           pass = ios_a <= 1.05 *. ios_b;
         })
-    [ 390; 490 ]
+    criterion2_ns
   |> List.map (fun force -> force ())
 
 (* Criterion 3: smart never worse than oblivious, per app and size. *)
+let scenario3 ~mb ~smart ~seed name =
+  let alloc_policy = if smart then Config.Lru_sp else Config.Global_lru in
+  Scenario.make ~seed ~cache_blocks:(Scenario.blocks_of_mb mb) ~alloc_policy
+    [ Scenario.workload ~smart name ]
+
 let criterion3 ?jobs ?(runs = 3) ?(apps = List.map (fun (n, _, _) -> n) Registry.apps) () =
   Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
-      let app, disk = Registry.find name in
       List.map
         (fun mb ->
-          let cache_blocks = Runner.blocks_of_mb mb in
-          let measure ~smart ~alloc_policy =
+          let measure ~smart =
             Measure.repeat_async pool ~runs (fun ~seed ->
-                Runner.run ~seed ~cache_blocks ~alloc_policy
-                  [ Runner.Spec.make ~smart ~disk app ])
+                Scenario.run (scenario3 ~mb ~smart ~seed name))
           in
-          let oblivious = measure ~smart:false ~alloc_policy:Config.Global_lru in
-          let smart = measure ~smart:true ~alloc_policy:Config.Lru_sp in
+          let oblivious = measure ~smart:false in
+          let smart = measure ~smart:true in
           fun () ->
             let ios_o = mean_ios (oblivious ()) 0 and ios_s = mean_ios (smart ()) 0 in
             {
@@ -102,9 +115,40 @@ let criterion3 ?jobs ?(runs = 3) ?(apps = List.map (fun (n, _, _) -> n) Registry
               measured = Printf.sprintf "ios %.0f->%.0f" ios_o ios_s;
               pass = ios_s <= 1.03 *. ios_o;
             })
-        [ 6.4; 16.0 ])
+        criterion3_sizes)
     apps
   |> List.map (fun force -> force ())
+
+let scenarios ?(runs = 3) () =
+  let c1 =
+    List.concat_map
+      (fun name ->
+        List.concat_map
+          (fun partner_smart ->
+            List.init runs (fun seed -> scenario1 ~partner_smart ~seed name))
+          [ false; true ])
+      criterion1_apps
+  in
+  let c2 =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun foolish -> List.init runs (fun seed -> scenario2 ~foolish ~n ~seed))
+          [ false; true ])
+      criterion2_ns
+  in
+  let c3 =
+    List.concat_map
+      (fun (name, _, _) ->
+        List.concat_map
+          (fun mb ->
+            List.concat_map
+              (fun smart -> List.init runs (fun seed -> scenario3 ~mb ~smart ~seed name))
+              [ false; true ])
+          criterion3_sizes)
+      Registry.apps
+  in
+  c1 @ c2 @ c3
 
 let run_all ?jobs ?(runs = 3) () =
   criterion1 ?jobs ~runs () @ criterion2 ?jobs ~runs () @ criterion3 ?jobs ~runs ()

@@ -18,6 +18,21 @@
 
 type verdict = { criterion : string; detail : string; measured : string; pass : bool }
 
+val scenario1 : partner_smart:bool -> seed:int -> string -> Acfc_scenario.Scenario.t
+(** Criterion 1 cell: oblivious Read300 on disk 1, the named partner on
+    disk 0, under the matching kernel. *)
+
+val scenario2 : foolish:bool -> n:int -> seed:int -> Acfc_scenario.Scenario.t
+(** Criterion 2 cell: oblivious ReadN victim beside an oblivious or
+    foolish Read300, both on disk 0, under LRU-SP. *)
+
+val scenario3 : mb:float -> smart:bool -> seed:int -> string -> Acfc_scenario.Scenario.t
+(** Criterion 3 cell: the named application alone at a cache size,
+    oblivious under global LRU or smart under LRU-SP. *)
+
+val scenarios : ?runs:int -> unit -> Acfc_scenario.Scenario.t list
+(** Every scenario {!run_all} would execute, in order. *)
+
 val criterion1 : ?jobs:int -> ?runs:int -> unit -> verdict list
 (** One verdict per partner application (din, cs2, gli, ldk). [jobs]
     parallelises the underlying runs over domains with byte-identical

@@ -1,33 +1,40 @@
-module Config = Acfc_core.Config
-module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
 module Pool = Acfc_par.Pool
-open Acfc_workload
 
 type row = { app : string; bg_foolish : bool; smart_app : Measure.m }
 
 let default_apps = [ "din"; "cs2"; "gli"; "ldk" ]
 
+let scenario ~cache_mb ~bg_foolish ~seed name =
+  let bg =
+    if bg_foolish then Scenario.workload ~smart:true ~disk:0 "read300!"
+    else Scenario.workload ~smart:false ~disk:0 "read300"
+  in
+  Scenario.make ~seed
+    ~cache_blocks:(Scenario.blocks_of_mb cache_mb)
+    ~alloc_policy:Acfc_core.Config.Lru_sp
+    [ Scenario.workload ~smart:true name; bg ]
+
+let scenarios ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) () =
+  List.concat_map
+    (fun name ->
+      List.concat_map
+        (fun bg_foolish ->
+          List.init runs (fun seed -> scenario ~cache_mb ~bg_foolish ~seed name))
+        [ false; true ])
+    apps
+
 let run ?jobs ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) () =
-  let cache_blocks = Runner.blocks_of_mb cache_mb in
   Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
-      let app, disk = Registry.find name in
       List.map
         (fun bg_foolish ->
-          let bg =
-            if bg_foolish then Readn.app ~n:300 ~mode:`Foolish ()
-            else Readn.app ~n:300 ~mode:`Oblivious ()
-          in
           let deferred =
             Measure.repeat_async pool ~runs (fun ~seed ->
-                Runner.run ~seed ~cache_blocks ~alloc_policy:Config.Lru_sp
-                  [
-                    Runner.Spec.make ~smart:true ~disk app;
-                    Runner.Spec.make ~smart:bg_foolish ~disk:0 bg;
-                  ])
+                Scenario.run (scenario ~cache_mb ~bg_foolish ~seed name))
           in
           fun () ->
             {

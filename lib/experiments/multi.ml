@@ -1,5 +1,5 @@
 module Config = Acfc_core.Config
-module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 module Table = Acfc_stats.Table
 module Pool = Acfc_par.Pool
 
@@ -10,17 +10,33 @@ type row = {
   controlled : Measure.m;
 }
 
-let specs_of ~smart names =
-  List.map
-    (fun name ->
-      let app, disk = Registry.find name in
-      Runner.Spec.make ~smart ~disk app)
-    names
+(* The experiment as a scenario generator: one grid point — a mix, a
+   cache size, a kernel, a seed — maps to one machine description. *)
+let scenario ~mb ~kernel ~seed names =
+  let smart, alloc_policy =
+    match kernel with
+    | `Original -> (false, Config.Global_lru)
+    | `Controlled -> (true, Config.Lru_sp)
+  in
+  Scenario.make ~seed ~cache_blocks:(Scenario.blocks_of_mb mb) ~alloc_policy
+    (List.map (fun name -> Scenario.workload ~smart name) names)
 
-let measure pool ~runs ~cache_blocks ~alloc_policy ~smart names =
+let scenarios ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb)
+    ?(combos = Registry.fig5_combos) () =
+  List.concat_map
+    (fun names ->
+      List.concat_map
+        (fun mb ->
+          List.concat_map
+            (fun kernel -> List.init runs (fun seed -> scenario ~mb ~kernel ~seed names))
+            [ `Original; `Controlled ])
+        sizes)
+    combos
+
+let measure pool ~runs ~mb ~kernel names =
   let results =
     Measure.repeat_async pool ~runs (fun ~seed ->
-        Runner.run ~seed ~cache_blocks ~alloc_policy (specs_of ~smart names))
+        Scenario.run (scenario ~mb ~kernel ~seed names))
   in
   fun () -> Measure.total_summary (results ())
 
@@ -34,15 +50,8 @@ let run ?jobs ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb)
     (fun names ->
       List.map
         (fun mb ->
-          let cache_blocks = Runner.blocks_of_mb mb in
-          let original =
-            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Global_lru
-              ~smart:false names
-          in
-          let controlled =
-            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Lru_sp ~smart:true
-              names
-          in
+          let original = measure pool ~runs ~mb ~kernel:`Original names in
+          let controlled = measure pool ~runs ~mb ~kernel:`Controlled names in
           fun () ->
             {
               combo = Registry.combo_name names;

@@ -12,6 +12,24 @@ type row = {
   controlled : Measure.m;
 }
 
+val scenario :
+  mb:float ->
+  kernel:[ `Original | `Controlled ] ->
+  seed:int ->
+  string list ->
+  Acfc_scenario.Scenario.t
+(** The machine description for one grid cell: a combination of
+    application names at a cache size, oblivious under the original
+    kernel or smart under LRU-SP. *)
+
+val scenarios :
+  ?runs:int ->
+  ?sizes:float list ->
+  ?combos:string list list ->
+  unit ->
+  Acfc_scenario.Scenario.t list
+(** Every scenario {!run} would execute, in grid order. *)
+
 val run :
   ?jobs:int ->
   ?runs:int ->

@@ -1,9 +1,9 @@
 module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
 module Pool = Acfc_par.Pool
-open Acfc_workload
 
 type setting = Oblivious | Unprotected | Protected
 
@@ -21,30 +21,41 @@ let setting_name = function
 
 let settings = [ Oblivious; Unprotected; Protected ]
 
+(* "read300" is oblivious LRU; "read300!" foolishly keeps MRU order. *)
 let background = function
-  | Oblivious -> (Readn.app ~n:300 ~mode:`Oblivious (), false)
-  | Unprotected | Protected -> (Readn.app ~n:300 ~mode:`Foolish (), true)
+  | Oblivious -> Scenario.workload ~smart:false ~disk:0 "read300"
+  | Unprotected | Protected -> Scenario.workload ~smart:true ~disk:0 "read300!"
 
 let alloc_policy = function
   | Oblivious | Protected -> Config.Lru_sp
   | Unprotected -> Config.Lru_s
 
+let scenario ~cache_mb ~setting ~n ~seed =
+  Scenario.make ~seed
+    ~cache_blocks:(Scenario.blocks_of_mb cache_mb)
+    ~alloc_policy:(alloc_policy setting)
+    [
+      Scenario.workload ~smart:false ~disk:0 (Printf.sprintf "read%d" n);
+      background setting;
+    ]
+
+let scenarios ?(runs = 3) ?(cache_mb = 6.4) ?(ns = [ 390; 400; 490; 500 ]) () =
+  List.concat_map
+    (fun setting ->
+      List.concat_map
+        (fun n -> List.init runs (fun seed -> scenario ~cache_mb ~setting ~n ~seed))
+        ns)
+    settings
+
 let run ?jobs ?(runs = 3) ?(cache_mb = 6.4) ?(ns = [ 390; 400; 490; 500 ]) () =
-  let cache_blocks = Runner.blocks_of_mb cache_mb in
   Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun setting ->
-      let bg_app, bg_smart = background setting in
       List.map
         (fun n ->
-          let fg = Readn.app ~n ~mode:`Oblivious () in
           let deferred =
             Measure.repeat_async pool ~runs (fun ~seed ->
-                Runner.run ~seed ~cache_blocks ~alloc_policy:(alloc_policy setting)
-                  [
-                    Runner.Spec.make ~smart:false ~disk:0 fg;
-                    Runner.Spec.make ~smart:bg_smart ~disk:0 bg_app;
-                  ])
+                Scenario.run (scenario ~cache_mb ~setting ~n ~seed))
           in
           fun () ->
             let results = deferred () in

@@ -1,21 +1,8 @@
-open Acfc_workload
+module Catalog = Acfc_scenario.Catalog
 
-let apps =
-  [
-    ("din", Dinero.din, 0);
-    ("cs1", Cscope.cs1, 0);
-    ("cs3", Cscope.cs3, 0);
-    ("cs2", Cscope.cs2, 0);
-    ("gli", Glimpse.gli, 0);
-    ("ldk", Ld.ldk, 0);
-    ("pjn", Postgres.pjn, 1);
-    ("sort", Sort_app.sort, 1);
-  ]
+let apps = Catalog.apps
 
-let find name =
-  match List.find_opt (fun (n, _, _) -> n = name) apps with
-  | Some (_, app, disk) -> (app, disk)
-  | None -> raise Not_found
+let find = Catalog.find
 
 let fig5_combos =
   [
@@ -40,3 +27,23 @@ let fig6_combos =
   ]
 
 let combo_name names = String.concat "+" names
+
+let experiments =
+  [
+    ("fig4", "per-app elapsed time and block I/Os, LRU-SP vs the original kernel");
+    ("fig5", "the nine concurrent mixes under LRU-SP, normalised to the original kernel");
+    ("fig6", "ALLOC-LRU vs LRU-SP on five mixes: swapping is necessary");
+    ("table1", "placeholder protection of an oblivious ReadN against a foolish Read300");
+    ("table2", "smart applications beside an oblivious vs foolish Read300");
+    ("table3", "oblivious Read300 beside oblivious vs smart partners, one shared disk");
+    ("table4", "oblivious Read300 beside oblivious vs smart partners, own RZ26 disk");
+    ("table5", "elapsed seconds per app and cache size, original kernel vs LRU-SP");
+    ("table6", "block I/Os per app and cache size, original kernel vs LRU-SP");
+    ("ablations", "read-ahead, disk scheduling, update interval, layout, clustering, \
+                   CLOCK order and revocation sweeps");
+    ("criteria", "the paper's three allocation-policy criteria, checked mechanically");
+  ]
+
+let experiment_names = List.map fst experiments
+
+let describe name = List.assoc_opt name experiments

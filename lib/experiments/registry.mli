@@ -1,7 +1,11 @@
-(** The paper's application suite and experiment combinations.
+(** The paper's application suite, experiment combinations, and the
+    experiment index itself.
 
-    Disk placement follows Sec. 5.2: cs1–cs3, din, gli and ldk live on
-    the RZ56 (disk 0); pjn and sort on the RZ26 (disk 1). *)
+    Application resolution and disk placement (Sec. 5.2: cs1–cs3, din,
+    gli and ldk on the RZ56, disk 0; pjn and sort on the RZ26, disk 1)
+    live in {!Acfc_scenario.Catalog}; this module re-exports them for
+    the experiment grids and adds the catalogue of experiments that
+    [acfc-run report] and the bench harness expose. *)
 
 val apps : (string * Acfc_workload.App.t * int) list
 (** (name, app, disk index), in the paper's Figure 4 order. *)
@@ -17,3 +21,14 @@ val fig6_combos : string list list
 
 val combo_name : string list -> string
 (** "cs2+gli" etc. *)
+
+val experiments : (string * string) list
+(** Every runnable experiment with a one-line description, in report
+    order: the nine paper artifacts, then ablations and criteria. The
+    CLI derives its help and [--list] output from this — there is no
+    other list to keep in sync. *)
+
+val experiment_names : string list
+
+val describe : string -> string option
+(** The one-line description of an experiment, if it exists. *)

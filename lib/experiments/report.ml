@@ -46,6 +46,19 @@ let run_artifact opts ppf = function
       (Smart_oblivious.run ?jobs:opts.jobs ~runs:opts.runs ~two_disks:true ())
   | name -> invalid_arg ("Report.run_artifact: unknown artifact " ^ name)
 
+let artifact_scenarios opts = function
+  | "fig4" | "table5" | "table6" ->
+    Single.scenarios ~runs:opts.runs ~sizes:opts.sizes ()
+  | "fig5" -> Multi.scenarios ~runs:opts.runs ~sizes:opts.sizes ()
+  | "fig6" -> Alloc_lru.scenarios ~runs:opts.runs ~sizes:opts.sizes ()
+  | "table1" -> Placeholders.scenarios ~runs:opts.runs ()
+  | "table2" -> Foolish.scenarios ~runs:opts.runs ()
+  | "table3" -> Smart_oblivious.scenarios ~runs:opts.runs ~two_disks:false ()
+  | "table4" -> Smart_oblivious.scenarios ~runs:opts.runs ~two_disks:true ()
+  | "ablations" -> Ablations.scenarios ~runs:opts.runs ()
+  | "criteria" -> Criteria.scenarios ~runs:opts.runs ()
+  | _ -> []
+
 let run_all opts ppf =
   run_single_family opts ppf [ `Fig4; `Table5; `Table6 ];
   List.iter

@@ -21,6 +21,13 @@ val artifacts : string list
 (** ["fig4"; "fig5"; "fig6"; "table1"; "table2"; "table3"; "table4";
     "table5"; "table6"] *)
 
+val artifact_scenarios : options -> string -> Acfc_scenario.Scenario.t list
+(** The full scenario grid an artifact (including "ablations" and
+    "criteria") runs under these options, in execution order — what
+    the bench harness fingerprints ({!Acfc_scenario.Scenario.hash_list})
+    to make every reported number traceable to exact machine
+    descriptions. Unknown names yield [[]]. *)
+
 val run_artifact : options -> Format.formatter -> string -> unit
 (** Regenerate one artifact by name and print it. Raises
     [Invalid_argument] for unknown names. Note fig4/table5/table6 share

@@ -1,5 +1,5 @@
 module Config = Acfc_core.Config
-module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
 module Pool = Acfc_par.Pool
@@ -11,42 +11,58 @@ type row = {
   controlled : Measure.m;
 }
 
-let measure pool ~runs ~cache_blocks ~alloc_policy ~smart (app, disk) =
+let scenario ~mb ~kernel ~seed name =
+  let smart, alloc_policy =
+    match kernel with
+    | `Original -> (false, Config.Global_lru)
+    | `Controlled -> (true, Config.Lru_sp)
+  in
+  Scenario.make ~seed ~cache_blocks:(Scenario.blocks_of_mb mb) ~alloc_policy
+    [ Scenario.workload ~smart name ]
+
+let scenarios ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb) ?apps () =
+  let names =
+    match apps with
+    | None -> List.map (fun (name, _, _) -> name) Registry.apps
+    | Some names -> names
+  in
+  List.concat_map
+    (fun name ->
+      List.concat_map
+        (fun mb ->
+          List.concat_map
+            (fun kernel -> List.init runs (fun seed -> scenario ~mb ~kernel ~seed name))
+            [ `Original; `Controlled ])
+        sizes)
+    names
+
+let measure pool ~runs ~mb ~kernel name =
   let results =
     Measure.repeat_async pool ~runs (fun ~seed ->
-        Runner.run ~seed ~cache_blocks ~alloc_policy [ Runner.Spec.make ~smart ~disk app ])
+        Scenario.run (scenario ~mb ~kernel ~seed name))
   in
   fun () -> Measure.app_summary (results ()) ~index:0
 
 let run ?jobs ?(runs = 3) ?(sizes = Paper_data.cache_sizes_mb) ?apps () =
-  let selected =
+  let names =
     match apps with
-    | None -> Registry.apps
+    | None -> List.map (fun (name, _, _) -> name) Registry.apps
     | Some names ->
-      List.map
-        (fun name ->
-          let app, disk = Registry.find name in
-          (name, app, disk))
-        names
+      (* Validate up front so a typo fails before any cell runs. *)
+      List.iter (fun name -> ignore (Registry.find name)) names;
+      names
   in
   Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
-    (fun (name, app, disk) ->
+    (fun name ->
       List.map
         (fun mb ->
-          let cache_blocks = Runner.blocks_of_mb mb in
-          let original =
-            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Global_lru
-              ~smart:false (app, disk)
-          in
-          let controlled =
-            measure pool ~runs ~cache_blocks ~alloc_policy:Config.Lru_sp ~smart:true
-              (app, disk)
-          in
+          let original = measure pool ~runs ~mb ~kernel:`Original name in
+          let controlled = measure pool ~runs ~mb ~kernel:`Controlled name in
           fun () ->
             { app = name; mb; original = original (); controlled = controlled () })
         sizes)
-    selected
+    names
   |> List.map (fun force -> force ())
 
 let by_app rows =

@@ -12,6 +12,24 @@ type row = {
   controlled : Measure.m;
 }
 
+val scenario :
+  mb:float ->
+  kernel:[ `Original | `Controlled ] ->
+  seed:int ->
+  string ->
+  Acfc_scenario.Scenario.t
+(** The machine description for one grid cell: one application alone at
+    a cache size, oblivious under the original kernel or smart under
+    LRU-SP. *)
+
+val scenarios :
+  ?runs:int ->
+  ?sizes:float list ->
+  ?apps:string list ->
+  unit ->
+  Acfc_scenario.Scenario.t list
+(** Every scenario {!run} would execute, in grid order. *)
+
 val run :
   ?jobs:int -> ?runs:int -> ?sizes:float list -> ?apps:string list -> unit -> row list
 (** Defaults: 3 runs (the paper uses 5), the paper's four cache sizes,

@@ -1,9 +1,8 @@
 module Config = Acfc_core.Config
-module Runner = Acfc_workload.Runner
+module Scenario = Acfc_scenario.Scenario
 module Summary = Acfc_stats.Summary
 module Table = Acfc_stats.Table
 module Pool = Acfc_par.Pool
-open Acfc_workload
 
 type row = {
   app : string;
@@ -14,28 +13,38 @@ type row = {
 
 let default_apps = [ "din"; "cs2"; "gli"; "ldk" ]
 
-let run ?jobs ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) ~two_disks () =
-  let cache_blocks = Runner.blocks_of_mb cache_mb in
+let scenario ~cache_mb ~two_disks ~partner_smart ~seed name =
   let read300_disk = if two_disks then 1 else 0 in
+  let alloc_policy = if partner_smart then Config.Lru_sp else Config.Global_lru in
+  Scenario.make ~seed
+    ~cache_blocks:(Scenario.blocks_of_mb cache_mb)
+    ~alloc_policy
+    [
+      Scenario.workload ~smart:false ~disk:read300_disk "read300";
+      (* The partner always runs on the RZ56 in these experiments
+         (paper Sec. 6.2). *)
+      Scenario.workload ~smart:partner_smart ~disk:0 name;
+    ]
+
+let scenarios ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) ~two_disks () =
+  List.concat_map
+    (fun name ->
+      List.concat_map
+        (fun partner_smart ->
+          List.init runs (fun seed ->
+              scenario ~cache_mb ~two_disks ~partner_smart ~seed name))
+        [ false; true ])
+    apps
+
+let run ?jobs ?(runs = 3) ?(cache_mb = 6.4) ?(apps = default_apps) ~two_disks () =
   Pool.with_pool ?jobs @@ fun pool ->
   List.concat_map
     (fun name ->
-      let app, _paper_disk = Registry.find name in
       List.map
         (fun partner_smart ->
-          let bg = Readn.app ~n:300 ~mode:`Oblivious () in
-          let alloc_policy =
-            if partner_smart then Config.Lru_sp else Config.Global_lru
-          in
           let deferred =
             Measure.repeat_async pool ~runs (fun ~seed ->
-                Runner.run ~seed ~cache_blocks ~alloc_policy
-                  [
-                    Runner.Spec.make ~smart:false ~disk:read300_disk bg;
-                    (* The partner always runs on the RZ56 in these
-                       experiments (paper Sec. 6.2). *)
-                    Runner.Spec.make ~smart:partner_smart ~disk:0 app;
-                  ])
+                Scenario.run (scenario ~cache_mb ~two_disks ~partner_smart ~seed name))
           in
           fun () ->
             {

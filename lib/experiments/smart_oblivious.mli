@@ -14,6 +14,26 @@ type row = {
   read300 : Measure.m;
 }
 
+val scenario :
+  cache_mb:float ->
+  two_disks:bool ->
+  partner_smart:bool ->
+  seed:int ->
+  string ->
+  Acfc_scenario.Scenario.t
+(** One grid cell: an oblivious Read300 (disk 1 when [two_disks])
+    beside the named partner on disk 0, under LRU-SP when the partner
+    is smart and global LRU otherwise. *)
+
+val scenarios :
+  ?runs:int ->
+  ?cache_mb:float ->
+  ?apps:string list ->
+  two_disks:bool ->
+  unit ->
+  Acfc_scenario.Scenario.t list
+(** Every scenario {!run} would execute, in grid order. *)
+
 val run :
   ?jobs:int ->
   ?runs:int ->

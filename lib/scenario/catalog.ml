@@ -1,0 +1,55 @@
+open Acfc_workload
+
+type entry = { app : App.t; disk : int; smart_default : bool }
+
+let apps =
+  [
+    ("din", Dinero.din, 0);
+    ("cs1", Cscope.cs1, 0);
+    ("cs3", Cscope.cs3, 0);
+    ("cs2", Cscope.cs2, 0);
+    ("gli", Glimpse.gli, 0);
+    ("ldk", Ld.ldk, 0);
+    ("pjn", Postgres.pjn, 1);
+    ("sort", Sort_app.sort, 1);
+  ]
+
+let app_names = List.map (fun (n, _, _) -> n) apps
+
+(* "read300" -> Some (300, `Oblivious); "read300!" -> Some (300, `Foolish) *)
+let parse_readn name =
+  let foolish = String.length name > 0 && name.[String.length name - 1] = '!' in
+  let base = if foolish then String.sub name 0 (String.length name - 1) else name in
+  if String.length base > 4 && String.sub base 0 4 = "read" then
+    match int_of_string_opt (String.sub base 4 (String.length base - 4)) with
+    | Some n when n > 0 -> Some (n, if foolish then `Foolish else `Oblivious)
+    | Some _ | None -> None
+  else None
+
+let resolve ?file_blocks name =
+  match List.find_opt (fun (n, _, _) -> n = name) apps with
+  | Some (_, app, disk) ->
+    (match file_blocks with
+    | Some _ ->
+      Error
+        (Printf.sprintf "application %S does not take file_blocks (readN only)" name)
+    | None -> Ok { app; disk; smart_default = true })
+  | None ->
+    (match parse_readn name with
+    | Some (n, mode) ->
+      Ok
+        {
+          app = Readn.app ?file_blocks ~n ~mode ();
+          disk = 0;
+          smart_default = (mode = `Foolish);
+        }
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown application %S (expected one of %s, or readN / readN!)" name
+           (String.concat ", " app_names)))
+
+let find name =
+  match resolve name with
+  | Ok { app; disk; _ } -> (app, disk)
+  | Error _ -> raise Not_found

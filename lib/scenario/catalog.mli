@@ -1,0 +1,37 @@
+(** The catalog of named applications a scenario can reference.
+
+    This is the single home of the paper's application suite and its
+    disk assignment (Sec. 5.2: cs1–cs3, din, gli and ldk live on the
+    RZ56, disk 0; pjn and sort on the RZ26, disk 1), plus the readN /
+    readN! microbenchmark family of Sec. 6.1. Everything that needs to
+    turn an application {e name} into a runnable {!Acfc_workload.App.t}
+    — scenario files, the experiment grids, the command line — resolves
+    it here, so the assignment can never drift between layers. *)
+
+type entry = {
+  app : Acfc_workload.App.t;
+  disk : int;  (** the paper's default disk index for this application *)
+  smart_default : bool;
+      (** whether the application applies its caching strategy unless
+          explicitly asked not to (paper apps and readN! do; plain
+          readN is oblivious by construction) *)
+}
+
+val apps : (string * Acfc_workload.App.t * int) list
+(** The eight paper applications as (name, app, default disk), in the
+    paper's Figure 4 order. *)
+
+val app_names : string list
+(** Names of {!apps}, in order. *)
+
+val resolve : ?file_blocks:int -> string -> (entry, string) result
+(** Resolve an application name: one of {!apps}, or ["readN"] /
+    ["readN!"] (e.g. ["read300"], ["read300!"]) for the oblivious /
+    foolish-MRU ReadN microbenchmark. [file_blocks] sizes the readN
+    backing file (default 1200 blocks) and is an error for any other
+    application. The error string names the unknown application or the
+    misapplied knob. *)
+
+val find : string -> Acfc_workload.App.t * int
+(** [resolve] without knobs, for contexts that want an exception:
+    raises [Not_found] on an unknown name. *)

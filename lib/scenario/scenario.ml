@@ -1,0 +1,756 @@
+open Acfc_sim
+module Config = Acfc_core.Config
+module Control = Acfc_core.Control
+module Pid = Acfc_core.Pid
+module Cache = Acfc_core.Cache
+module Bus = Acfc_disk.Bus
+module Disk = Acfc_disk.Disk
+module Params = Acfc_disk.Params
+module App = Acfc_workload.App
+module Env = Acfc_workload.Env
+module Runner = Acfc_workload.Runner
+module Spec = Runner.Spec
+module Json = Acfc_obs.Json
+
+type disk = { params : Params.t; sched : Disk.sched }
+
+type workload = {
+  app : string;
+  smart : bool;
+  disk : int;
+  file_blocks : int option;
+}
+
+type obs_spec = { trace_path : string option; metrics_path : string option }
+
+type t = {
+  seed : int;
+  config : Config.t;
+  update_interval : float;
+  hit_cost : float option;
+  io_cpu_cost : float option;
+  write_cluster : int option;
+  readahead : bool option;
+  scattered_layout : bool;
+  disks : disk list;
+  workloads : workload list;
+  obs : obs_spec;
+}
+
+let default_disks =
+  [ { params = Params.rz56; sched = Disk.Fcfs }; { params = Params.rz26; sched = Disk.Fcfs } ]
+
+let no_obs = { trace_path = None; metrics_path = None }
+
+let blocks_of_mb = Runner.blocks_of_mb
+
+let workload ?smart ?disk ?file_blocks app =
+  match Catalog.resolve ?file_blocks app with
+  | Error msg -> invalid_arg ("Scenario.workload: " ^ msg)
+  | Ok entry ->
+    {
+      app;
+      smart = Option.value smart ~default:entry.Catalog.smart_default;
+      disk = Option.value disk ~default:entry.Catalog.disk;
+      file_blocks;
+    }
+
+let make ?(seed = 0) ?(disks = default_disks) ?disk_sched ?(update_interval = 30.0)
+    ?hit_cost ?io_cpu_cost ?write_cluster ?readahead ?(scattered_layout = false)
+    ?revocation ?shared_files ?config ?(obs = no_obs) ?cache_blocks ?alloc_policy
+    workloads =
+  let config =
+    match (config, cache_blocks) with
+    | Some _, Some _ ->
+      invalid_arg "Scenario.make: pass cache_blocks or config, not both"
+    | Some c, None ->
+      if revocation <> None || shared_files <> None || alloc_policy <> None then
+        invalid_arg "Scenario.make: pass cache knobs or a full config, not both"
+      else c
+    | None, Some capacity_blocks ->
+      Config.make ?alloc_policy ?revocation ?shared_files ~capacity_blocks ()
+    | None, None -> invalid_arg "Scenario.make: cache_blocks (or config) is required"
+  in
+  let disks =
+    match disk_sched with
+    | None -> disks
+    | Some sched -> List.map (fun d -> { d with sched }) disks
+  in
+  if disks = [] then invalid_arg "Scenario.make: no disks";
+  if workloads = [] then invalid_arg "Scenario.make: no workloads";
+  List.iter
+    (fun w ->
+      if w.disk < 0 || w.disk >= List.length disks then
+        invalid_arg "Scenario.make: disk index out of range")
+    workloads;
+  {
+    seed;
+    config;
+    update_interval;
+    hit_cost;
+    io_cpu_cost;
+    write_cluster;
+    readahead;
+    scattered_layout;
+    disks;
+    workloads;
+    obs;
+  }
+
+(* {2 Machine assembly}
+
+   This is the historical [Runner.run] body, moved here wholesale. The
+   order of every [Rng.split] and [Engine.spawn] is load-bearing: it is
+   what keeps scenario-built runs bit-identical to the pre-scenario
+   code (and to the golden snapshots). Do not reorder. *)
+
+type machine = {
+  engine : Engine.t;
+  bus : Bus.t;
+  disk_array : Disk.t array;
+  cpu : Resource.t;
+  fs : Acfc_fs.Fs.t;
+  cache : Cache.t;
+  rng : Rng.t;
+}
+
+let assemble ?tracer ?obs ~seed ~disks ~update_interval:_ ~hit_cost ~io_cpu_cost
+    ~write_cluster ~readahead ~scattered_layout ~config specs =
+  if specs = [] then invalid_arg "Scenario.run: no applications";
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let bus = Bus.create engine () in
+  let disk_array =
+    Array.of_list
+      (List.map
+         (fun d -> Disk.create engine ~bus ~rng:(Rng.split rng) ~sched:d.sched d.params)
+         disks)
+  in
+  List.iter
+    (fun spec ->
+      if spec.Spec.disk < 0 || spec.Spec.disk >= Array.length disk_array then
+        invalid_arg "Scenario.run: disk index out of range")
+    specs;
+  let cpu = Resource.create engine ~name:"cpu" ~servers:1 () in
+  let layout = if scattered_layout then `Scattered (Rng.split rng) else `Packed in
+  let fs =
+    Acfc_fs.Fs.create engine ~config ~cpu ?hit_cost ?io_cpu_cost ?write_cluster
+      ?readahead ~layout ()
+  in
+  let cache = Acfc_fs.Fs.cache fs in
+  (match tracer with Some f -> Cache.set_tracer cache (Some f) | None -> ());
+  (* Thread the observability sink through every layer of the machine.
+     The engine goes first: it points the sink's clock at virtual time,
+     so all later events carry simulated timestamps. *)
+  (match obs with
+  | None -> ()
+  | Some sink ->
+    Engine.set_obs engine (Some sink);
+    Cache.set_obs cache (Some sink);
+    Acfc_fs.Fs.set_obs fs (Some sink);
+    Bus.set_obs bus (Some sink);
+    Array.iter (fun d -> Disk.set_obs d (Some sink)) disk_array;
+    let m = Acfc_obs.Sink.metrics sink in
+    List.iteri
+      (fun i spec ->
+        let pid = Pid.make i in
+        let prefix = Printf.sprintf "app.%d.%s" i spec.Spec.app.App.name in
+        Acfc_obs.Metrics.gauge m (prefix ^ ".hits") (fun () ->
+            float_of_int (Cache.pid_hits cache pid));
+        Acfc_obs.Metrics.gauge m (prefix ^ ".misses") (fun () ->
+            float_of_int (Cache.pid_misses cache pid));
+        Acfc_obs.Metrics.gauge m (prefix ^ ".hit_ratio") (fun () ->
+            let h = Cache.pid_hits cache pid and m = Cache.pid_misses cache pid in
+            if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m));
+        Acfc_obs.Metrics.gauge m (prefix ^ ".block_ios") (fun () ->
+            float_of_int (Acfc_fs.Fs.pid_block_ios fs pid)))
+      specs);
+  { engine; bus; disk_array; cpu; fs; cache; rng }
+
+let run_assembled machine ~update_interval specs =
+  let { engine; disk_array; fs; cache; rng; _ } = machine in
+  let stop_daemon = Acfc_fs.Fs.spawn_update_daemon fs ~interval:update_interval () in
+  let finish_times = Array.make (List.length specs) 0.0 in
+  let done_ivars =
+    List.mapi
+      (fun i spec ->
+        let pid = Pid.make i in
+        let control =
+          if spec.Spec.smart then
+            match Control.attach cache pid with
+            | Ok c -> Some c
+            | Error e ->
+              failwith
+                ("Scenario: manager registration failed: " ^ Acfc_core.Error.to_string e)
+          else None
+        in
+        let env =
+          {
+            Env.engine;
+            fs;
+            pid;
+            control;
+            cpu = Some machine.cpu;
+            rng = Rng.split rng;
+          }
+        in
+        let iv = Ivar.create engine in
+        Engine.spawn engine ~name:spec.Spec.app.App.name (fun () ->
+            spec.Spec.app.App.run env ~disk:disk_array.(spec.Spec.disk);
+            finish_times.(i) <- Engine.now engine;
+            Ivar.fill iv ());
+        iv)
+      specs
+  in
+  Engine.spawn engine ~name:"coordinator" (fun () ->
+      List.iter Ivar.read done_ivars;
+      (* Flush what the applications left dirty so write I/Os are fully
+         accounted, then let the update daemon exit. *)
+      ignore (Acfc_fs.Fs.sync fs);
+      stop_daemon ());
+  Engine.run engine;
+  let apps =
+    List.mapi
+      (fun i spec ->
+        let pid = Pid.make i in
+        {
+          Runner.app_name = spec.Spec.app.App.name;
+          pid;
+          elapsed = finish_times.(i);
+          disk_reads = Acfc_fs.Fs.pid_disk_reads fs pid;
+          disk_writes = Acfc_fs.Fs.pid_disk_writes fs pid;
+          block_ios = Acfc_fs.Fs.pid_block_ios fs pid;
+          cache_hits = Cache.pid_hits cache pid;
+          cache_misses = Cache.pid_misses cache pid;
+        })
+      specs
+  in
+  {
+    Runner.apps;
+    makespan = Array.fold_left Float.max 0.0 finish_times;
+    total_ios = Acfc_fs.Fs.total_block_ios fs;
+    cache_hits = Cache.hits cache;
+    cache_misses = Cache.misses cache;
+    overrules = Cache.overrule_count cache;
+    placeholders_created = Cache.placeholders_created cache;
+    placeholders_used = Cache.placeholders_used cache;
+    engine_events = Engine.events_processed engine;
+  }
+
+let run_specs ?(seed = 0) ?disks ?disk_sched ?(update_interval = 30.0) ?hit_cost
+    ?io_cpu_cost ?write_cluster ?readahead ?(scattered_layout = false) ?revocation
+    ?shared_files ?tracer ?obs ~cache_blocks ~alloc_policy specs =
+  let disks =
+    match disks with
+    | None -> default_disks
+    | Some params -> List.map (fun p -> { params = p; sched = Disk.Fcfs }) params
+  in
+  let disks =
+    match disk_sched with
+    | None -> disks
+    | Some sched -> List.map (fun d -> { d with sched }) disks
+  in
+  let config =
+    Config.make ~alloc_policy ?revocation ?shared_files ~capacity_blocks:cache_blocks ()
+  in
+  let machine =
+    assemble ?tracer ?obs ~seed ~disks ~update_interval ~hit_cost ~io_cpu_cost
+      ~write_cluster ~readahead ~scattered_layout ~config specs
+  in
+  run_assembled machine ~update_interval specs
+
+let spec_of_workload w =
+  match Catalog.resolve ?file_blocks:w.file_blocks w.app with
+  | Ok entry -> Spec.make ~smart:w.smart ~disk:w.disk entry.Catalog.app
+  | Error msg -> failwith ("Scenario: " ^ msg)
+
+let build ?tracer ?obs t =
+  let specs = List.map spec_of_workload t.workloads in
+  assemble ?tracer ?obs ~seed:t.seed ~disks:t.disks ~update_interval:t.update_interval
+    ~hit_cost:t.hit_cost ~io_cpu_cost:t.io_cpu_cost ~write_cluster:t.write_cluster
+    ~readahead:t.readahead ~scattered_layout:t.scattered_layout ~config:t.config specs
+
+let run ?tracer ?obs t =
+  let specs = List.map spec_of_workload t.workloads in
+  let machine =
+    assemble ?tracer ?obs ~seed:t.seed ~disks:t.disks
+      ~update_interval:t.update_interval ~hit_cost:t.hit_cost
+      ~io_cpu_cost:t.io_cpu_cost ~write_cluster:t.write_cluster
+      ~readahead:t.readahead ~scattered_layout:t.scattered_layout ~config:t.config
+      specs
+  in
+  run_assembled machine ~update_interval:t.update_interval specs
+
+(* {2 Serialisation} *)
+
+let schema = "acfc-scenario/1"
+
+let sched_to_string = function Disk.Fcfs -> "fcfs" | Disk.Scan -> "scan"
+
+let sched_of_string = function
+  | "fcfs" -> Some Disk.Fcfs
+  | "scan" -> Some Disk.Scan
+  | _ -> None
+
+let shared_files_to_string = function
+  | Config.Transfer -> "transfer"
+  | Config.Sticky -> "sticky"
+
+let shared_files_of_string = function
+  | "transfer" -> Some Config.Transfer
+  | "sticky" -> Some Config.Sticky
+  | _ -> None
+
+let named_drives = [ ("rz56", Params.rz56); ("rz26", Params.rz26) ]
+
+let num_i n = Json.Num (float_of_int n)
+
+let drive_to_json (p : Params.t) =
+  match List.find_opt (fun (_, q) -> q = p) named_drives with
+  | Some (name, _) -> Json.Str name
+  | None ->
+    Json.Obj
+      [
+        ("name", Json.Str p.Params.name);
+        ("capacity_blocks", num_i p.Params.capacity_blocks);
+        ("min_seek_ms", Json.Num p.Params.min_seek_ms);
+        ("avg_seek_ms", Json.Num p.Params.avg_seek_ms);
+        ("max_seek_ms", Json.Num p.Params.max_seek_ms);
+        ("avg_rot_ms", Json.Num p.Params.avg_rot_ms);
+        ("transfer_mb_per_s", Json.Num p.Params.transfer_mb_per_s);
+        ("overhead_ms", Json.Num p.Params.overhead_ms);
+        ("seq_rot_factor", Json.Num p.Params.seq_rot_factor);
+      ]
+
+let to_json t =
+  let c = t.config in
+  let cache =
+    [
+      ("capacity_blocks", num_i c.Config.capacity_blocks);
+      ("alloc_policy", Json.Str (Config.alloc_policy_to_string c.Config.alloc_policy));
+    ]
+    @ (if c.Config.max_managers <> 64 then
+         [ ("max_managers", num_i c.Config.max_managers) ]
+       else [])
+    @ (if c.Config.max_levels <> 32 then [ ("max_levels", num_i c.Config.max_levels) ]
+       else [])
+    @ (if c.Config.max_file_records <> 1024 then
+         [ ("max_file_records", num_i c.Config.max_file_records) ]
+       else [])
+    @ (if c.Config.max_placeholders <> c.Config.capacity_blocks then
+         [ ("max_placeholders", num_i c.Config.max_placeholders) ]
+       else [])
+    @ (match c.Config.revocation with
+      | None -> []
+      | Some r ->
+        [
+          ( "revocation",
+            Json.Obj
+              [
+                ("min_decisions", num_i r.Config.min_decisions);
+                ("mistake_ratio", Json.Num r.Config.mistake_ratio);
+              ] );
+        ])
+    @
+    match c.Config.shared_files with
+    | Config.Transfer -> []
+    | sf -> [ ("shared_files", Json.Str (shared_files_to_string sf)) ]
+  in
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
+  let cpu =
+    opt "hit_cost" (fun v -> Json.Num v) t.hit_cost
+    @ opt "io_cpu_cost" (fun v -> Json.Num v) t.io_cpu_cost
+  in
+  let fs =
+    opt "readahead" (fun v -> Json.Bool v) t.readahead
+    @ opt "write_cluster" num_i t.write_cluster
+    @ (if t.scattered_layout then [ ("scattered_layout", Json.Bool true) ] else [])
+    @
+    if t.update_interval <> 30.0 then
+      [ ("update_interval_s", Json.Num t.update_interval) ]
+    else []
+  in
+  let disks =
+    List.map
+      (fun d ->
+        Json.Obj
+          [ ("drive", drive_to_json d.params); ("sched", Json.Str (sched_to_string d.sched)) ])
+      t.disks
+  in
+  let workloads =
+    List.map
+      (fun w ->
+        Json.Obj
+          ([
+             ("app", Json.Str w.app);
+             ("smart", Json.Bool w.smart);
+             ("disk", num_i w.disk);
+           ]
+          @ opt "file_blocks" num_i w.file_blocks))
+      t.workloads
+  in
+  let obs =
+    opt "trace" (fun p -> Json.Str p) t.obs.trace_path
+    @ opt "metrics" (fun p -> Json.Str p) t.obs.metrics_path
+  in
+  Json.Obj
+    ([ ("schema", Json.Str schema); ("seed", num_i t.seed); ("cache", Json.Obj cache) ]
+    @ (if cpu <> [] then [ ("cpu", Json.Obj cpu) ] else [])
+    @ (if fs <> [] then [ ("fs", Json.Obj fs) ] else [])
+    @ [ ("disks", Json.List disks); ("workloads", Json.List workloads) ]
+    @ if obs <> [] then [ ("obs", Json.Obj obs) ] else [])
+
+(* {3 Parsing} *)
+
+let ( let* ) = Result.bind
+
+let err path msg = Error (Printf.sprintf "scenario: %s at %s" msg path)
+
+let fields ~path ~known j =
+  match j with
+  | Json.Obj members ->
+    let* () =
+      List.fold_left
+        (fun acc (k, _) ->
+          let* () = acc in
+          if List.mem k known then Ok ()
+          else err path (Printf.sprintf "unknown field %S" k))
+        (Ok ()) members
+    in
+    Ok members
+  | _ -> err path "expected an object"
+
+let field name members = List.assoc_opt name members
+
+let require ~path name members =
+  match field name members with
+  | Some v -> Ok v
+  | None -> err path (Printf.sprintf "missing required field %S" name)
+
+let as_int ~path = function
+  | Json.Num _ as v ->
+    (match Json.to_int v with
+    | Some n -> Ok n
+    | None -> err path "expected an integer")
+  | _ -> err path "expected an integer"
+
+let as_num ~path = function
+  | Json.Num x -> Ok x
+  | _ -> err path "expected a number"
+
+let as_str ~path = function
+  | Json.Str s -> Ok s
+  | _ -> err path "expected a string"
+
+let as_bool ~path = function
+  | Json.Bool b -> Ok b
+  | _ -> err path "expected a boolean"
+
+let as_list ~path = function
+  | Json.List l -> Ok l
+  | _ -> err path "expected a list"
+
+let opt_field ~path name conv members =
+  match field name members with
+  | None -> Ok None
+  | Some v ->
+    let* v = conv ~path:(path ^ "." ^ name) v in
+    Ok (Some v)
+
+(* Fold a parser over list elements with indexed paths. *)
+let mapi_result ~path f l =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest ->
+      let* v = f ~path:(Printf.sprintf "%s[%d]" path i) x in
+      go (i + 1) (v :: acc) rest
+  in
+  go 0 [] l
+
+let parse_revocation ~path j =
+  let* members = fields ~path ~known:[ "min_decisions"; "mistake_ratio" ] j in
+  let* md = require ~path "min_decisions" members in
+  let* min_decisions = as_int ~path:(path ^ ".min_decisions") md in
+  let* mr = require ~path "mistake_ratio" members in
+  let* mistake_ratio = as_num ~path:(path ^ ".mistake_ratio") mr in
+  Ok { Config.min_decisions; mistake_ratio }
+
+let parse_cache ~path j =
+  let* members =
+    fields ~path
+      ~known:
+        [
+          "capacity_blocks";
+          "alloc_policy";
+          "max_managers";
+          "max_levels";
+          "max_file_records";
+          "max_placeholders";
+          "revocation";
+          "shared_files";
+        ]
+      j
+  in
+  let* cb = require ~path "capacity_blocks" members in
+  let* capacity_blocks = as_int ~path:(path ^ ".capacity_blocks") cb in
+  let* alloc_policy =
+    match field "alloc_policy" members with
+    | None -> Ok Config.Lru_sp
+    | Some v ->
+      let path = path ^ ".alloc_policy" in
+      let* s = as_str ~path v in
+      (match Config.alloc_policy_of_string s with
+      | Some p -> Ok p
+      | None ->
+        err path
+          (Printf.sprintf
+             "unknown allocation policy %S (expected global-lru, alloc-lru, lru-s, \
+              lru-sp or clock-sp)"
+             s))
+  in
+  let* max_managers = opt_field ~path "max_managers" as_int members in
+  let* max_levels = opt_field ~path "max_levels" as_int members in
+  let* max_file_records = opt_field ~path "max_file_records" as_int members in
+  let* max_placeholders = opt_field ~path "max_placeholders" as_int members in
+  let* revocation = opt_field ~path "revocation" parse_revocation members in
+  let* shared_files =
+    match field "shared_files" members with
+    | None -> Ok None
+    | Some v ->
+      let path = path ^ ".shared_files" in
+      let* s = as_str ~path v in
+      (match shared_files_of_string s with
+      | Some sf -> Ok (Some sf)
+      | None ->
+        err path (Printf.sprintf "unknown shared_files mode %S (expected transfer or sticky)" s))
+  in
+  try
+    Ok
+      (Config.make ~alloc_policy ?max_managers ?max_levels ?max_file_records
+         ?max_placeholders ?revocation ?shared_files ~capacity_blocks ())
+  with Invalid_argument m -> err path m
+
+let parse_drive ~path j =
+  match j with
+  | Json.Str name ->
+    (match List.assoc_opt name named_drives with
+    | Some p -> Ok p
+    | None ->
+      err path
+        (Printf.sprintf "unknown drive %S (expected rz56, rz26 or a parameter object)"
+           name))
+  | Json.Obj _ ->
+    let* members =
+      fields ~path
+        ~known:
+          [
+            "name";
+            "capacity_blocks";
+            "min_seek_ms";
+            "avg_seek_ms";
+            "max_seek_ms";
+            "avg_rot_ms";
+            "transfer_mb_per_s";
+            "overhead_ms";
+            "seq_rot_factor";
+          ]
+        j
+    in
+    let str name =
+      let* v = require ~path name members in
+      as_str ~path:(path ^ "." ^ name) v
+    in
+    let int name =
+      let* v = require ~path name members in
+      as_int ~path:(path ^ "." ^ name) v
+    in
+    let num name =
+      let* v = require ~path name members in
+      as_num ~path:(path ^ "." ^ name) v
+    in
+    let* name = str "name" in
+    let* capacity_blocks = int "capacity_blocks" in
+    let* min_seek_ms = num "min_seek_ms" in
+    let* avg_seek_ms = num "avg_seek_ms" in
+    let* max_seek_ms = num "max_seek_ms" in
+    let* avg_rot_ms = num "avg_rot_ms" in
+    let* transfer_mb_per_s = num "transfer_mb_per_s" in
+    let* overhead_ms = num "overhead_ms" in
+    let* seq_rot_factor = num "seq_rot_factor" in
+    Ok
+      {
+        Params.name;
+        capacity_blocks;
+        min_seek_ms;
+        avg_seek_ms;
+        max_seek_ms;
+        avg_rot_ms;
+        transfer_mb_per_s;
+        overhead_ms;
+        seq_rot_factor;
+      }
+  | _ -> err path "expected a drive name or parameter object"
+
+let parse_disk ~path j =
+  let* members = fields ~path ~known:[ "drive"; "sched" ] j in
+  let* d = require ~path "drive" members in
+  let* params = parse_drive ~path:(path ^ ".drive") d in
+  let* sched =
+    match field "sched" members with
+    | None -> Ok Disk.Fcfs
+    | Some v ->
+      let path = path ^ ".sched" in
+      let* s = as_str ~path v in
+      (match sched_of_string s with
+      | Some sched -> Ok sched
+      | None ->
+        err path (Printf.sprintf "unknown disk scheduler %S (expected fcfs or scan)" s))
+  in
+  Ok { params; sched }
+
+let parse_workload ~n_disks ~path j =
+  let* members = fields ~path ~known:[ "app"; "smart"; "disk"; "file_blocks" ] j in
+  let* a = require ~path "app" members in
+  let* app = as_str ~path:(path ^ ".app") a in
+  let* file_blocks = opt_field ~path "file_blocks" as_int members in
+  let* entry =
+    match Catalog.resolve ?file_blocks app with
+    | Ok e -> Ok e
+    | Error msg -> err (path ^ ".app") msg
+  in
+  let* smart =
+    match field "smart" members with
+    | None -> Ok entry.Catalog.smart_default
+    | Some v -> as_bool ~path:(path ^ ".smart") v
+  in
+  let* disk =
+    match field "disk" members with
+    | None -> Ok entry.Catalog.disk
+    | Some v -> as_int ~path:(path ^ ".disk") v
+  in
+  if disk < 0 || disk >= n_disks then
+    err (path ^ ".disk")
+      (Printf.sprintf "disk index %d out of range (%d disk%s)" disk n_disks
+         (if n_disks = 1 then "" else "s"))
+  else Ok { app; smart; disk; file_blocks }
+
+let parse_obs ~path j =
+  let* members = fields ~path ~known:[ "trace"; "metrics" ] j in
+  let* trace_path = opt_field ~path "trace" as_str members in
+  let* metrics_path = opt_field ~path "metrics" as_str members in
+  Ok { trace_path; metrics_path }
+
+let of_json j =
+  let path = "$" in
+  let* members =
+    fields ~path
+      ~known:[ "schema"; "seed"; "cache"; "cpu"; "fs"; "disks"; "workloads"; "obs" ]
+      j
+  in
+  let* s = require ~path "schema" members in
+  let* schema_str = as_str ~path:"$.schema" s in
+  let* () =
+    if schema_str = schema then Ok ()
+    else
+      err "$.schema"
+        (Printf.sprintf "unsupported schema %S (expected %s)" schema_str schema)
+  in
+  let* seed =
+    match field "seed" members with
+    | None -> Ok 0
+    | Some v -> as_int ~path:"$.seed" v
+  in
+  let* c = require ~path "cache" members in
+  let* config = parse_cache ~path:"$.cache" c in
+  let* hit_cost, io_cpu_cost =
+    match field "cpu" members with
+    | None -> Ok (None, None)
+    | Some v ->
+      let path = "$.cpu" in
+      let* members = fields ~path ~known:[ "hit_cost"; "io_cpu_cost" ] v in
+      let* hit_cost = opt_field ~path "hit_cost" as_num members in
+      let* io_cpu_cost = opt_field ~path "io_cpu_cost" as_num members in
+      Ok (hit_cost, io_cpu_cost)
+  in
+  let* readahead, write_cluster, scattered_layout, update_interval =
+    match field "fs" members with
+    | None -> Ok (None, None, false, 30.0)
+    | Some v ->
+      let path = "$.fs" in
+      let* members =
+        fields ~path
+          ~known:[ "readahead"; "write_cluster"; "scattered_layout"; "update_interval_s" ]
+          v
+      in
+      let* readahead = opt_field ~path "readahead" as_bool members in
+      let* write_cluster = opt_field ~path "write_cluster" as_int members in
+      let* scattered = opt_field ~path "scattered_layout" as_bool members in
+      let* interval = opt_field ~path "update_interval_s" as_num members in
+      Ok
+        ( readahead,
+          write_cluster,
+          Option.value scattered ~default:false,
+          Option.value interval ~default:30.0 )
+  in
+  let* disks =
+    match field "disks" members with
+    | None -> Ok default_disks
+    | Some v ->
+      let* l = as_list ~path:"$.disks" v in
+      if l = [] then err "$.disks" "disks must be non-empty"
+      else mapi_result ~path:"$.disks" parse_disk l
+  in
+  let* w = require ~path "workloads" members in
+  let* wl = as_list ~path:"$.workloads" w in
+  let* () = if wl = [] then err "$.workloads" "workloads must be non-empty" else Ok () in
+  let* workloads =
+    mapi_result ~path:"$.workloads" (parse_workload ~n_disks:(List.length disks)) wl
+  in
+  let* obs =
+    match field "obs" members with
+    | None -> Ok no_obs
+    | Some v -> parse_obs ~path:"$.obs" v
+  in
+  Ok
+    {
+      seed;
+      config;
+      update_interval;
+      hit_cost;
+      io_cpu_cost;
+      write_cluster;
+      readahead;
+      scattered_layout;
+      disks;
+      workloads;
+      obs;
+    }
+
+let to_string t = Json.to_string (to_json t)
+
+let of_string s =
+  match Json.of_string s with
+  | Error e -> Error ("scenario: invalid JSON: " ^ e)
+  | Ok j -> of_json j
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error ("scenario: " ^ e)
+  | contents -> of_string contents
+
+let hash t = Digest.to_hex (Digest.string (to_string t))
+
+let hash_list ts = Digest.to_hex (Digest.string (String.concat "\n" (List.map hash ts)))

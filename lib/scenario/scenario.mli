@@ -1,0 +1,196 @@
+(** A declarative, serialisable description of a complete simulated
+    machine, and the one place that assembles machines from it.
+
+    A scenario captures everything a run depends on: the cache
+    {!Acfc_core.Config.t}, CPU and hit-cost parameters, the SCSI bus
+    and its disks (drive parameters, layout, scheduling discipline),
+    the workloads (application, smart/oblivious, disk placement,
+    per-app knobs), the RNG seed, and observability options. The same
+    value drives the programmatic API ({!run}), every experiment grid,
+    the [acfc-run scenario] subcommand, and the bench harness — machine
+    construction is data, not code.
+
+    Scenarios serialise to a versioned JSON document
+    ([acfc-scenario/1]) via {!save}/{!load}, so any paper figure cell
+    or novel mixed-workload setup can be expressed in a file, diffed,
+    and replayed. {!load} rejects unknown fields with the offending
+    path, so typos fail loudly.
+
+    Behavioural contract: {!run} assembles the machine exactly as the
+    historical [Runner.run] did (same RNG-split order, same fiber
+    creation order), so results are bit-identical to the pre-scenario
+    code for equivalent parameters. *)
+
+module Spec = Acfc_workload.Runner.Spec
+
+(** One drive on the shared SCSI bus. *)
+type disk = {
+  params : Acfc_disk.Params.t;
+  sched : Acfc_disk.Disk.sched;  (** queueing discipline, default FCFS *)
+}
+
+(** One application instance in the machine. *)
+type workload = {
+  app : string;  (** a {!Catalog} name: "cs3", "read300!", … *)
+  smart : bool;  (** register as a manager and apply its strategy *)
+  disk : int;  (** index into {!t.disks} *)
+  file_blocks : int option;  (** readN backing-file size knob *)
+}
+
+(** Side outputs baked into the scenario (both default to [None]). *)
+type obs_spec = {
+  trace_path : string option;
+      (** write a structured event trace here; a [.csv] suffix selects
+          CSV, anything else JSON Lines *)
+  metrics_path : string option;
+      (** write an end-of-run metrics snapshot (JSON) here *)
+}
+
+type t = {
+  seed : int;
+  config : Acfc_core.Config.t;
+  update_interval : float;  (** update-daemon period, seconds *)
+  hit_cost : float option;  (** CPU seconds per block reference *)
+  io_cpu_cost : float option;  (** CPU seconds per disk read *)
+  write_cluster : int option;  (** dirty blocks per write-back request *)
+  readahead : bool option;  (** one-block sequential read-ahead *)
+  scattered_layout : bool;  (** aged file system with inter-file gaps *)
+  disks : disk list;
+  workloads : workload list;
+  obs : obs_spec;
+}
+
+val default_disks : disk list
+(** The paper's testbed: disk 0 an RZ56 and disk 1 an RZ26, both FCFS
+    on one shared SCSI bus. *)
+
+val no_obs : obs_spec
+
+val blocks_of_mb : float -> int
+(** Cache capacity in 8 KB blocks for a size in MB ([6.4] -> 819, the
+    default Ultrix cache of the paper's workstation). *)
+
+val workload :
+  ?smart:bool -> ?disk:int -> ?file_blocks:int -> string -> workload
+(** A workload referencing a {!Catalog} application by name. [smart]
+    defaults to the catalog's [smart_default] (paper apps and readN!
+    apply their strategies; plain readN is oblivious); [disk] defaults
+    to the catalog's paper disk assignment. Raises [Invalid_argument]
+    on an unknown name or a misapplied [file_blocks]. *)
+
+val make :
+  ?seed:int ->
+  ?disks:disk list ->
+  ?disk_sched:Acfc_disk.Disk.sched ->
+  ?update_interval:float ->
+  ?hit_cost:float ->
+  ?io_cpu_cost:float ->
+  ?write_cluster:int ->
+  ?readahead:bool ->
+  ?scattered_layout:bool ->
+  ?revocation:Acfc_core.Config.revocation ->
+  ?shared_files:Acfc_core.Config.shared_files ->
+  ?config:Acfc_core.Config.t ->
+  ?obs:obs_spec ->
+  ?cache_blocks:int ->
+  ?alloc_policy:Acfc_core.Config.alloc_policy ->
+  workload list ->
+  t
+(** Build a scenario. Either pass a full [config], or [cache_blocks]
+    (required in that case) plus [alloc_policy] (default [Lru_sp]) and
+    the optional [revocation] / [shared_files] knobs. [disk_sched]
+    overrides the discipline of every disk in [disks] (which default to
+    {!default_disks}); [update_interval] defaults to 30 s. Raises
+    [Invalid_argument] on an empty workload list, an out-of-range disk
+    index, or conflicting [config] + cache knobs. *)
+
+(** {2 Building and running} *)
+
+(** The assembled machine, before any workload has run. *)
+type machine = {
+  engine : Acfc_sim.Engine.t;
+  bus : Acfc_disk.Bus.t;
+  disk_array : Acfc_disk.Disk.t array;
+  cpu : Acfc_sim.Resource.t;
+  fs : Acfc_fs.Fs.t;
+  cache : Acfc_core.Cache.t;
+  rng : Acfc_sim.Rng.t;  (** post-assembly state: split per workload *)
+}
+
+val build :
+  ?tracer:(Acfc_core.Event.t -> unit) ->
+  ?obs:Acfc_obs.Sink.t ->
+  t ->
+  machine
+(** Assemble engine, bus, disks, CPU, file system and cache for the
+    scenario — everything except the workload fibers — and wire the
+    optional tracer and observability sink through every layer. *)
+
+val run :
+  ?tracer:(Acfc_core.Event.t -> unit) ->
+  ?obs:Acfc_obs.Sink.t ->
+  t ->
+  Acfc_workload.Runner.t
+(** {!build}, spawn one fiber per workload, run the simulation to
+    completion and collect the usual {!Acfc_workload.Runner.t} results.
+    [obs], when given, is threaded through every layer and additionally
+    carries per-application gauges named [app.<index>.<name>.*]; it
+    takes precedence over [t.obs] (which {!run} does {e not} open —
+    file side outputs are the CLI's job). Raises [Failure] if a
+    workload name no longer resolves. *)
+
+val run_specs :
+  ?seed:int ->
+  ?disks:Acfc_disk.Params.t list ->
+  ?disk_sched:Acfc_disk.Disk.sched ->
+  ?update_interval:float ->
+  ?hit_cost:float ->
+  ?io_cpu_cost:float ->
+  ?write_cluster:int ->
+  ?readahead:bool ->
+  ?scattered_layout:bool ->
+  ?revocation:Acfc_core.Config.revocation ->
+  ?shared_files:Acfc_core.Config.shared_files ->
+  ?tracer:(Acfc_core.Event.t -> unit) ->
+  ?obs:Acfc_obs.Sink.t ->
+  cache_blocks:int ->
+  alloc_policy:Acfc_core.Config.alloc_policy ->
+  Spec.t list ->
+  Acfc_workload.Runner.t
+(** Escape hatch for programmatically-constructed {!Acfc_workload.App.t}
+    values that have no catalog name (custom workloads in tests and
+    examples). Same machine assembly and defaults as {!run}; anything
+    expressible by name should use a scenario instead, so it can be
+    saved and replayed. *)
+
+(** {2 Serialisation (acfc-scenario/1)} *)
+
+val schema : string
+(** ["acfc-scenario/1"]. *)
+
+val to_json : t -> Acfc_obs.Json.t
+(** Canonical JSON form: stable field order, defaults omitted.
+    [of_json (to_json t)] re-reads every scenario exactly. *)
+
+val of_json : Acfc_obs.Json.t -> (t, string) result
+(** Errors are prefixed ["scenario:"] and name the offending path,
+    e.g. [scenario: unknown field "polcy" at $.cache]. Unknown fields,
+    bad enum values and out-of-range disk indices are all rejected. *)
+
+val to_string : t -> string
+(** Single-line canonical JSON. *)
+
+val of_string : string -> (t, string) result
+
+val save : t -> string -> unit
+(** Write {!to_string} plus a trailing newline to a file. *)
+
+val load : string -> (t, string) result
+(** Read and parse a scenario file; I/O errors land in [Error] too. *)
+
+val hash : t -> string
+(** Hex digest of the canonical JSON — a stable fingerprint that makes
+    bench artifacts traceable to exact configurations. *)
+
+val hash_list : t list -> string
+(** Combined fingerprint of a scenario grid, order-sensitive. *)

@@ -1,9 +1,4 @@
-open Acfc_sim
-module Config = Acfc_core.Config
-module Control = Acfc_core.Control
 module Pid = Acfc_core.Pid
-module Cache = Acfc_core.Cache
-module Disk = Acfc_disk.Disk
 module Params = Acfc_disk.Params
 
 module Spec = struct
@@ -36,127 +31,6 @@ type t = {
 }
 
 let blocks_of_mb mb = int_of_float (mb *. 1024.0 *. 1024.0 /. float_of_int Params.block_bytes)
-
-let run ?(seed = 0) ?(disks = [ Params.rz56; Params.rz26 ]) ?disk_sched
-    ?(update_interval = 30.0) ?hit_cost ?io_cpu_cost ?write_cluster ?readahead
-    ?(scattered_layout = false) ?revocation ?shared_files ?tracer ?obs ~cache_blocks
-    ~alloc_policy specs =
-  if specs = [] then invalid_arg "Runner.run: no applications";
-  let engine = Engine.create () in
-  let rng = Rng.create seed in
-  let bus = Acfc_disk.Bus.create engine () in
-  let disk_array =
-    Array.of_list
-      (List.map (fun p -> Disk.create engine ~bus ~rng:(Rng.split rng) ?sched:disk_sched p) disks)
-  in
-  List.iter
-    (fun spec ->
-      if spec.Spec.disk < 0 || spec.Spec.disk >= Array.length disk_array then
-        invalid_arg "Runner.run: disk index out of range")
-    specs;
-  let cpu = Resource.create engine ~name:"cpu" ~servers:1 () in
-  let config =
-    Config.make ~alloc_policy ?revocation ?shared_files ~capacity_blocks:cache_blocks ()
-  in
-  let layout = if scattered_layout then `Scattered (Rng.split rng) else `Packed in
-  let fs =
-    Acfc_fs.Fs.create engine ~config ~cpu ?hit_cost ?io_cpu_cost ?write_cluster
-      ?readahead ~layout ()
-  in
-  let cache = Acfc_fs.Fs.cache fs in
-  (match tracer with Some f -> Cache.set_tracer cache (Some f) | None -> ());
-  (* Thread the observability sink through every layer of the machine.
-     The engine goes first: it points the sink's clock at virtual time,
-     so all later events carry simulated timestamps. *)
-  (match obs with
-  | None -> ()
-  | Some sink ->
-    Engine.set_obs engine (Some sink);
-    Cache.set_obs cache (Some sink);
-    Acfc_fs.Fs.set_obs fs (Some sink);
-    Acfc_disk.Bus.set_obs bus (Some sink);
-    Array.iter (fun d -> Disk.set_obs d (Some sink)) disk_array;
-    let m = Acfc_obs.Sink.metrics sink in
-    List.iteri
-      (fun i spec ->
-        let pid = Pid.make i in
-        let prefix = Printf.sprintf "app.%d.%s" i spec.Spec.app.App.name in
-        Acfc_obs.Metrics.gauge m (prefix ^ ".hits") (fun () ->
-            float_of_int (Cache.pid_hits cache pid));
-        Acfc_obs.Metrics.gauge m (prefix ^ ".misses") (fun () ->
-            float_of_int (Cache.pid_misses cache pid));
-        Acfc_obs.Metrics.gauge m (prefix ^ ".hit_ratio") (fun () ->
-            let h = Cache.pid_hits cache pid and m = Cache.pid_misses cache pid in
-            if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m));
-        Acfc_obs.Metrics.gauge m (prefix ^ ".block_ios") (fun () ->
-            float_of_int (Acfc_fs.Fs.pid_block_ios fs pid)))
-      specs);
-  let stop_daemon = Acfc_fs.Fs.spawn_update_daemon fs ~interval:update_interval () in
-  let finish_times = Array.make (List.length specs) 0.0 in
-  let done_ivars =
-    List.mapi
-      (fun i spec ->
-        let pid = Pid.make i in
-        let control =
-          if spec.Spec.smart then
-            match Control.attach cache pid with
-            | Ok c -> Some c
-            | Error e ->
-              failwith ("Runner: manager registration failed: " ^ Acfc_core.Error.to_string e)
-          else None
-        in
-        let env =
-          {
-            Env.engine;
-            fs;
-            pid;
-            control;
-            cpu = Some cpu;
-            rng = Rng.split rng;
-          }
-        in
-        let iv = Ivar.create engine in
-        Engine.spawn engine ~name:spec.Spec.app.App.name (fun () ->
-            spec.Spec.app.App.run env ~disk:disk_array.(spec.Spec.disk);
-            finish_times.(i) <- Engine.now engine;
-            Ivar.fill iv ());
-        iv)
-      specs
-  in
-  Engine.spawn engine ~name:"coordinator" (fun () ->
-      List.iter Ivar.read done_ivars;
-      (* Flush what the applications left dirty so write I/Os are fully
-         accounted, then let the update daemon exit. *)
-      ignore (Acfc_fs.Fs.sync fs);
-      stop_daemon ());
-  Engine.run engine;
-  let apps =
-    List.mapi
-      (fun i spec ->
-        let pid = Pid.make i in
-        {
-          app_name = spec.Spec.app.App.name;
-          pid;
-          elapsed = finish_times.(i);
-          disk_reads = Acfc_fs.Fs.pid_disk_reads fs pid;
-          disk_writes = Acfc_fs.Fs.pid_disk_writes fs pid;
-          block_ios = Acfc_fs.Fs.pid_block_ios fs pid;
-          cache_hits = Cache.pid_hits cache pid;
-          cache_misses = Cache.pid_misses cache pid;
-        })
-      specs
-  in
-  {
-    apps;
-    makespan = Array.fold_left Float.max 0.0 finish_times;
-    total_ios = Acfc_fs.Fs.total_block_ios fs;
-    cache_hits = Cache.hits cache;
-    cache_misses = Cache.misses cache;
-    overrules = Cache.overrule_count cache;
-    placeholders_created = Cache.placeholders_created cache;
-    placeholders_used = Cache.placeholders_used cache;
-    engine_events = Engine.events_processed engine;
-  }
 
 let pp ppf t =
   Format.fprintf ppf "makespan %.1fs, %d block I/Os@\n" t.makespan t.total_ios;

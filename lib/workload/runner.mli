@@ -1,12 +1,13 @@
-(** Run one or more applications concurrently over a shared cache.
+(** Workload specifications and run results.
 
-    Builds the whole machine — engine, SCSI bus, disks, CPU, file
-    system with the configured allocation policy — spawns one fiber per
-    application, runs the simulation to completion and collects the
-    paper's metrics (per-application elapsed time and block I/Os).
-
-    Disk assignment follows the paper's testbed: by default disk 0 is
-    the RZ56 and disk 1 the RZ26, both on one SCSI bus. *)
+    The machine itself — engine, SCSI bus, disks, CPU, file system with
+    the configured allocation policy — is assembled by
+    [Acfc_scenario.Scenario], which takes a declarative description of
+    the whole setup and returns the {!t} results defined here
+    (per-application elapsed time and block I/Os, the paper's metrics).
+    This module keeps only the vocabulary shared by that layer and its
+    callers: the per-application {!Spec}, the result records, and their
+    printer. *)
 
 module Spec : sig
   type t = {
@@ -45,30 +46,5 @@ type t = {
 val blocks_of_mb : float -> int
 (** Cache capacity in 8 KB blocks for a size in MB ([6.4] -> 819, the
     default Ultrix cache of the paper's workstation). *)
-
-val run :
-  ?seed:int ->
-  ?disks:Acfc_disk.Params.t list ->
-  ?disk_sched:Acfc_disk.Disk.sched ->
-  ?update_interval:float ->
-  ?hit_cost:float ->
-  ?io_cpu_cost:float ->
-  ?write_cluster:int ->
-  ?readahead:bool ->
-  ?scattered_layout:bool ->
-  ?revocation:Acfc_core.Config.revocation ->
-  ?shared_files:Acfc_core.Config.shared_files ->
-  ?tracer:(Acfc_core.Event.t -> unit) ->
-  ?obs:Acfc_obs.Sink.t ->
-  cache_blocks:int ->
-  alloc_policy:Acfc_core.Config.alloc_policy ->
-  Spec.t list ->
-  t
-(** Defaults: [seed = 0]; [disks = [rz56; rz26]]; a 30 s update daemon;
-    read-ahead on; no revocation. [obs], when given, is threaded
-    through every layer (engine, cache, file system, bus, disks) and
-    additionally carries per-application hit/miss/hit-ratio/block-I/O
-    gauges named [app.<index>.<name>.*]. Raises [Invalid_argument] on
-    an empty spec list or an out-of-range disk index. *)
 
 val pp : Format.formatter -> t -> unit

@@ -21,7 +21,7 @@ let criteria ~jobs () =
 let metrics () =
   let sink = Obs.Sink.create ~backend:Obs.Sink.Null () in
   ignore
-    (Runner.run ~seed:7 ~obs:sink ~cache_blocks:128
+    (Acfc_scenario.Scenario.run_specs ~seed:7 ~obs:sink ~cache_blocks:128
        ~alloc_policy:Acfc_core.Config.Lru_sp
        [
          Runner.Spec.make ~smart:false ~disk:0

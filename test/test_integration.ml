@@ -15,7 +15,7 @@ open Tutil
 let run_one ?(policy = Config.Lru_sp) ?(smart = true) ?(cache_mb = 6.4) ?(disk = 0) app
     =
   let r =
-    Runner.run ~seed:0
+    Acfc_scenario.Scenario.run_specs ~seed:0
       ~cache_blocks:(Runner.blocks_of_mb cache_mb)
       ~alloc_policy:policy
       [ Runner.Spec.make ~smart ~disk app ]
@@ -118,7 +118,7 @@ let mix_with_recorder () =
   (* Tracers compose with full concurrent runs. *)
   let recorder = Acfc_replacement.Recorder.create () in
   let r =
-    Runner.run ~seed:0 ~cache_blocks:819 ~alloc_policy:Config.Lru_sp
+    Acfc_scenario.Scenario.run_specs ~seed:0 ~cache_blocks:819 ~alloc_policy:Config.Lru_sp
       ~tracer:(Acfc_replacement.Recorder.tracer recorder)
       [
         Runner.Spec.make ~smart:true ~disk:0 Dinero.din;

@@ -242,7 +242,7 @@ let snapshot_deterministic () =
   let snapshot_of_run () =
     let sink = Sink.create () in
     ignore
-      (Runner.run ~seed:7 ~obs:sink ~cache_blocks:256
+      (Acfc_scenario.Scenario.run_specs ~seed:7 ~obs:sink ~cache_blocks:256
          ~alloc_policy:Acfc_core.Config.Lru_sp [ readn_spec () ]);
     Json.to_string (Metrics.snapshot (Sink.metrics sink) ~now:(Sink.now sink))
   in
@@ -265,7 +265,7 @@ let traced_misses_match_counters () =
   in
   let sink = Sink.create ~backend () in
   let result =
-    Runner.run ~seed:0 ~obs:sink ~cache_blocks:256
+    Acfc_scenario.Scenario.run_specs ~seed:0 ~obs:sink ~cache_blocks:256
       ~alloc_policy:Acfc_core.Config.Lru_sp
       [ readn_spec (); readn_spec () ]
   in

@@ -103,7 +103,7 @@ let metrics_json jobs =
     (List.init 2 (fun seed () ->
          let sink = Obs.Sink.create ~backend:Obs.Sink.Null () in
          ignore
-           (Runner.run ~seed ~obs:sink ~cache_blocks:128
+           (Acfc_scenario.Scenario.run_specs ~seed ~obs:sink ~cache_blocks:128
               ~alloc_policy:Acfc_core.Config.Lru_sp
               [
                 Runner.Spec.make ~smart:false ~disk:0

@@ -1,0 +1,171 @@
+(* The scenario layer: JSON round-trips, catalog resolution, and the
+   precise error messages promised by the .mli. *)
+
+open Acfc_scenario
+module Config = Acfc_core.Config
+module Runner = Acfc_workload.Runner
+module Disk = Acfc_disk.Disk
+open Tutil
+
+let chk_str = check Alcotest.string
+
+let report r = Format.asprintf "%a" Runner.pp r
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("unexpected scenario error: " ^ e)
+
+let expect_error msg = function
+  | Ok _ -> Alcotest.fail ("parse succeeded; expected: " ^ msg)
+  | Error e -> chk_str "error message" msg e
+
+(* A scenario exercising every optional field, so the round-trip test
+   covers the whole encoder. *)
+let kitchen_sink =
+  Scenario.make ~seed:42 ~disk_sched:Disk.Scan ~update_interval:10.0 ~hit_cost:0.5
+    ~io_cpu_cost:1.5 ~write_cluster:8 ~readahead:false ~scattered_layout:true
+    ~revocation:{ Config.min_decisions = 16; mistake_ratio = 0.25 }
+    ~shared_files:Config.Sticky
+    ~obs:{ Scenario.trace_path = Some "t.jsonl"; metrics_path = Some "m.json" }
+    ~cache_blocks:512 ~alloc_policy:Config.Lru_s
+    [
+      Scenario.workload ~smart:true "din";
+      Scenario.workload ~smart:false ~disk:1 ~file_blocks:700 "read200";
+    ]
+
+let roundtrip_json () =
+  List.iter
+    (fun s ->
+      let s' = ok (Scenario.of_json (Scenario.to_json s)) in
+      chk_str "of_json (to_json s) = s" (Scenario.to_string s) (Scenario.to_string s');
+      chk_str "hash stable" (Scenario.hash s) (Scenario.hash s'))
+    [
+      kitchen_sink;
+      Scenario.make ~cache_blocks:819 ~alloc_policy:Config.Global_lru
+        [ Scenario.workload "cs3" ];
+    ]
+
+let roundtrip_experiment_grids () =
+  (* Every scenario an experiment generates must survive save/load. *)
+  let grids =
+    [
+      Acfc_experiments.Multi.scenarios ~runs:1 ~sizes:[ 6.4 ] ();
+      Acfc_experiments.Criteria.scenarios ~runs:1 ();
+      Acfc_experiments.Ablations.scenarios ~runs:1 ();
+    ]
+  in
+  List.iter
+    (List.iter (fun s ->
+         let s' = ok (Scenario.of_string (Scenario.to_string s)) in
+         chk_str "grid scenario round-trips" (Scenario.to_string s)
+           (Scenario.to_string s')))
+    grids
+
+let save_load_run () =
+  let s = Acfc_experiments.Multi.scenario ~mb:6.4 ~kernel:`Controlled ~seed:3 [ "cs3"; "ldk" ] in
+  let file = Filename.temp_file "acfc_scenario" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Scenario.save s file;
+      let s' = ok (Scenario.load file) in
+      chk_str "saved scenario reruns identically" (report (Scenario.run s))
+        (report (Scenario.run s')))
+
+let load_missing () =
+  match Scenario.load "/nonexistent/acfc.json" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error e -> chk_bool "mentions the file" true (contains_sub ~sub:"/nonexistent/acfc.json" e)
+
+let minimal = {|{"schema":"acfc-scenario/1","cache":{"capacity_blocks":819},"workloads":[{"app":"din"}]}|}
+
+let defaults_fill_in () =
+  let s = ok (Scenario.of_string minimal) in
+  let r = Scenario.run s in
+  chk_int "din runs with catalog defaults" 1
+    (List.length r.Runner.apps);
+  (* Paper apps default to smart; din under lru-sp avoids the thrash. *)
+  chk_bool "smart default applied" true
+    ((List.hd r.Runner.apps).Runner.block_ios < 9216)
+
+(* Substring replace, to derive each malformed input from [minimal]. *)
+let replace ~sub ~by s =
+  let n = String.length sub in
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i <= String.length s - n do
+    if String.sub s !i n = sub then (
+      Buffer.add_string b by;
+      i := !i + n)
+    else (
+      Buffer.add_char b s.[!i];
+      incr i)
+  done;
+  Buffer.add_string b (String.sub s !i (String.length s - !i));
+  Buffer.contents b
+
+let errors () =
+  List.iter
+    (fun (json, msg) -> expect_error msg (Scenario.of_string json))
+    [
+      ( replace ~sub:{|"capacity_blocks"|} ~by:{|"capacity_blks"|} minimal,
+        {|scenario: unknown field "capacity_blks" at $.cache|} );
+      ( replace ~sub:{|"capacity_blocks":819|}
+          ~by:{|"capacity_blocks":819,"alloc_policy":"lru-xp"|} minimal,
+        "scenario: unknown allocation policy \"lru-xp\" (expected global-lru, \
+         alloc-lru, lru-s, lru-sp or clock-sp) at $.cache.alloc_policy" );
+      ( replace ~sub:{|{"app":"din"}|} ~by:{|{"app":"din","disk":5}|} minimal,
+        "scenario: disk index 5 out of range (2 disks) at $.workloads[0].disk" );
+      ( replace ~sub:{|{"app":"din"}|} ~by:{|{"app":"dinx"}|} minimal,
+        "scenario: unknown application \"dinx\" (expected one of din, cs1, cs3, \
+         cs2, gli, ldk, pjn, sort, or readN / readN!) at $.workloads[0].app" );
+      ( replace ~sub:"acfc-scenario/1" ~by:"acfc-scenario/9" minimal,
+        "scenario: unsupported schema \"acfc-scenario/9\" (expected \
+         acfc-scenario/1) at $.schema" );
+      ( replace ~sub:{|"workloads":[{"app":"din"}]|} ~by:{|"workloads":[]|} minimal,
+        "scenario: workloads must be non-empty at $.workloads" );
+      ( replace ~sub:{|"workloads":[{"app":"din"}]|}
+          ~by:{|"disks":[{"drive":"rz99"}],"workloads":[{"app":"din"}]|} minimal,
+        "scenario: unknown drive \"rz99\" (expected rz56, rz26 or a parameter \
+         object) at $.disks[0].drive" );
+      ( replace ~sub:{|{"app":"din"}|} ~by:{|{"app":"din","file_blocks":64}|} minimal,
+        "scenario: application \"din\" does not take file_blocks (readN only) at \
+         $.workloads[0].app" );
+    ]
+
+let catalog () =
+  chk_bool "read300! is foolish and smart by default" true
+    (match Catalog.resolve "read300!" with
+    | Ok e -> e.Catalog.smart_default
+    | Error _ -> false);
+  chk_bool "read300 is oblivious by default" true
+    (match Catalog.resolve "read300" with
+    | Ok e -> not e.Catalog.smart_default
+    | Error _ -> false);
+  chk_bool "read0 rejected" true (Result.is_error (Catalog.resolve "read0"));
+  chk_bool "pjn lives on disk 1" true
+    (match Catalog.resolve "pjn" with Ok e -> e.Catalog.disk = 1 | Error _ -> false)
+
+let hash_distinguishes () =
+  let s1 = Scenario.make ~cache_blocks:819 ~alloc_policy:Config.Lru_sp
+      [ Scenario.workload "din" ] in
+  let s2 = Scenario.make ~seed:1 ~cache_blocks:819 ~alloc_policy:Config.Lru_sp
+      [ Scenario.workload "din" ] in
+  chk_bool "different seeds hash differently" true (Scenario.hash s1 <> Scenario.hash s2);
+  chk_bool "hash_list is order-sensitive" true
+    (Scenario.hash_list [ s1; s2 ] <> Scenario.hash_list [ s2; s1 ])
+
+let suites =
+  [
+    ( "scenario",
+      [
+        case "json round-trip" roundtrip_json;
+        case "experiment grids round-trip" roundtrip_experiment_grids;
+        case "save/load/run identical" save_load_run;
+        case "load error on missing file" load_missing;
+        case "catalog defaults fill in" defaults_fill_in;
+        case "precise parse errors" errors;
+        case "catalog resolution" catalog;
+        case "hashes distinguish" hash_distinguishes;
+      ] );
+  ]

@@ -1,5 +1,6 @@
 open Acfc_workload
 module Config = Acfc_core.Config
+module Scenario = Acfc_scenario.Scenario
 open Tutil
 
 (* A cache far larger than any working set: every run shows only its
@@ -9,7 +10,8 @@ let huge = 16384
 let run_app ?(cache_blocks = huge) ?(alloc_policy = Config.Global_lru) ?(smart = false)
     ?(seed = 0) ?(disk = 0) app =
   let r =
-    Runner.run ~seed ~cache_blocks ~alloc_policy [ Runner.Spec.make ~smart ~disk app ]
+    Scenario.run_specs ~seed ~cache_blocks ~alloc_policy
+      [ Runner.Spec.make ~smart ~disk app ]
   in
   List.hd r.Runner.apps
 
@@ -80,7 +82,7 @@ let smart_never_worse name app disk () =
 let determinism () =
   let go () =
     let r =
-      Runner.run ~seed:7 ~cache_blocks:819 ~alloc_policy:Config.Lru_sp
+      Scenario.run_specs ~seed:7 ~cache_blocks:819 ~alloc_policy:Config.Lru_sp
         [
           Runner.Spec.make ~smart:true ~disk:0 Dinero.din;
           Runner.Spec.make ~smart:false ~disk:0 (Readn.app ~n:300 ~mode:`Oblivious ());
@@ -97,13 +99,13 @@ let seed_changes_timing () =
   chk_bool "different seeds differ" true (elapsed 0 <> elapsed 1)
 
 let runner_validation () =
-  Alcotest.check_raises "no apps" (Invalid_argument "Runner.run: no applications")
+  Alcotest.check_raises "no apps" (Invalid_argument "Scenario.run: no applications")
     (fun () ->
-      ignore (Runner.run ~cache_blocks:10 ~alloc_policy:Config.Global_lru []));
+      ignore (Scenario.run_specs ~cache_blocks:10 ~alloc_policy:Config.Global_lru []));
   Alcotest.check_raises "bad disk"
-    (Invalid_argument "Runner.run: disk index out of range") (fun () ->
+    (Invalid_argument "Scenario.run: disk index out of range") (fun () ->
       ignore
-        (Runner.run ~cache_blocks:10 ~alloc_policy:Config.Global_lru
+        (Scenario.run_specs ~cache_blocks:10 ~alloc_policy:Config.Global_lru
            [ Runner.Spec.make ~disk:5 Dinero.din ]))
 
 let blocks_of_mb () =
@@ -137,7 +139,7 @@ let foolish_hurts_itself () =
 
 let elapsed_positive_and_ordered () =
   let r =
-    Runner.run ~cache_blocks:819 ~alloc_policy:Config.Global_lru
+    Scenario.run_specs ~cache_blocks:819 ~alloc_policy:Config.Global_lru
       [
         Runner.Spec.make ~smart:false ~disk:0 Cscope.cs1;
         Runner.Spec.make ~smart:false ~disk:1 Postgres.pjn;
