@@ -4,6 +4,7 @@
    Subcommands:
      run        one or more applications over a shared cache
      scenario   run a machine description from an acfc-scenario/1 file
+     workload   dump / validate / replay workload IR programs
      report     regenerate the paper's tables and figures
      record     run applications and record the block reference trace
      policies   trace-driven replacement-policy comparison *)
@@ -12,6 +13,8 @@ open Cmdliner
 module Config = Acfc_core.Config
 module Runner = Acfc_workload.Runner
 module Scenario = Acfc_scenario.Scenario
+module Catalog = Acfc_scenario.Catalog
+module Wir = Acfc_wir.Wir
 module Experiments = Acfc_experiments
 module Obs = Acfc_obs
 
@@ -52,6 +55,10 @@ let jobs =
      'auto' there for one per core), else 1."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let capacity =
+  let doc = "Cache capacity in blocks." in
+  Arg.(value & opt int 819 & info [ "capacity" ] ~docv:"N" ~doc)
 
 let dump_scenario =
   let doc =
@@ -184,17 +191,27 @@ let scenario_file =
   let doc = "An acfc-scenario/1 JSON machine description." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
+let inline_flag =
+  let doc =
+    "Replace every named workload by the inline IR program it compiles to \
+     before running (and before $(b,--dump-scenario)), so the machine \
+     description carries its workloads whole instead of referencing the \
+     catalog. The run itself is identical by construction."
+  in
+  Arg.(value & flag & info [ "inline" ] ~doc)
+
 let scenario_cmd =
-  let go dump file =
+  let go dump inline file =
     match Scenario.load file with
     | Error msg ->
       prerr_endline ("acfc-run: " ^ msg);
       exit 1
     | Ok scenario ->
+      let scenario = if inline then Scenario.inline_workloads scenario else scenario in
       maybe_dump scenario dump;
       ignore (execute_scenario scenario)
   in
-  let term = Term.(const go $ dump_scenario $ scenario_file) in
+  let term = Term.(const go $ dump_scenario $ inline_flag $ scenario_file) in
   let info =
     Cmd.info "scenario"
       ~doc:"Run a complete machine description from a scenario file"
@@ -205,12 +222,132 @@ let scenario_cmd =
             "Loads an $(b,acfc-scenario/1) JSON file — cache configuration, \
              allocation policy, disks and their schedulers, workloads, seed, \
              observability outputs — assembles exactly that machine and runs \
-             it. Produce such files by hand (see docs/TUTORIAL.md), from \
+             it. Workloads name a catalog application ($(b,\"app\")) or carry \
+             an inline $(b,acfc-wir/1) program ($(b,\"program\")). Produce \
+             such files by hand (see docs/TUTORIAL.md), from \
              $(b,examples/scenarios/), or with $(b,--dump-scenario) on \
              $(b,acfc-run run). Unknown fields are rejected with their path.";
         ]
   in
   Cmd.v info term
+
+(* {2 workload} *)
+
+(* A workload IR source: a catalog application name, or a file holding
+   an acfc-wir/1 JSON document. *)
+let load_program src =
+  if Sys.file_exists src then Wir.load src
+  else
+    match Catalog.resolve src with
+    | Error msg -> Error ("workload: " ^ msg)
+    | Ok entry ->
+      (match Acfc_workload.App.program entry.Catalog.app with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "workload: application %S is not an IR program" src))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("acfc-run: " ^ msg);
+    exit 1
+
+let workload_src =
+  let doc = "A catalog application name (cs1, din, read300!, …) or an acfc-wir/1 JSON file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP|FILE" ~doc)
+
+let workload_dump_cmd =
+  let out =
+    let doc = "Write the program here instead of standard output." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let file_blocks =
+    let doc = "Backing-file size in blocks for the readN family." in
+    Arg.(value & opt (some int) None & info [ "file-blocks" ] ~docv:"N" ~doc)
+  in
+  let go file_blocks out src =
+    let program =
+      if Sys.file_exists src then or_die (Wir.load src)
+      else
+        or_die
+          (match Catalog.resolve ?file_blocks src with
+          | Error msg -> Error ("workload: " ^ msg)
+          | Ok entry ->
+            (match Acfc_workload.App.program entry.Catalog.app with
+            | Some p -> Ok p
+            | None ->
+              Error (Printf.sprintf "workload: application %S is not an IR program" src)))
+    in
+    match out with
+    | Some path -> Wir.save program path
+    | None -> print_endline (Wir.to_string program)
+  in
+  let term = Term.(const go $ file_blocks $ out $ workload_src) in
+  let info =
+    Cmd.info "dump" ~doc:"Write a workload's IR program as canonical acfc-wir/1 JSON"
+  in
+  Cmd.v info term
+
+let describe_program program =
+  let refs = Wir.references program in
+  let distinct = Hashtbl.create 1024 in
+  Array.iter (fun b -> Hashtbl.replace distinct b ()) refs;
+  Format.printf "%s (%s): valid; %d ops, %d files, %d demand references over %d blocks@."
+    program.Wir.name program.Wir.category (Wir.op_count program)
+    (Wir.file_count program) (Array.length refs) (Hashtbl.length distinct)
+
+let workload_validate_cmd =
+  let go src =
+    let program = or_die (load_program src) in
+    match Wir.validate program with
+    | Error msg ->
+      prerr_endline ("acfc-run: " ^ msg);
+      exit 1
+    | Ok () -> describe_program program
+  in
+  let term = Term.(const go $ workload_src) in
+  let info =
+    Cmd.info "validate"
+      ~doc:"Parse and statically check a workload IR program, then summarise it"
+  in
+  Cmd.v info term
+
+let workload_replay_cmd =
+  let go capacity seed jobs src =
+    let program = or_die (load_program src) in
+    let trace = Wir.references ~rng:(Acfc_sim.Rng.create seed) program in
+    Format.printf "trace: %a@." Acfc_replacement.Trace.pp_summary trace;
+    Acfc_par.Pool.map ?jobs
+      (fun policy -> Acfc_replacement.Policy_sim.run policy ~capacity trace)
+      Acfc_replacement.Policies.all
+    |> List.iter (fun result ->
+           Format.printf "%a@." Acfc_replacement.Policy_sim.pp_result result)
+  in
+  let term = Term.(const go $ capacity $ seed $ jobs $ workload_src) in
+  let info =
+    Cmd.info "replay"
+      ~doc:
+        "Fast-forward a workload program's demand reference stream (no disks, no \
+         engine) and compare replacement policies on it"
+  in
+  Cmd.v info term
+
+let workload_cmd =
+  let info =
+    Cmd.info "workload"
+      ~doc:"Inspect, validate and replay workload IR programs (acfc-wir/1)"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Every catalog application is a typed workload IR program — data, \
+             not code. $(b,dump) serialises one (or re-canonicalises a file), \
+             $(b,validate) statically checks one and prints its vitals, and \
+             $(b,replay) fast-forwards its demand reference stream straight \
+             into the replacement-policy lab, with no simulated machine in \
+             between.";
+        ]
+  in
+  Cmd.group info [ workload_dump_cmd; workload_validate_cmd; workload_replay_cmd ]
 
 (* {2 report} *)
 
@@ -304,10 +441,6 @@ let blocks =
   let doc = "Working-set size in blocks." in
   Arg.(value & opt int 1200 & info [ "blocks" ] ~docv:"N" ~doc)
 
-let capacity =
-  let doc = "Cache capacity in blocks." in
-  Arg.(value & opt int 819 & info [ "capacity" ] ~docv:"N" ~doc)
-
 let trace_file =
   let doc = "Replay a recorded trace file instead of a synthetic pattern." in
   Arg.(value & opt (some string) None & info [ "f"; "trace-file" ] ~docv:"FILE" ~doc)
@@ -359,4 +492,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; scenario_cmd; report_cmd; record_cmd; policies_cmd ]))
+          [ run_cmd; scenario_cmd; workload_cmd; report_cmd; record_cmd; policies_cmd ]))

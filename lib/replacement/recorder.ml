@@ -1,8 +1,11 @@
-module Block = Acfc_core.Block
-module Pid = Acfc_core.Pid
 module Event = Acfc_core.Event
 
-type entry = { pid : Pid.t; block : Block.t; hit : bool; prefetch : bool }
+type entry = Refstream.entry = {
+  pid : Acfc_core.Pid.t;
+  block : Acfc_core.Block.t;
+  hit : bool;
+  prefetch : bool;
+}
 
 type t = { mutable entries : entry list (* reversed *); mutable length : int }
 
@@ -23,65 +26,12 @@ let length t = t.length
 
 let entries t = Array.of_list (List.rev t.entries)
 
-let to_trace ?pid ?(include_prefetch = false) t =
-  let wanted e =
-    (include_prefetch || not e.prefetch)
-    && match pid with Some p -> Pid.equal p e.pid | None -> true
-  in
-  List.rev t.entries
-  |> List.filter wanted
-  |> List.map (fun e -> e.block)
-  |> Array.of_list
+let stream = entries
 
-let magic = "acfc-trace-v1"
+let to_trace ?pid ?include_prefetch t = Refstream.demand ?pid ?include_prefetch (entries t)
 
-let save t oc =
-  output_string oc (magic ^ "\n");
-  List.iter
-    (fun e ->
-      Printf.fprintf oc "%d %d %d %c %c\n" (Pid.to_int e.pid) (Block.file e.block)
-        (Block.index e.block)
-        (if e.hit then 'h' else 'm')
-        (if e.prefetch then 'p' else 'd'))
-    (List.rev t.entries)
+let save t oc = Refstream.save (entries t) oc
 
 let load ic =
-  (match input_line ic with
-  | header when header = magic -> ()
-  | _ -> failwith "Recorder.load: bad trace header"
-  | exception End_of_file -> failwith "Recorder.load: empty file");
-  let t = create () in
-  (try
-     while true do
-       let line = input_line ic in
-       if line <> "" then
-         match String.split_on_char ' ' line with
-         | [ pid; file; index; hm; dp ] ->
-           let int_of s =
-             match int_of_string_opt s with
-             | Some n -> n
-             | None -> failwith "Recorder.load: bad integer"
-           in
-           let hit =
-             match hm with
-             | "h" -> true
-             | "m" -> false
-             | _ -> failwith "Recorder.load: bad hit flag"
-           in
-           let prefetch =
-             match dp with
-             | "p" -> true
-             | "d" -> false
-             | _ -> failwith "Recorder.load: bad prefetch flag"
-           in
-           record t
-             {
-               pid = Pid.make (int_of pid);
-               block = Block.make ~file:(int_of file) ~index:(int_of index);
-               hit;
-               prefetch;
-             }
-         | _ -> failwith "Recorder.load: bad line"
-     done
-   with End_of_file -> ());
-  t
+  let entries = Refstream.load ic in
+  { entries = List.rev (Array.to_list entries); length = Array.length entries }

@@ -8,11 +8,16 @@
 
     Read-ahead misses are recorded but flagged, and excluded from
     {!to_trace} by default: a replacement study wants the demand
-    references, not the prefetcher's. *)
+    references, not the prefetcher's.
+
+    The recorder is an accumulating front-end over {!Refstream}, the
+    canonical reference-stream representation: {!stream} snapshots the
+    recording as a [Refstream.t], and {!save}/{!load} are Refstream's
+    text codec. *)
 
 type t
 
-type entry = {
+type entry = Refstream.entry = {
   pid : Acfc_core.Pid.t;
   block : Acfc_core.Block.t;
   hit : bool;
@@ -29,6 +34,10 @@ val length : t -> int
 
 val entries : t -> entry array
 (** In reference order. *)
+
+val stream : t -> Refstream.t
+(** Synonym for {!entries}: the recording as the canonical
+    reference-stream type. *)
 
 val to_trace :
   ?pid:Acfc_core.Pid.t -> ?include_prefetch:bool -> t -> Trace.t

@@ -1,0 +1,73 @@
+module Block = Acfc_core.Block
+module Pid = Acfc_core.Pid
+
+type entry = { pid : Pid.t; block : Block.t; hit : bool; prefetch : bool }
+
+type t = entry array
+
+let demand ?pid ?(include_prefetch = false) t =
+  let wanted e =
+    (include_prefetch || not e.prefetch)
+    && match pid with Some p -> Pid.equal p e.pid | None -> true
+  in
+  Array.to_list t
+  |> List.filter wanted
+  |> List.map (fun e -> e.block)
+  |> Array.of_list
+
+let of_blocks ?(pid = Pid.make 0) trace =
+  Array.map (fun block -> { pid; block; hit = false; prefetch = false }) trace
+
+let magic = "acfc-trace-v1"
+
+let save t oc =
+  output_string oc (magic ^ "\n");
+  Array.iter
+    (fun e ->
+      Printf.fprintf oc "%d %d %d %c %c\n" (Pid.to_int e.pid) (Block.file e.block)
+        (Block.index e.block)
+        (if e.hit then 'h' else 'm')
+        (if e.prefetch then 'p' else 'd'))
+    t
+
+let load ic =
+  (match input_line ic with
+  | header when header = magic -> ()
+  | _ -> failwith "Refstream.load: bad trace header"
+  | exception End_of_file -> failwith "Refstream.load: empty file");
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if line <> "" then
+         match String.split_on_char ' ' line with
+         | [ pid; file; index; hm; dp ] ->
+           let int_of s =
+             match int_of_string_opt s with
+             | Some n -> n
+             | None -> failwith "Refstream.load: bad integer"
+           in
+           let hit =
+             match hm with
+             | "h" -> true
+             | "m" -> false
+             | _ -> failwith "Refstream.load: bad hit flag"
+           in
+           let prefetch =
+             match dp with
+             | "p" -> true
+             | "d" -> false
+             | _ -> failwith "Refstream.load: bad prefetch flag"
+           in
+           entries :=
+             {
+               pid = Pid.make (int_of pid);
+               block = Block.make ~file:(int_of file) ~index:(int_of index);
+               hit;
+               prefetch;
+             }
+             :: !entries
+         | _ -> failwith "Refstream.load: bad line"
+     done
+   with End_of_file -> ());
+  Array.of_list (List.rev !entries)

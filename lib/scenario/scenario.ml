@@ -11,11 +11,14 @@ module Env = Acfc_workload.Env
 module Runner = Acfc_workload.Runner
 module Spec = Runner.Spec
 module Json = Acfc_obs.Json
+module Wir = Acfc_wir.Wir
 
 type disk = { params : Params.t; sched : Disk.sched }
 
+type source = Named of string | Inline of Wir.t
+
 type workload = {
-  app : string;
+  app : source;
   smart : bool;
   disk : int;
   file_blocks : int option;
@@ -49,11 +52,17 @@ let workload ?smart ?disk ?file_blocks app =
   | Error msg -> invalid_arg ("Scenario.workload: " ^ msg)
   | Ok entry ->
     {
-      app;
+      app = Named app;
       smart = Option.value smart ~default:entry.Catalog.smart_default;
       disk = Option.value disk ~default:entry.Catalog.disk;
       file_blocks;
     }
+
+let inline_workload ?(smart = true) ?(disk = 0) program =
+  (match Wir.validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Scenario.inline_workload: " ^ msg));
+  { app = Inline program; smart; disk; file_blocks = None }
 
 let make ?(seed = 0) ?(disks = default_disks) ?disk_sched ?(update_interval = 30.0)
     ?hit_cost ?io_cpu_cost ?write_cluster ?readahead ?(scattered_layout = false)
@@ -196,7 +205,7 @@ let run_assembled machine ~update_interval specs =
         in
         let iv = Ivar.create engine in
         Engine.spawn engine ~name:spec.Spec.app.App.name (fun () ->
-            spec.Spec.app.App.run env ~disk:disk_array.(spec.Spec.disk);
+            App.run spec.Spec.app env ~disk:disk_array.(spec.Spec.disk);
             finish_times.(i) <- Engine.now engine;
             Ivar.fill iv ());
         iv)
@@ -260,9 +269,27 @@ let run_specs ?(seed = 0) ?disks ?disk_sched ?(update_interval = 30.0) ?hit_cost
   run_assembled machine ~update_interval specs
 
 let spec_of_workload w =
-  match Catalog.resolve ?file_blocks:w.file_blocks w.app with
-  | Ok entry -> Spec.make ~smart:w.smart ~disk:w.disk entry.Catalog.app
-  | Error msg -> failwith ("Scenario: " ^ msg)
+  match w.app with
+  | Inline program -> Spec.make ~smart:w.smart ~disk:w.disk (App.of_program program)
+  | Named name ->
+    (match Catalog.resolve ?file_blocks:w.file_blocks name with
+    | Ok entry -> Spec.make ~smart:w.smart ~disk:w.disk entry.Catalog.app
+    | Error msg -> failwith ("Scenario: " ^ msg))
+
+let inline_workloads t =
+  let inline w =
+    match w.app with
+    | Inline _ -> w
+    | Named name ->
+      (match Catalog.resolve ?file_blocks:w.file_blocks name with
+      | Error msg -> failwith ("Scenario: " ^ msg)
+      | Ok entry ->
+        (match App.program entry.Catalog.app with
+        | Some program -> { w with app = Inline program; file_blocks = None }
+        | None ->
+          failwith (Printf.sprintf "Scenario: application %S is not an IR program" name)))
+  in
+  { t with workloads = List.map inline t.workloads }
 
 let build ?tracer ?obs t =
   let specs = List.map spec_of_workload t.workloads in
@@ -381,11 +408,10 @@ let to_json t =
     List.map
       (fun w ->
         Json.Obj
-          ([
-             ("app", Json.Str w.app);
-             ("smart", Json.Bool w.smart);
-             ("disk", num_i w.disk);
-           ]
+          ((match w.app with
+           | Named name -> [ ("app", Json.Str name) ]
+           | Inline program -> [ ("program", Wir.to_json program) ])
+          @ [ ("smart", Json.Bool w.smart); ("disk", num_i w.disk) ]
           @ opt "file_blocks" num_i w.file_blocks))
       t.workloads
   in
@@ -609,23 +635,42 @@ let parse_disk ~path j =
   Ok { params; sched }
 
 let parse_workload ~n_disks ~path j =
-  let* members = fields ~path ~known:[ "app"; "smart"; "disk"; "file_blocks" ] j in
-  let* a = require ~path "app" members in
-  let* app = as_str ~path:(path ^ ".app") a in
+  let* members =
+    fields ~path ~known:[ "app"; "program"; "smart"; "disk"; "file_blocks" ] j
+  in
   let* file_blocks = opt_field ~path "file_blocks" as_int members in
-  let* entry =
-    match Catalog.resolve ?file_blocks app with
-    | Ok e -> Ok e
-    | Error msg -> err (path ^ ".app") msg
+  (* A workload is either a catalog name ("app") or an inline workload
+     IR program ("program"), never both. *)
+  let* app, smart_default, disk_default =
+    match (field "app" members, field "program" members) with
+    | Some _, Some _ -> err path {|pass "app" or "program", not both|}
+    | None, None -> err path {|missing required field "app" or "program"|}
+    | Some a, None ->
+      let* name = as_str ~path:(path ^ ".app") a in
+      let* entry =
+        match Catalog.resolve ?file_blocks name with
+        | Ok e -> Ok e
+        | Error msg -> err (path ^ ".app") msg
+      in
+      Ok (Named name, entry.Catalog.smart_default, entry.Catalog.disk)
+    | None, Some p ->
+      let path = path ^ ".program" in
+      let* () =
+        if file_blocks = None then Ok ()
+        else err path "an inline program does not take file_blocks"
+      in
+      let* program = Wir.of_json_at ~label:"scenario" ~path p in
+      let* () = Wir.validate_at ~label:"scenario" ~path program in
+      Ok (Inline program, true, 0)
   in
   let* smart =
     match field "smart" members with
-    | None -> Ok entry.Catalog.smart_default
+    | None -> Ok smart_default
     | Some v -> as_bool ~path:(path ^ ".smart") v
   in
   let* disk =
     match field "disk" members with
-    | None -> Ok entry.Catalog.disk
+    | None -> Ok disk_default
     | Some v -> as_int ~path:(path ^ ".disk") v
   in
   if disk < 0 || disk >= n_disks then

@@ -29,12 +29,19 @@ type disk = {
   sched : Acfc_disk.Disk.sched;  (** queueing discipline, default FCFS *)
 }
 
+(** What a workload runs: a {!Catalog} name, or an inline workload IR
+    program carried by the scenario itself (serialised as a nested
+    [acfc-wir/1] document under the ["program"] key). *)
+type source =
+  | Named of string  (** a {!Catalog} name: "cs3", "read300!", … *)
+  | Inline of Acfc_wir.Wir.t
+
 (** One application instance in the machine. *)
 type workload = {
-  app : string;  (** a {!Catalog} name: "cs3", "read300!", … *)
+  app : source;
   smart : bool;  (** register as a manager and apply its strategy *)
   disk : int;  (** index into {!t.disks} *)
-  file_blocks : int option;  (** readN backing-file size knob *)
+  file_blocks : int option;  (** readN backing-file size knob (named only) *)
 }
 
 (** Side outputs baked into the scenario (both default to [None]). *)
@@ -77,6 +84,19 @@ val workload :
     apply their strategies; plain readN is oblivious); [disk] defaults
     to the catalog's paper disk assignment. Raises [Invalid_argument]
     on an unknown name or a misapplied [file_blocks]. *)
+
+val inline_workload : ?smart:bool -> ?disk:int -> Acfc_wir.Wir.t -> workload
+(** A workload carrying its own IR program ([smart] defaults to true,
+    [disk] to 0). Raises [Invalid_argument] on an invalid program
+    (see {!Acfc_wir.Wir.validate}). *)
+
+val inline_workloads : t -> t
+(** Replace every [Named] workload by the [Inline] program the catalog
+    application compiles to, so the scenario carries its workloads
+    whole (its JSON form no longer references the catalog). Behaviour
+    is identical by construction — the catalog applications {e are}
+    programs. Raises [Failure] if a name no longer resolves or names a
+    closure application. *)
 
 val make :
   ?seed:int ->

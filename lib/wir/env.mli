@@ -4,6 +4,12 @@
     {!Acfc_core.Control} handle (present iff the application runs in
     "smart" mode), the shared CPU, and a private random stream.
 
+    This is the target "machine" of the workload IR: {!Wir.exec}
+    interprets a program against exactly these helpers, and the
+    hand-written closure escape hatch ({!Acfc_workload.App.make}) gets
+    the same environment, so both kinds of application are
+    interchangeable everywhere.
+
     The strategy helpers ({!set_priority} …) are silently inert when the
     application is oblivious, so each application model is written once
     and runs in both modes — exactly how the paper compares "original

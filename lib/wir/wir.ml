@@ -1,0 +1,684 @@
+module Policy = Acfc_core.Policy
+module Block = Acfc_core.Block
+module Rng = Acfc_sim.Rng
+module Json = Acfc_obs.Json
+
+let block_bytes = Acfc_disk.Params.block_bytes
+
+type advice =
+  | Priority of { file : int; prio : int }
+  | Policy of { prio : int; policy : Policy.t }
+  | Temppri of { file : int; first : int; last : int; prio : int }
+  | Done_with of { file : int; index : int }
+
+type op =
+  | Open of { name : string; size_blocks : int; reserve_blocks : int }
+  | Read of { file : int; first : int; count : int; cpu : float; done_with : bool }
+  | Write of { file : int; first : int; count : int; cpu : float; done_with : bool }
+  | Rand_read of { file : int; base : int; range : int; cpu : float }
+  | Compute of float
+  | Advise of advice
+  | Unlink of { file : int }
+  | Seq of op list
+  | Loop of { times : int; body : op list }
+  | Choice of { prob : float; if_true : op list; if_false : op list }
+
+type t = { name : string; category : string; ops : op list }
+
+(* {2 Construction} *)
+
+let make ~name ~category ops = { name; category; ops }
+
+let open_file ?reserve_blocks ~name ~size_blocks () =
+  let reserve_blocks =
+    match reserve_blocks with Some r -> r | None -> Stdlib.max 1 size_blocks
+  in
+  Open { name; size_blocks; reserve_blocks }
+
+let read ?(cpu = 0.0) ?(done_with = false) ~file ~first ~count () =
+  Read { file; first; count; cpu; done_with }
+
+let write ?(cpu = 0.0) ?(done_with = false) ~file ~first ~count () =
+  Write { file; first; count; cpu; done_with }
+
+let rand_read ?(cpu = 0.0) ~file ~base ~range () = Rand_read { file; base; range; cpu }
+
+let compute seconds = Compute seconds
+
+let set_priority ~file ~prio = Advise (Priority { file; prio })
+
+let set_policy ~prio policy = Advise (Policy { prio; policy })
+
+let set_temppri ~file ~first ~last ~prio = Advise (Temppri { file; first; last; prio })
+
+let done_with ~file ~index = Advise (Done_with { file; index })
+
+let unlink file = Unlink { file }
+
+let seq ops = Seq ops
+
+let loop times body = Loop { times; body }
+
+let choice ~prob if_true if_false = Choice { prob; if_true; if_false }
+
+(* {2 Program statistics} *)
+
+let rec count_ops acc = function
+  | Seq body -> List.fold_left count_ops acc body
+  | Loop { body; _ } -> List.fold_left count_ops acc body + 1
+  | Choice { if_true; if_false; _ } ->
+    List.fold_left count_ops (List.fold_left count_ops acc if_true) if_false + 1
+  | Open _ | Read _ | Write _ | Rand_read _ | Compute _ | Advise _ | Unlink _ -> acc + 1
+
+let op_count t = List.fold_left count_ops 0 t.ops
+
+let rec count_opens acc = function
+  | Open _ -> acc + 1
+  | Seq body -> List.fold_left count_opens acc body
+  (* Opens are illegal inside Loop/Choice, but count what is there so
+     the statistic stays truthful on unvalidated programs. *)
+  | Loop { body; _ } -> List.fold_left count_opens acc body
+  | Choice { if_true; if_false; _ } ->
+    List.fold_left count_opens (List.fold_left count_opens acc if_true) if_false
+  | Read _ | Write _ | Rand_read _ | Compute _ | Advise _ | Unlink _ -> acc
+
+let file_count t = List.fold_left count_opens 0 t.ops
+
+(* {2 Static checking}
+
+   Internal errors are (path, message) pairs; the boundary functions
+   stamp on the label ("wir:" or the embedding document's), so a
+   program nested in a scenario reports scenario-rooted paths. *)
+
+let ( let* ) = Result.bind
+
+let fmt ~label = Result.map_error (fun (path, msg) -> Printf.sprintf "%s: %s at %s" label msg path)
+
+type slot = { reserve : int; file_name : string; mutable live : bool }
+
+let iter_result f l =
+  List.fold_left
+    (fun acc x ->
+      let* () = acc in
+      f x)
+    (Ok ()) l
+
+let check ~path t =
+  let slots : slot array ref = ref [||] in
+  let n_slots = ref 0 in
+  let push s =
+    if !n_slots = Array.length !slots then begin
+      let grown = Array.make (Stdlib.max 8 (2 * !n_slots)) s in
+      Array.blit !slots 0 grown 0 !n_slots;
+      slots := grown
+    end;
+    !slots.(!n_slots) <- s;
+    incr n_slots
+  in
+  let err path msg = Error (path, msg) in
+  let slot path file =
+    if file < 0 || file >= !n_slots then
+      err path (Printf.sprintf "file %d is not open (%d file%s opened so far)" file !n_slots
+           (if !n_slots = 1 then "" else "s"))
+    else if not !slots.(file).live then
+      err path (Printf.sprintf "file %d was unlinked" file)
+    else Ok !slots.(file)
+  in
+  let finite_nonneg path what v =
+    if Float.is_nan v || v < 0.0 || v = Float.infinity then
+      err path (Printf.sprintf "%s must be a finite non-negative number" what)
+    else Ok ()
+  in
+  let check_range path verb file ~first ~count =
+    let* s = slot path file in
+    if first < 0 then err path (Printf.sprintf "%s starts at negative block %d" verb first)
+    else if count < 1 then err path (Printf.sprintf "%s count must be at least 1" verb)
+    else if first + count > s.reserve then
+      err path
+        (Printf.sprintf "%s of blocks [%d, %d) exceeds file %d's %d-block extent" verb
+           first (first + count) file s.reserve)
+    else Ok ()
+  in
+  let rec check_op ~static ~path = function
+    | Open { name; size_blocks; reserve_blocks } ->
+      if not static then err path "open is not allowed inside loop or choice"
+      else if name = "" then err path "file name must be non-empty"
+      else if size_blocks < 0 then err path "size_blocks must be non-negative"
+      else if reserve_blocks < Stdlib.max 1 size_blocks then
+        err path "reserve_blocks must be at least max(1, size_blocks)"
+      else if
+        Array.exists (fun s -> s.live && s.file_name = name)
+          (Array.sub !slots 0 !n_slots)
+      then err path (Printf.sprintf "duplicate file name %S" name)
+      else Ok (push { reserve = reserve_blocks; file_name = name; live = true })
+    | Read { file; first; count; cpu; _ } ->
+      let* () = check_range path "read" file ~first ~count in
+      finite_nonneg path "cpu" cpu
+    | Write { file; first; count; cpu; _ } ->
+      let* () = check_range path "write" file ~first ~count in
+      finite_nonneg path "cpu" cpu
+    | Rand_read { file; base; range; cpu } ->
+      let* s = slot path file in
+      let* () =
+        if base < 0 then err path (Printf.sprintf "read starts at negative block %d" base)
+        else if range < 1 then err path "range must be at least 1"
+        else if base + range > s.reserve then
+          err path
+            (Printf.sprintf "read of blocks [%d, %d) exceeds file %d's %d-block extent"
+               base (base + range) file s.reserve)
+        else Ok ()
+      in
+      finite_nonneg path "cpu" cpu
+    | Compute seconds -> finite_nonneg path "seconds" seconds
+    | Advise (Priority { file; _ }) ->
+      let* _ = slot path file in
+      Ok ()
+    | Advise (Policy _) -> Ok ()
+    | Advise (Temppri { file; first; last; _ }) ->
+      let* s = slot path file in
+      if first < 0 || last < first || last >= s.reserve then
+        err path
+          (Printf.sprintf "temppri range [%d, %d] outside file %d's %d-block extent"
+             first last file s.reserve)
+      else Ok ()
+    | Advise (Done_with { file; index }) ->
+      let* s = slot path file in
+      if index < 0 || index >= s.reserve then
+        err path
+          (Printf.sprintf "done_with block %d outside file %d's %d-block extent" index
+             file s.reserve)
+      else Ok ()
+    | Unlink { file } ->
+      if not static then err path "unlink is not allowed inside loop or choice"
+      else
+        let* s = slot path file in
+        s.live <- false;
+        Ok ()
+    | Seq body -> check_body ~static ~path ~field:"body" body
+    | Loop { times; body } ->
+      if times < 0 then err path "times must be non-negative"
+      else check_body ~static:false ~path ~field:"body" body
+    | Choice { prob; if_true; if_false } ->
+      if Float.is_nan prob || prob < 0.0 || prob > 1.0 then
+        err path "prob must be between 0 and 1"
+      else
+        let* () = check_body ~static:false ~path ~field:"then" if_true in
+        check_body ~static:false ~path ~field:"else" if_false
+  and check_body ~static ~path ~field body =
+    let _, r =
+      List.fold_left
+        (fun (i, acc) op ->
+          ( i + 1,
+            let* () = acc in
+            check_op ~static ~path:(Printf.sprintf "%s.%s[%d]" path field i) op ))
+        (0, Ok ()) body
+    in
+    r
+  in
+  let* () =
+    if t.name = "" then Error (path ^ ".name", "program name must be non-empty") else Ok ()
+  in
+  let _, r =
+    List.fold_left
+      (fun (i, acc) op ->
+        ( i + 1,
+          let* () = acc in
+          check_op ~static:true ~path:(Printf.sprintf "%s.ops[%d]" path i) op ))
+      (0, Ok ()) t.ops
+  in
+  r
+
+let validate_at ~label ~path t = fmt ~label (check ~path t)
+
+let validate t = validate_at ~label:"wir" ~path:"$" t
+
+(* {2 Execution} *)
+
+let exec t env ~disk =
+  (match validate t with Ok () -> () | Error e -> failwith e);
+  let files = ref [||] in
+  let n_files = ref 0 in
+  let push f =
+    if !n_files = Array.length !files then begin
+      let grown = Array.make (Stdlib.max 8 (2 * !n_files)) f in
+      Array.blit !files 0 grown 0 !n_files;
+      files := grown
+    end;
+    !files.(!n_files) <- f;
+    incr n_files
+  in
+  let file i = !files.(i) in
+  let rec run op =
+    match op with
+    | Open { name; size_blocks; reserve_blocks } ->
+      (* validate guarantees reserve_blocks >= max 1 size_blocks, which
+         is exactly Fs.create_file's default rounding — so passing the
+         reserve unconditionally is identical to the historical
+         closures, which passed it only when growing a size-0 file. *)
+      push
+        (Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
+           ~name:(Env.unique_name env name) ~disk
+           ~size_bytes:(size_blocks * block_bytes)
+           ~reserve_bytes:(reserve_blocks * block_bytes) ())
+    | Read { file = i; first; count; cpu; done_with } ->
+      let f = file i in
+      for b = first to first + count - 1 do
+        Env.read_blocks env f ~first:b ~count:1;
+        Env.compute env cpu;
+        if done_with then Env.done_with_block env f b
+      done
+    | Write { file = i; first; count; cpu; done_with } ->
+      let f = file i in
+      for b = first to first + count - 1 do
+        Env.write_blocks env f ~first:b ~count:1;
+        Env.compute env cpu;
+        if done_with then Env.done_with_block env f b
+      done
+    | Rand_read { file = i; base; range; cpu } ->
+      let f = file i in
+      Env.read_blocks env f ~first:(base + Rng.int env.Env.rng range) ~count:1;
+      Env.compute env cpu
+    | Compute seconds -> Env.compute env seconds
+    | Advise (Priority { file = i; prio }) -> Env.set_priority env (file i) prio
+    | Advise (Policy { prio; policy }) -> Env.set_policy env ~prio policy
+    | Advise (Temppri { file = i; first; last; prio }) ->
+      Env.set_temppri env (file i) ~first ~last ~prio
+    | Advise (Done_with { file = i; index }) -> Env.done_with_block env (file i) index
+    | Unlink { file = i } -> Acfc_fs.Fs.unlink env.Env.fs (file i)
+    | Seq body -> List.iter run body
+    | Loop { times; body } ->
+      for _ = 1 to times do
+        List.iter run body
+      done
+    | Choice { prob; if_true; if_false } ->
+      if Rng.float env.Env.rng 1.0 < prob then List.iter run if_true
+      else List.iter run if_false
+  in
+  List.iter run t.ops
+
+let references ?rng t =
+  (match validate t with Ok () -> () | Error e -> failwith e);
+  let rng = match rng with Some r -> r | None -> Rng.create 0 in
+  let out = ref [||] in
+  let n = ref 0 in
+  let push b =
+    if !n = Array.length !out then begin
+      let grown = Array.make (Stdlib.max 1024 (2 * !n)) b in
+      Array.blit !out 0 grown 0 !n;
+      out := grown
+    end;
+    !out.(!n) <- b;
+    incr n
+  in
+  let next_slot = ref 0 in
+  let rec run op =
+    match op with
+    | Open _ -> incr next_slot
+    | Read { file; first; count; _ } | Write { file; first; count; _ } ->
+      for b = first to first + count - 1 do
+        push (Block.make ~file ~index:b)
+      done
+    | Rand_read { file; base; range; _ } ->
+      push (Block.make ~file ~index:(base + Rng.int rng range))
+    | Compute _ | Advise _ | Unlink _ -> ()
+    | Seq body -> List.iter run body
+    | Loop { times; body } ->
+      for _ = 1 to times do
+        List.iter run body
+      done
+    | Choice { prob; if_true; if_false } ->
+      if Rng.float rng 1.0 < prob then List.iter run if_true else List.iter run if_false
+  in
+  List.iter run t.ops;
+  Array.sub !out 0 !n
+
+(* {2 Serialisation} *)
+
+let schema = "acfc-wir/1"
+
+let num_i n = Json.Num (float_of_int n)
+
+let advice_to_json = function
+  | Priority { file; prio } ->
+    [ ("kind", Json.Str "priority"); ("file", num_i file); ("prio", num_i prio) ]
+  | Policy { prio; policy } ->
+    [
+      ("kind", Json.Str "policy");
+      ("prio", num_i prio);
+      ("policy", Json.Str (Policy.to_string policy));
+    ]
+  | Temppri { file; first; last; prio } ->
+    [
+      ("kind", Json.Str "temppri");
+      ("file", num_i file);
+      ("first", num_i first);
+      ("last", num_i last);
+      ("prio", num_i prio);
+    ]
+  | Done_with { file; index } ->
+    [ ("kind", Json.Str "done_with"); ("file", num_i file); ("index", num_i index) ]
+
+let rec op_to_json op =
+  let rw tag file first count cpu done_with =
+    [ ("op", Json.Str tag); ("file", num_i file); ("first", num_i first); ("count", num_i count) ]
+    @ (if cpu <> 0.0 then [ ("cpu", Json.Num cpu) ] else [])
+    @ if done_with then [ ("done_with", Json.Bool true) ] else []
+  in
+  Json.Obj
+    (match op with
+    | Open { name; size_blocks; reserve_blocks } ->
+      [ ("op", Json.Str "open"); ("name", Json.Str name); ("size_blocks", num_i size_blocks) ]
+      @
+      if reserve_blocks <> Stdlib.max 1 size_blocks then
+        [ ("reserve_blocks", num_i reserve_blocks) ]
+      else []
+    | Read { file; first; count; cpu; done_with } -> rw "read" file first count cpu done_with
+    | Write { file; first; count; cpu; done_with } ->
+      rw "write" file first count cpu done_with
+    | Rand_read { file; base; range; cpu } ->
+      [
+        ("op", Json.Str "rand_read");
+        ("file", num_i file);
+        ("base", num_i base);
+        ("range", num_i range);
+      ]
+      @ (if cpu <> 0.0 then [ ("cpu", Json.Num cpu) ] else [])
+    | Compute seconds -> [ ("op", Json.Str "compute"); ("seconds", Json.Num seconds) ]
+    | Advise advice -> ("op", Json.Str "advise") :: advice_to_json advice
+    | Unlink { file } -> [ ("op", Json.Str "unlink"); ("file", num_i file) ]
+    | Seq body -> [ ("op", Json.Str "seq"); ("body", Json.List (List.map op_to_json body)) ]
+    | Loop { times; body } ->
+      [
+        ("op", Json.Str "loop");
+        ("times", num_i times);
+        ("body", Json.List (List.map op_to_json body));
+      ]
+    | Choice { prob; if_true; if_false } ->
+      [
+        ("op", Json.Str "choice");
+        ("prob", Json.Num prob);
+        ("then", Json.List (List.map op_to_json if_true));
+      ]
+      @
+      if if_false <> [] then [ ("else", Json.List (List.map op_to_json if_false)) ]
+      else [])
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("name", Json.Str t.name);
+      ("category", Json.Str t.category);
+      ("ops", Json.List (List.map op_to_json t.ops));
+    ]
+
+(* {3 Parsing} *)
+
+let err path msg = Error (path, msg)
+
+let fields ~path ~known j =
+  match j with
+  | Json.Obj members ->
+    let* () =
+      iter_result
+        (fun (k, _) ->
+          if List.mem k known then Ok ()
+          else err path (Printf.sprintf "unknown field %S" k))
+        members
+    in
+    Ok members
+  | _ -> err path "expected an object"
+
+let field name members = List.assoc_opt name members
+
+let require ~path name members =
+  match field name members with
+  | Some v -> Ok v
+  | None -> err path (Printf.sprintf "missing required field %S" name)
+
+let as_int ~path = function
+  | Json.Num _ as v ->
+    (match Json.to_int v with
+    | Some n -> Ok n
+    | None -> err path "expected an integer")
+  | _ -> err path "expected an integer"
+
+let as_num ~path = function
+  | Json.Num x -> Ok x
+  | _ -> err path "expected a number"
+
+let as_str ~path = function
+  | Json.Str s -> Ok s
+  | _ -> err path "expected a string"
+
+let as_bool ~path = function
+  | Json.Bool b -> Ok b
+  | _ -> err path "expected a boolean"
+
+let as_list ~path = function
+  | Json.List l -> Ok l
+  | _ -> err path "expected a list"
+
+let req_int ~path name members =
+  let* v = require ~path name members in
+  as_int ~path:(path ^ "." ^ name) v
+
+let req_num ~path name members =
+  let* v = require ~path name members in
+  as_num ~path:(path ^ "." ^ name) v
+
+let opt_num ~path ~default name members =
+  match field name members with
+  | None -> Ok default
+  | Some v -> as_num ~path:(path ^ "." ^ name) v
+
+let opt_bool ~path ~default name members =
+  match field name members with
+  | None -> Ok default
+  | Some v -> as_bool ~path:(path ^ "." ^ name) v
+
+let mapi_result ~path f l =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest ->
+      let* v = f ~path:(Printf.sprintf "%s[%d]" path i) x in
+      go (i + 1) (v :: acc) rest
+  in
+  go 0 [] l
+
+let parse_advice ~path members =
+  let* kind =
+    let* v = require ~path "kind" members in
+    as_str ~path:(path ^ ".kind") v
+  in
+  let known extra = [ "op"; "kind" ] @ extra in
+  let strict extra =
+    iter_result
+      (fun (k, _) ->
+        if List.mem k (known extra) then Ok ()
+        else err path (Printf.sprintf "unknown field %S" k))
+      members
+  in
+  match kind with
+  | "priority" ->
+    let* () = strict [ "file"; "prio" ] in
+    let* file = req_int ~path "file" members in
+    let* prio = req_int ~path "prio" members in
+    Ok (Priority { file; prio })
+  | "policy" ->
+    let* () = strict [ "prio"; "policy" ] in
+    let* prio = req_int ~path "prio" members in
+    let* p =
+      let* v = require ~path "policy" members in
+      as_str ~path:(path ^ ".policy") v
+    in
+    (match Policy.of_string p with
+    | Some policy -> Ok (Policy { prio; policy })
+    | None ->
+      err (path ^ ".policy") (Printf.sprintf "unknown policy %S (expected lru or mru)" p))
+  | "temppri" ->
+    let* () = strict [ "file"; "first"; "last"; "prio" ] in
+    let* file = req_int ~path "file" members in
+    let* first = req_int ~path "first" members in
+    let* last = req_int ~path "last" members in
+    let* prio = req_int ~path "prio" members in
+    Ok (Temppri { file; first; last; prio })
+  | "done_with" ->
+    let* () = strict [ "file"; "index" ] in
+    let* file = req_int ~path "file" members in
+    let* index = req_int ~path "index" members in
+    Ok (Done_with { file; index })
+  | k ->
+    err (path ^ ".kind")
+      (Printf.sprintf "unknown advice kind %S (expected priority, policy, temppri or done_with)"
+         k)
+
+let rec parse_op ~path j =
+  match j with
+  | Json.Obj members ->
+    let* tag =
+      let* v = require ~path "op" members in
+      as_str ~path:(path ^ ".op") v
+    in
+    let strict known =
+      iter_result
+        (fun (k, _) ->
+          if List.mem k ("op" :: known) then Ok ()
+          else err path (Printf.sprintf "unknown field %S" k))
+        members
+    in
+    let rw make =
+      let* () = strict [ "file"; "first"; "count"; "cpu"; "done_with" ] in
+      let* file = req_int ~path "file" members in
+      let* first = req_int ~path "first" members in
+      let* count = req_int ~path "count" members in
+      let* cpu = opt_num ~path ~default:0.0 "cpu" members in
+      let* done_with = opt_bool ~path ~default:false "done_with" members in
+      Ok (make ~file ~first ~count ~cpu ~done_with)
+    in
+    let body name =
+      let* v = require ~path name members in
+      let* l = as_list ~path:(path ^ "." ^ name) v in
+      mapi_result ~path:(path ^ "." ^ name) parse_op l
+    in
+    (match tag with
+    | "open" ->
+      let* () = strict [ "name"; "size_blocks"; "reserve_blocks" ] in
+      let* name =
+        let* v = require ~path "name" members in
+        as_str ~path:(path ^ ".name") v
+      in
+      let* size_blocks = req_int ~path "size_blocks" members in
+      let* reserve_blocks =
+        match field "reserve_blocks" members with
+        | None -> Ok (Stdlib.max 1 size_blocks)
+        | Some v -> as_int ~path:(path ^ ".reserve_blocks") v
+      in
+      Ok (Open { name; size_blocks; reserve_blocks })
+    | "read" ->
+      rw (fun ~file ~first ~count ~cpu ~done_with ->
+          Read { file; first; count; cpu; done_with })
+    | "write" ->
+      rw (fun ~file ~first ~count ~cpu ~done_with ->
+          Write { file; first; count; cpu; done_with })
+    | "rand_read" ->
+      let* () = strict [ "file"; "base"; "range"; "cpu" ] in
+      let* file = req_int ~path "file" members in
+      let* base = req_int ~path "base" members in
+      let* range = req_int ~path "range" members in
+      let* cpu = opt_num ~path ~default:0.0 "cpu" members in
+      Ok (Rand_read { file; base; range; cpu })
+    | "compute" ->
+      let* () = strict [ "seconds" ] in
+      let* seconds = req_num ~path "seconds" members in
+      Ok (Compute seconds)
+    | "advise" ->
+      let* advice = parse_advice ~path members in
+      Ok (Advise advice)
+    | "unlink" ->
+      let* () = strict [ "file" ] in
+      let* file = req_int ~path "file" members in
+      Ok (Unlink { file })
+    | "seq" ->
+      let* () = strict [ "body" ] in
+      let* ops = body "body" in
+      Ok (Seq ops)
+    | "loop" ->
+      let* () = strict [ "times"; "body" ] in
+      let* times = req_int ~path "times" members in
+      let* ops = body "body" in
+      Ok (Loop { times; body = ops })
+    | "choice" ->
+      let* () = strict [ "prob"; "then"; "else" ] in
+      let* prob = req_num ~path "prob" members in
+      let* if_true = body "then" in
+      let* if_false =
+        match field "else" members with
+        | None -> Ok []
+        | Some v ->
+          let* l = as_list ~path:(path ^ ".else") v in
+          mapi_result ~path:(path ^ ".else") parse_op l
+      in
+      Ok (Choice { prob; if_true; if_false })
+    | tag ->
+      err (path ^ ".op")
+        (Printf.sprintf
+           "unknown op %S (expected open, read, write, rand_read, compute, advise, \
+            unlink, seq, loop or choice)"
+           tag))
+  | _ -> err path "expected an op object"
+
+let parse ~path j =
+  let* members = fields ~path ~known:[ "schema"; "name"; "category"; "ops" ] j in
+  let* s = require ~path "schema" members in
+  let* schema_str = as_str ~path:(path ^ ".schema") s in
+  let* () =
+    if schema_str = schema then Ok ()
+    else
+      err (path ^ ".schema")
+        (Printf.sprintf "unsupported schema %S (expected %s)" schema_str schema)
+  in
+  let* name =
+    let* v = require ~path "name" members in
+    as_str ~path:(path ^ ".name") v
+  in
+  let* category =
+    match field "category" members with
+    | None -> Ok "custom"
+    | Some v -> as_str ~path:(path ^ ".category") v
+  in
+  let* o = require ~path "ops" members in
+  let* l = as_list ~path:(path ^ ".ops") o in
+  let* ops = mapi_result ~path:(path ^ ".ops") parse_op l in
+  Ok { name; category; ops }
+
+let of_json_at ~label ~path j = fmt ~label (parse ~path j)
+
+let of_json j = of_json_at ~label:"wir" ~path:"$" j
+
+let to_string t = Json.to_string (to_json t)
+
+let of_string s =
+  match Json.of_string s with
+  | Error e -> Error ("wir: invalid JSON: " ^ e)
+  | Ok j -> of_json j
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error ("wir: " ^ e)
+  | contents -> of_string contents
+
+let hash t = Digest.to_hex (Digest.string (to_string t))

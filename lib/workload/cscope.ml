@@ -1,27 +1,19 @@
 module Policy = Acfc_core.Policy
-
-let block_bytes = Acfc_disk.Params.block_bytes
+module Wir = Acfc_wir.Wir
 
 (* Symbol queries scan "cscope.out" looking for records. *)
 let symbol_search ?(name = "cs1") ?(database_blocks = 1141) ?(queries = 8)
     ?(cpu_per_block = 0.0024) () =
-  let run env ~disk =
-    let db =
-      Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-        ~name:(Env.unique_name env "cscope.out")
-        ~disk ~size_bytes:(database_blocks * block_bytes) ()
-    in
-    (* Strategy (paper Sec. 5.1): MRU on the database's priority level. *)
-    Env.set_priority env db 0;
-    Env.set_policy env ~prio:0 Policy.Mru;
-    for _query = 1 to queries do
-      for index = 0 to database_blocks - 1 do
-        Env.read_blocks env db ~first:index ~count:1;
-        Env.compute env cpu_per_block
-      done
-    done
-  in
-  App.make ~name ~category:"cyclic" run
+  App.of_program
+    (Wir.make ~name ~category:"cyclic"
+       [
+         Wir.open_file ~name:"cscope.out" ~size_blocks:database_blocks ();
+         (* Strategy (paper Sec. 5.1): MRU on the database's priority level. *)
+         Wir.set_priority ~file:0 ~prio:0;
+         Wir.set_policy ~prio:0 Policy.Mru;
+         Wir.loop queries
+           [ Wir.read ~cpu:cpu_per_block ~file:0 ~first:0 ~count:database_blocks () ];
+       ])
 
 (* cs1: 8 symbol queries over the 18 MB package's 9 MB database. *)
 let cs1 = symbol_search ()
@@ -29,28 +21,19 @@ let cs1 = symbol_search ()
 (* cs2/cs3: text queries scan every source file, in the same order on
    every query. *)
 let text_search ~name ~files ?(file_blocks = 50) ~queries ~cpu_per_block () =
-  let run env ~disk =
-    let sources =
-      List.init files (fun i ->
-          Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-            ~name:(Env.unique_name env (Printf.sprintf "src%02d.c" i))
-            ~disk
-            ~size_bytes:(file_blocks * block_bytes)
-            ())
-    in
-    (* All sources sit at default priority 0; one call suffices. *)
-    Env.set_policy env ~prio:0 Policy.Mru;
-    for _query = 1 to queries do
-      List.iter
-        (fun file ->
-          for index = 0 to file_blocks - 1 do
-            Env.read_blocks env file ~first:index ~count:1;
-            Env.compute env cpu_per_block
-          done)
-        sources
-    done
-  in
-  App.make ~name ~category:"cyclic" run
+  App.of_program
+    (Wir.make ~name ~category:"cyclic"
+       (List.init files (fun i ->
+            Wir.open_file
+              ~name:(Printf.sprintf "src%02d.c" i)
+              ~size_blocks:file_blocks ())
+       (* All sources sit at default priority 0; one call suffices. *)
+       @ [
+           Wir.set_policy ~prio:0 Policy.Mru;
+           Wir.loop queries
+             (List.init files (fun i ->
+                  Wir.read ~cpu:cpu_per_block ~file:i ~first:0 ~count:file_blocks ()));
+         ]))
 
 let cs2 = text_search ~name:"cs2" ~files:47 ~queries:5 ~cpu_per_block:0.0137 ()
 

@@ -1,25 +1,17 @@
 module Policy = Acfc_core.Policy
-
-let block_bytes = Acfc_disk.Params.block_bytes
+module Wir = Acfc_wir.Wir
 
 let custom ?(name = "din") ?(trace_blocks = 1024) ?(simulations = 9)
     ?(cpu_per_block = 0.0101) () =
-  let run env ~disk =
-    let trace =
-      Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-        ~name:(Env.unique_name env "cc.trace")
-        ~disk ~size_bytes:(trace_blocks * block_bytes) ()
-    in
-    Env.set_priority env trace 0;
-    Env.set_policy env ~prio:0 Policy.Mru;
-    for _sim = 1 to simulations do
-      for index = 0 to trace_blocks - 1 do
-        Env.read_blocks env trace ~first:index ~count:1;
-        Env.compute env cpu_per_block
-      done
-    done
-  in
-  App.make ~name ~category:"cyclic" run
+  App.of_program
+    (Wir.make ~name ~category:"cyclic"
+       [
+         Wir.open_file ~name:"cc.trace" ~size_blocks:trace_blocks ();
+         Wir.set_priority ~file:0 ~prio:0;
+         Wir.set_policy ~prio:0 Policy.Mru;
+         Wir.loop simulations
+           [ Wir.read ~cpu:cpu_per_block ~file:0 ~first:0 ~count:trace_blocks () ];
+       ])
 
 (* The paper's run: nine simulations (line {32,64,128} x assoc {1,2,4})
    over the 8 MB "cc" trace. *)

@@ -1,55 +1,4 @@
-open Acfc_sim
-module Control = Acfc_core.Control
-
-let block_bytes = Acfc_disk.Params.block_bytes
-
-type t = {
-  engine : Engine.t;
-  fs : Acfc_fs.Fs.t;
-  pid : Acfc_core.Pid.t;
-  control : Control.t option;
-  cpu : Resource.t option;
-  rng : Rng.t;
-}
-
-let smart t = Option.is_some t.control
-
-let compute t seconds =
-  if seconds > 0.0 then
-    match t.cpu with
-    | Some cpu -> Resource.use cpu ~service:seconds
-    | None -> Engine.delay t.engine seconds
-
-let read_blocks t file ~first ~count =
-  if count > 0 then
-    Acfc_fs.Fs.read t.fs ~pid:t.pid file ~off:(first * block_bytes) ~len:(count * block_bytes)
-
-let write_blocks t file ~first ~count =
-  if count > 0 then
-    Acfc_fs.Fs.write t.fs ~pid:t.pid file ~off:(first * block_bytes) ~len:(count * block_bytes)
-
-let read_bytes t file ~off ~len = Acfc_fs.Fs.read t.fs ~pid:t.pid file ~off ~len
-
-let unique_name t name =
-  Printf.sprintf "p%d:%s" (Acfc_core.Pid.to_int t.pid) name
-
-let ok = function
-  | Ok () -> ()
-  | Error e -> failwith ("strategy call failed: " ^ Acfc_core.Error.to_string e)
-
-let set_priority t file prio =
-  match t.control with
-  | None -> ()
-  | Some c -> ok (Control.set_priority c ~file:(Acfc_fs.File.id file) prio)
-
-let set_policy t ~prio policy =
-  match t.control with
-  | None -> ()
-  | Some c -> ok (Control.set_policy c ~prio policy)
-
-let set_temppri t file ~first ~last ~prio =
-  match t.control with
-  | None -> ()
-  | Some c -> ok (Control.set_temppri c ~file:(Acfc_fs.File.id file) ~first ~last ~prio)
-
-let done_with_block t file index = set_temppri t file ~first:index ~last:index ~prio:(-1)
+(* The execution environment moved to acfc.wir (the IR interpreter is
+   its primary consumer); re-export it here so workload code and the
+   historical [Acfc_workload.Env] path keep working unchanged. *)
+include Acfc_wir.Env

@@ -1,6 +1,5 @@
 module Policy = Acfc_core.Policy
-
-let block_bytes = Acfc_disk.Params.block_bytes
+module Wir = Acfc_wir.Wir
 
 let index_files = [ ".glimpse_index"; ".glimpse_partitions"; ".glimpse_filenames"; ".glimpse_statistics" ]
 
@@ -16,48 +15,45 @@ let partitions_per_query = 26
 
 let cpu_per_block = 0.0082
 
-let run env ~disk =
-  let indexes =
+(* Slot layout: the four indexes first, then the 64 partitions. *)
+let n_indexes = List.length index_files
+
+let part_slot p = n_indexes + p
+
+let program =
+  let opens =
     List.map
-      (fun name ->
-        Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid ~name:(Env.unique_name env name)
-          ~disk
-          ~size_bytes:(index_blocks_per_file * block_bytes)
-          ())
+      (fun name -> Wir.open_file ~name ~size_blocks:index_blocks_per_file ())
       index_files
-  in
-  let parts =
-    Array.init partitions (fun i ->
-        Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-          ~name:(Env.unique_name env (Printf.sprintf "partition.%02d" i))
-          ~disk
-          ~size_bytes:(partition_blocks * block_bytes)
-          ())
+    @ List.init partitions (fun i ->
+          Wir.open_file
+            ~name:(Printf.sprintf "partition.%02d" i)
+            ~size_blocks:partition_blocks ())
   in
   (* Strategy: indexes at priority 1, MRU at both levels. *)
-  List.iter (fun index -> Env.set_priority env index 1) indexes;
-  Env.set_policy env ~prio:1 Policy.Mru;
-  Env.set_policy env ~prio:0 Policy.Mru;
-  for query = 0 to queries - 1 do
-    List.iter
-      (fun index ->
-        for block = 0 to index_blocks_per_file - 1 do
-          Env.read_blocks env index ~first:block ~count:1;
-          Env.compute env cpu_per_block
-        done)
-      indexes;
-    (* The keyword-dependent partition subset, visited in partition
-       order (the paper: "several groups of articles are accessed in
-       the same order"). (7p + 13q) mod 64 scatters each query's
-       selection across the partition space while consecutive queries
-       still share half their partitions. *)
-    for p = 0 to partitions - 1 do
-      if ((7 * p) + (13 * query)) mod partitions < partitions_per_query then
-        for block = 0 to partition_blocks - 1 do
-          Env.read_blocks env parts.(p) ~first:block ~count:1;
-          Env.compute env cpu_per_block
-        done
-    done
-  done
+  let strategy =
+    List.init n_indexes (fun i -> Wir.set_priority ~file:i ~prio:1)
+    @ [ Wir.set_policy ~prio:1 Policy.Mru; Wir.set_policy ~prio:0 Policy.Mru ]
+  in
+  (* Each query scans all four indexes, then its keyword-dependent
+     partition subset in partition order (the paper: "several groups of
+     articles are accessed in the same order"). (7p + 13q) mod 64
+     scatters each query's selection across the partition space while
+     consecutive queries still share half their partitions. The subset
+     differs per query, so queries unroll instead of looping. *)
+  let query q =
+    List.init n_indexes (fun i ->
+        Wir.read ~cpu:cpu_per_block ~file:i ~first:0 ~count:index_blocks_per_file ())
+    @ List.concat
+        (List.init partitions (fun p ->
+             if ((7 * p) + (13 * q)) mod partitions < partitions_per_query then
+               [
+                 Wir.read ~cpu:cpu_per_block ~file:(part_slot p) ~first:0
+                   ~count:partition_blocks ();
+               ]
+             else []))
+  in
+  Wir.make ~name:"gli" ~category:"hot/cold"
+    (opens @ strategy @ List.concat (List.init queries query))
 
-let gli = App.make ~name:"gli" ~category:"hot/cold" run
+let gli = App.of_program program

@@ -1,4 +1,4 @@
-let block_bytes = Acfc_disk.Params.block_bytes
+module Wir = Acfc_wir.Wir
 
 let object_files = 80
 
@@ -10,44 +10,41 @@ let output_blocks = 1024
 
 let cpu_per_block = 0.0113
 
-let run env ~disk =
-  let objects =
-    Array.init object_files (fun i ->
-        Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-          ~name:(Env.unique_name env (Printf.sprintf "obj%02d.o" i))
-          ~disk
-          ~size_bytes:(file_blocks * block_bytes)
-          ())
-  in
-  let output =
-    Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-      ~name:(Env.unique_name env "vmunix")
-      ~disk ~size_bytes:0
-      ~reserve_bytes:(output_blocks * block_bytes) ()
+(* Slot layout: the 80 objects first, then the output image. *)
+let output_slot = object_files
+
+let program =
+  let opens =
+    List.init object_files (fun i ->
+        Wir.open_file ~name:(Printf.sprintf "obj%02d.o" i) ~size_blocks:file_blocks ())
+    @ [
+        Wir.open_file ~name:"vmunix" ~size_blocks:0 ~reserve_blocks:output_blocks ();
+      ]
   in
   (* Pass 1: headers and symbol tables. *)
-  Array.iter
-    (fun file ->
-      for block = 0 to symbol_blocks - 1 do
-        Env.read_blocks env file ~first:block ~count:1;
-        Env.compute env cpu_per_block
-      done)
-    objects;
+  let pass1 =
+    List.init object_files (fun i ->
+        Wir.read ~cpu:cpu_per_block ~file:i ~first:0 ~count:symbol_blocks ())
+  in
   (* Pass 2: full relocation scan; object data is consumed exactly once
      and freed as soon as each block has been read. *)
-  Array.iter
-    (fun file ->
-      for block = 0 to file_blocks - 1 do
-        Env.read_blocks env file ~first:block ~count:1;
-        Env.compute env cpu_per_block;
-        if block >= symbol_blocks then Env.done_with_block env file block
-      done)
-    objects;
+  let pass2 =
+    List.concat
+      (List.init object_files (fun i ->
+           [
+             Wir.read ~cpu:cpu_per_block ~file:i ~first:0 ~count:symbol_blocks ();
+             Wir.read ~cpu:cpu_per_block ~done_with:true ~file:i ~first:symbol_blocks
+               ~count:(file_blocks - symbol_blocks) ();
+           ]))
+  in
   (* Emit the linked image; written blocks are also done-with. *)
-  for block = 0 to output_blocks - 1 do
-    Env.write_blocks env output ~first:block ~count:1;
-    Env.compute env (cpu_per_block /. 2.0);
-    Env.done_with_block env output block
-  done
+  let emit =
+    [
+      Wir.write
+        ~cpu:(cpu_per_block /. 2.0)
+        ~done_with:true ~file:output_slot ~first:0 ~count:output_blocks ();
+    ]
+  in
+  Wir.make ~name:"ldk" ~category:"access-once" (opens @ pass1 @ pass2 @ emit)
 
-let ldk = App.make ~name:"ldk" ~category:"access-once" run
+let ldk = App.of_program program

@@ -1,50 +1,61 @@
-module Rng = Acfc_sim.Rng
-
-let block_bytes = Acfc_disk.Params.block_bytes
+module Wir = Acfc_wir.Wir
 
 let custom ?(name = "pjn") ?(outer_blocks = 410) ?(index_blocks = 640)
     ?(internal_blocks = 40) ?(inner_blocks = 4096) ?(probes = 20_000)
     ?(match_fraction = 0.2) ?(cpu_per_probe = 0.0045) () =
   if match_fraction < 0.0 || match_fraction > 1.0 then
     invalid_arg "Postgres.custom: match_fraction out of range";
-  let run env ~disk =
-  let outer =
-    Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-      ~name:(Env.unique_name env "twentyk")
-      ~disk ~size_bytes:(outer_blocks * block_bytes) ()
-  in
-  let index =
-    Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-      ~name:(Env.unique_name env "twohundredk_unique1")
-      ~disk ~size_bytes:(index_blocks * block_bytes) ()
-  in
-  let inner =
-    Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-      ~name:(Env.unique_name env "twohundredk")
-      ~disk ~size_bytes:(inner_blocks * block_bytes) ()
+  if probes < outer_blocks then
+    invalid_arg "Postgres.custom: probes must be at least outer_blocks";
+  (* Slots: 0 the outer relation, 1 the index, 2 the inner relation. *)
+  let outer = 0 and index = 1 and inner = 2 in
+  let opens =
+    [
+      Wir.open_file ~name:"twentyk" ~size_blocks:outer_blocks ();
+      Wir.open_file ~name:"twohundredk_unique1" ~size_blocks:index_blocks ();
+      Wir.open_file ~name:"twohundredk" ~size_blocks:inner_blocks ();
+    ]
   in
   (* Strategy: only the index is raised above the data (paper Sec. 5.1);
      LRU is the default policy at both levels. *)
-  Env.set_priority env index 1;
-  let rng = env.Env.rng in
-  for probe = 0 to probes - 1 do
-    (* Advance the sequential outer scan so that it finishes with the
-       probes: one outer block per [probes / outer_blocks] probes. *)
-    if probe mod (probes / outer_blocks) = 0 then begin
-      let outer_block = Stdlib.min (probe / (probes / outer_blocks)) (outer_blocks - 1) in
-      Env.read_blocks env outer ~first:outer_block ~count:1
-    end;
-    (* B-tree descent: one internal block, one leaf block. *)
-    Env.read_blocks env index ~first:(Rng.int rng internal_blocks) ~count:1;
-    Env.read_blocks env index
-      ~first:(internal_blocks + Rng.int rng (index_blocks - internal_blocks))
-      ~count:1;
-    if Rng.float rng 1.0 < match_fraction then
-      Env.read_blocks env inner ~first:(Rng.int rng inner_blocks) ~count:1;
-    Env.compute env cpu_per_probe
-  done
+  let strategy = [ Wir.set_priority ~file:index ~prio:1 ] in
+  (* One probe: B-tree descent (one internal block, one leaf block),
+     a matching inner tuple with probability [match_fraction], then the
+     per-probe computation. Three ops draw from the RNG in exactly the
+     closure's order: internal, leaf, match. *)
+  let probe =
+    [
+      Wir.rand_read ~file:index ~base:0 ~range:internal_blocks ();
+      Wir.rand_read ~file:index ~base:internal_blocks
+        ~range:(index_blocks - internal_blocks) ();
+      Wir.choice ~prob:match_fraction
+        [ Wir.rand_read ~file:inner ~base:0 ~range:inner_blocks () ]
+        [];
+      Wir.compute cpu_per_probe;
+    ]
   in
-  App.make ~name ~category:"hot/cold" run
+  (* The sequential outer scan advances so that it finishes with the
+     probes: one outer block per [probes / outer_blocks] probes. Emit
+     one outer-block read per group, then loop the probe body over the
+     group (the outer read's own probe is the loop's first iteration). *)
+  let per = probes / outer_blocks in
+  let rec groups start acc =
+    if start >= probes then List.rev acc
+    else begin
+      let next = Stdlib.min probes (start + per) in
+      let outer_block = Stdlib.min (start / per) (outer_blocks - 1) in
+      let g =
+        Wir.seq
+          [
+            Wir.read ~file:outer ~first:outer_block ~count:1 ();
+            Wir.loop (next - start) probe;
+          ]
+      in
+      groups next (g :: acc)
+    end
+  in
+  App.of_program
+    (Wir.make ~name ~category:"hot/cold" (opens @ strategy @ groups 0 []))
 
 (* The paper's join: 20 000 outer tuples against the 5 MB non-clustered
    index and the 32 MB inner relation, 20% selectivity. *)

@@ -1,6 +1,5 @@
 module Policy = Acfc_core.Policy
-
-let block_bytes = Acfc_disk.Params.block_bytes
+module Wir = Acfc_wir.Wir
 
 let repeats = 5
 
@@ -11,29 +10,25 @@ let app ?(file_blocks = 1200) ~n ~mode () =
   let name =
     Printf.sprintf "read%d%s" n (match mode with `Foolish -> "!" | `Oblivious -> "")
   in
-  let run env ~disk =
-    let file =
-      Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-        ~name:(Env.unique_name env "readn.dat")
-        ~disk ~size_bytes:(file_blocks * block_bytes) ()
-    in
-    (match mode with
+  let strategy =
+    match mode with
     | `Foolish ->
       (* A deliberately bad policy: MRU is terrible for this pattern. *)
-      Env.set_priority env file 0;
-      Env.set_policy env ~prio:0 Policy.Mru
-    | `Oblivious -> ());
-    let group = ref 0 in
-    while !group * n < file_blocks do
-      let first = !group * n in
-      let count = Stdlib.min n (file_blocks - first) in
-      for _pass = 1 to repeats do
-        for block = first to first + count - 1 do
-          Env.read_blocks env file ~first:block ~count:1;
-          Env.compute env cpu_per_block
-        done
-      done;
-      incr group
-    done
+      [ Wir.set_priority ~file:0 ~prio:0; Wir.set_policy ~prio:0 Policy.Mru ]
+    | `Oblivious -> []
   in
-  App.make ~name ~category:"grouped-cyclic" run
+  (* Read the file in groups of [n] blocks, each group [repeats] times
+     before moving on. *)
+  let rec groups first acc =
+    if first >= file_blocks then List.rev acc
+    else
+      let count = Stdlib.min n (file_blocks - first) in
+      let g =
+        Wir.loop repeats [ Wir.read ~cpu:cpu_per_block ~file:0 ~first ~count () ]
+      in
+      groups (first + n) (g :: acc)
+  in
+  App.of_program
+    (Wir.make ~name ~category:"grouped-cyclic"
+       ((Wir.open_file ~name:"readn.dat" ~size_blocks:file_blocks () :: strategy)
+       @ groups 0 []))

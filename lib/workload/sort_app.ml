@@ -1,6 +1,5 @@
 module Policy = Acfc_core.Policy
-
-let block_bytes = Acfc_disk.Params.block_bytes
+module Wir = Acfc_wir.Wir
 
 let input_blocks = 2176  (* 17 MB *)
 
@@ -16,70 +15,76 @@ let merge_cpu_per_block = 0.028
 
 let write_cpu_per_block = 0.008
 
-(* Read a set of run files round-robin one block at a time (the merge
-   consumes their fronts in parallel), freeing each consumed block, and
-   write the merged result. Returns the output file. *)
-let merge env ~disk ~name ~inputs =
-  let total = List.fold_left (fun acc f -> acc + Acfc_fs.File.size_blocks f) 0 inputs in
-  let output =
-    Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid ~name:(Env.unique_name env name)
-      ~disk ~size_bytes:0 ~reserve_bytes:(total * block_bytes) ()
+(* The whole sort — phase-1 run formation and the 8-way merge tree —
+   has a data-independent access pattern, so it compiles to a fully
+   unrolled program. The compiler below replays the historical
+   closure's control flow symbolically: slots are allocated in the
+   closure's file-creation order and every per-block read/write/advice
+   lands in the same sequence. *)
+let program =
+  let ops = ref [] (* reversed *) in
+  let emit op = ops := op :: !ops in
+  let next_slot = ref 0 in
+  let open_file ~name ~size_blocks ?reserve_blocks () =
+    emit (Wir.open_file ~name ~size_blocks ?reserve_blocks ());
+    let slot = !next_slot in
+    incr next_slot;
+    slot
   in
-  let files = Array.of_list inputs in
-  let cursors = Array.map (fun _ -> 0) files in
-  let remaining = ref (Array.length files) in
-  let next_out = ref 0 in
-  while !remaining > 0 do
-    Array.iteri
-      (fun i file ->
-        if cursors.(i) < Acfc_fs.File.size_blocks file then begin
-          let block = cursors.(i) in
-          Env.read_blocks env file ~first:block ~count:1;
-          Env.compute env merge_cpu_per_block;
-          Env.done_with_block env file block;
-          cursors.(i) <- block + 1;
-          if cursors.(i) = Acfc_fs.File.size_blocks file then decr remaining;
-          (* One merged block out per block in. *)
-          Env.write_blocks env output ~first:!next_out ~count:1;
-          Env.compute env write_cpu_per_block;
-          incr next_out
-        end)
-      files
-  done;
-  List.iter (fun file -> Acfc_fs.Fs.unlink env.Env.fs file) inputs;
-  output
-
-let run env ~disk =
-  let input =
-    Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-      ~name:(Env.unique_name env "input.txt")
-      ~disk ~size_bytes:(input_blocks * block_bytes) ()
-  in
+  let input = open_file ~name:"input.txt" ~size_blocks:input_blocks () in
   (* Strategy: input is read-once (priority -1); MRU at levels -1 and 0
      because earlier-created temporaries are merged first. *)
-  Env.set_policy env ~prio:(-1) Policy.Mru;
-  Env.set_policy env ~prio:0 Policy.Mru;
-  Env.set_priority env input (-1);
-  (* Phase 1: partition the input into sorted runs. *)
-  let runs = ref [] in
-  for r = 0 to initial_runs - 1 do
-    let tmp =
-      Acfc_fs.Fs.create_file env.Env.fs ~owner:env.Env.pid
-        ~name:(Env.unique_name env (Printf.sprintf "tmp.run%02d" r))
-        ~disk ~size_bytes:0
-        ~reserve_bytes:(run_blocks * block_bytes) ()
-    in
-    for block = 0 to run_blocks - 1 do
-      let input_block = (r * run_blocks) + block in
-      Env.read_blocks env input ~first:input_block ~count:1;
-      Env.compute env sort_cpu_per_block;
-      Env.done_with_block env input input_block;
-      Env.write_blocks env tmp ~first:block ~count:1;
-      Env.compute env write_cpu_per_block
+  emit (Wir.set_policy ~prio:(-1) Policy.Mru);
+  emit (Wir.set_policy ~prio:0 Policy.Mru);
+  emit (Wir.set_priority ~file:input ~prio:(-1));
+  (* Phase 1: partition the input into sorted runs. Each input block is
+     read, sorted, dropped (done-with), and written out to the run. *)
+  let runs =
+    List.init initial_runs (fun r ->
+        let tmp =
+          open_file
+            ~name:(Printf.sprintf "tmp.run%02d" r)
+            ~size_blocks:0 ~reserve_blocks:run_blocks ()
+        in
+        for block = 0 to run_blocks - 1 do
+          emit
+            (Wir.read ~cpu:sort_cpu_per_block ~done_with:true ~file:input
+               ~first:((r * run_blocks) + block)
+               ~count:1 ());
+          emit (Wir.write ~cpu:write_cpu_per_block ~file:tmp ~first:block ~count:1 ())
+        done;
+        (tmp, run_blocks))
+  in
+  (* Merge a batch: read the fronts round-robin (freeing each consumed
+     block), write one merged block out per block in, then unlink the
+     inputs. Returns the output (slot, size). *)
+  let merge ~name ~inputs =
+    let total = List.fold_left (fun acc (_, size) -> acc + size) 0 inputs in
+    let output = open_file ~name ~size_blocks:0 ~reserve_blocks:total () in
+    let files = Array.of_list inputs in
+    let cursors = Array.map (fun _ -> 0) files in
+    let remaining = ref (Array.length files) in
+    let next_out = ref 0 in
+    while !remaining > 0 do
+      Array.iteri
+        (fun i (slot, size) ->
+          if cursors.(i) < size then begin
+            let block = cursors.(i) in
+            emit
+              (Wir.read ~cpu:merge_cpu_per_block ~done_with:true ~file:slot
+                 ~first:block ~count:1 ());
+            cursors.(i) <- block + 1;
+            if cursors.(i) = size then decr remaining;
+            emit
+              (Wir.write ~cpu:write_cpu_per_block ~file:output ~first:!next_out
+                 ~count:1 ());
+            incr next_out
+          end)
+        files
     done;
-    runs := tmp :: !runs
-  done;
-  let runs = List.rev !runs in
+    List.iter (fun (slot, _) -> emit (Wir.unlink slot)) inputs;
+    (output, total)
+  in
   (* Phase 2: 8-way merges in creation order until one file remains. *)
   let rec merge_all generation files =
     match files with
@@ -99,13 +104,13 @@ let run env ~disk =
         | _ ->
           let batch, rest = take merge_width files in
           let merged =
-            merge env ~disk ~name:(Printf.sprintf "tmp.merge%d_%d" generation i)
-              ~inputs:batch
+            merge ~name:(Printf.sprintf "tmp.merge%d_%d" generation i) ~inputs:batch
           in
           level (i + 1) rest (merged :: acc)
       in
       merge_all (generation + 1) (level 0 files [])
   in
-  merge_all 0 runs
+  merge_all 0 runs;
+  Wir.make ~name:"sort" ~category:"write-then-read" (List.rev !ops)
 
-let sort = App.make ~name:"sort" ~category:"write-then-read" run
+let sort = App.of_program program
