@@ -25,6 +25,12 @@
                               reference traces through the naive and the
                               indexed disk-queue pickers and replacement
                               policies; exits non-zero on any divergence
+     main.exe wirgen          generated-corpus family: draw a corpus from
+                              the default wirgen spec at --corpus-seed,
+                              replay its combined demand stream through
+                              every policy, and run it as one machine;
+                              spec hash + corpus seed land in the JSON
+                              artifact row next to scenario_hash
      main.exe --quick         1 run and 2 cache sizes per artifact
      main.exe --runs N        cold-start runs per data point (default 3)
      main.exe --jobs N        run grid cells on N domains (default
@@ -46,6 +52,8 @@ module Policy = Acfc_core.Policy
 module Block = Acfc_core.Block
 module Dll = Acfc_core.Dll
 module Pool = Acfc_par.Pool
+module Wir = Acfc_wir.Wir
+module Wirgen = Acfc_wirgen.Wirgen
 open Acfc_experiments
 
 let pid0 = Acfc_core.Pid.make 0
@@ -553,6 +561,69 @@ let check_baseline ~path perf_rows =
   end
   else Format.printf "[baseline check passed: %s]@." path
 
+(* {2 Generated-corpus artifact family (wirgen)}
+
+   Benchmarks the simulator on synthetic workloads drawn from the
+   committed default wirgen spec, instead of the eight fixed paper
+   applications: replay the corpus's combined demand stream through
+   every replacement policy, then run the whole corpus as one
+   multi-workload machine through the full simulation. The corpus is a
+   pure function of (spec, --corpus-seed), shared by quick and full
+   mode, and both fingerprints land in the acfc-bench/1 artifact row
+   (spec_hash + corpus_seed, next to scenario_hash) so runs are
+   comparable across machines and time. *)
+
+(* The scenario hash of the last wirgen run, for the JSON report. *)
+let wirgen_fingerprint = ref None
+
+let run_wirgen ~quick ~corpus_seed ~jobs =
+  Format.printf "@.%s@." (String.make 74 '=');
+  let spec = Wirgen.default in
+  let count = if quick then 4 else 12 in
+  Format.printf "Generated corpus: spec %s (%s), seed %d, %d programs@."
+    spec.Wirgen.name (Wirgen.hash spec) corpus_seed count;
+  let corpus = Wirgen.corpus spec ~seed:corpus_seed ~count in
+  let scenario = Wirgen.scenario spec ~seed:corpus_seed ~count in
+  wirgen_fingerprint := Some (Acfc_scenario.Scenario.hash scenario, corpus_seed);
+  (* Each program's demand stream, fast-forwarded with the same RNG its
+     workload fiber gets, then disjoint file ids so the concatenation
+     is one coherent multi-program trace. *)
+  let streams =
+    List.map2
+      (fun program rng -> Wir.references ~rng program)
+      corpus
+      (Acfc_scenario.Scenario.workload_rngs scenario)
+  in
+  let trace =
+    let next_file = ref 0 in
+    Array.concat
+      (List.map2
+         (fun stream program ->
+           let offset = !next_file in
+           next_file := offset + Wir.file_count program;
+           Array.map
+             (fun b -> Block.make ~file:(offset + Block.file b) ~index:(Block.index b))
+             stream)
+         streams corpus)
+  in
+  List.iter2
+    (fun program stream ->
+      Format.printf "  %-28s %s  %5d refs@." program.Wir.name (Wir.hash program)
+        (Array.length stream))
+    corpus streams;
+  Format.printf "  combined trace: %a@." Rt.pp_summary trace;
+  (* A cache a third of the working set, so policies actually differ. *)
+  let capacity = Stdlib.max 64 (Rt.working_set_size trace / 3) in
+  Pool.map ?jobs
+    (fun policy -> Policy_sim.run policy ~capacity trace)
+    Policies.all
+  |> List.iter (fun result -> Format.printf "  %a@." Policy_sim.pp_result result);
+  let result = Acfc_scenario.Scenario.run scenario in
+  Format.printf
+    "  full sim: makespan %.1fs, %d block I/Os, %d hits / %d misses@."
+    result.Acfc_workload.Runner.makespan result.Acfc_workload.Runner.total_ios
+    result.Acfc_workload.Runner.cache_hits result.Acfc_workload.Runner.cache_misses
+
 (* {2 Machine-readable report (--json)} *)
 
 (* The fingerprint of the exact scenario grid behind an artifact row
@@ -592,16 +663,29 @@ let write_json ~path ~quick ~runs ~jobs ~opts ~artifacts ~micro ~perf ~total_wal
           J.List
             (List.map
                (fun (name, wall_s) ->
-                 let hash =
-                   match scenario_hash opts name with
-                   | Some h -> J.Str h
-                   | None -> J.Null
+                 (* wirgen rows carry the corpus fingerprint: the
+                    generated scenario's hash plus the (spec, seed)
+                    pair it is a pure function of. *)
+                 let hash, spec_hash, corpus_seed =
+                   match (name, !wirgen_fingerprint) with
+                   | "wirgen", Some (scenario_hash, seed) ->
+                     ( J.Str scenario_hash,
+                       J.Str (Wirgen.hash Wirgen.default),
+                       J.Num (float_of_int seed) )
+                   | _ ->
+                     ( (match scenario_hash opts name with
+                       | Some h -> J.Str h
+                       | None -> J.Null),
+                       J.Null,
+                       J.Null )
                  in
                  J.Obj
                    [
                      ("name", J.Str name);
                      ("wall_s", num wall_s);
                      ("scenario_hash", hash);
+                     ("spec_hash", spec_hash);
+                     ("corpus_seed", corpus_seed);
                    ])
                artifacts) );
         ( "micro",
@@ -670,11 +754,16 @@ let () =
   let jobs = ref None in
   let json_out = ref None in
   let baseline = ref None in
+  let corpus_seed = ref 0 in
   let selected = ref [] in
   let spec =
     [
       ("--quick", Arg.Set quick, "1 run, 2 cache sizes per artifact");
       ("--runs", Arg.Set_int runs, "N cold-start runs per data point (default 3)");
+      ( "--corpus-seed",
+        Arg.Set_int corpus_seed,
+        "N base seed for the wirgen generated-corpus family (default 0; shared \
+         by --quick and full mode, recorded in the JSON report)" );
       ( "--jobs",
         Arg.Int (fun n -> jobs := Some n),
         "N run grid cells on N domains (default ACFC_JOBS, else sequential)" );
@@ -688,7 +777,8 @@ let () =
   in
   let usage =
     "main.exe [--quick] [--runs N] [--jobs N] [--json FILE] [--baseline FILE] \
-     [all|micro|perf|check|ablations|criteria|fig5-par|fig4|fig5|fig6|table1..table6]*"
+     [--corpus-seed N] \
+     [all|micro|perf|check|wirgen|ablations|criteria|fig5-par|fig4|fig5|fig6|table1..table6]*"
   in
   Arg.parse spec (fun a -> selected := a :: !selected) usage;
   let selected = if !selected = [] then [ "all"; "micro" ] else List.rev !selected in
@@ -708,6 +798,8 @@ let () =
       | "micro" -> micro_rows := !micro_rows @ run_micro ()
       | "perf" -> perf_rows := !perf_rows @ run_perf ()
       | "check" -> run_check ()
+      | "wirgen" ->
+        run_wirgen ~quick:!quick ~corpus_seed:!corpus_seed ~jobs:opts.Report.jobs
       | "ablations" ->
         Format.printf "@.%s@.@." (String.make 74 '=');
         Ablations.print_all ?jobs:opts.Report.jobs ~runs:opts.Report.runs

@@ -4,7 +4,8 @@
    Subcommands:
      run        one or more applications over a shared cache
      scenario   run a machine description from an acfc-scenario/1 file
-     workload   dump / validate / replay workload IR programs
+     workload   dump / validate / replay / list workload IR programs
+     wirgen     generate seeded synthetic workloads and fuzz the toolchain
      report     regenerate the paper's tables and figures
      record     run applications and record the block reference trace
      policies   trace-driven replacement-policy comparison *)
@@ -15,6 +16,8 @@ module Runner = Acfc_workload.Runner
 module Scenario = Acfc_scenario.Scenario
 module Catalog = Acfc_scenario.Catalog
 module Wir = Acfc_wir.Wir
+module Wirgen = Acfc_wirgen.Wirgen
+module Fuzz = Acfc_wirgen.Fuzz
 module Experiments = Acfc_experiments
 module Obs = Acfc_obs
 
@@ -200,18 +203,33 @@ let inline_flag =
   in
   Arg.(value & flag & info [ "inline" ] ~doc)
 
+let check_flag =
+  let doc =
+    "Parse and statically check the file through the strict parser, print its \
+     fingerprint and workload count, and exit without running. Non-zero exit \
+     on any rejection, with the offending $(b,\\$.path)."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
 let scenario_cmd =
-  let go dump inline file =
+  let go dump inline check file =
     match Scenario.load file with
     | Error msg ->
       prerr_endline ("acfc-run: " ^ msg);
       exit 1
     | Ok scenario ->
       let scenario = if inline then Scenario.inline_workloads scenario else scenario in
-      maybe_dump scenario dump;
-      ignore (execute_scenario scenario)
+      if check then
+        Format.printf "%s: ok; %d workloads, %d disks; hash %s@." file
+          (List.length scenario.Scenario.workloads)
+          (List.length scenario.Scenario.disks)
+          (Scenario.hash scenario)
+      else begin
+        maybe_dump scenario dump;
+        ignore (execute_scenario scenario)
+      end
   in
-  let term = Term.(const go $ dump_scenario $ inline_flag $ scenario_file) in
+  let term = Term.(const go $ dump_scenario $ inline_flag $ check_flag $ scenario_file) in
   let info =
     Cmd.info "scenario"
       ~doc:"Run a complete machine description from a scenario file"
@@ -331,6 +349,18 @@ let workload_replay_cmd =
   in
   Cmd.v info term
 
+let workload_list_cmd =
+  let go () = List.iter print_endline Catalog.app_names in
+  let term = Term.(const go $ const ()) in
+  let info =
+    Cmd.info "list"
+      ~doc:
+        "Print every catalog application name, one per line (the readN family \
+         is parameterised and not listed). CI derives its smoke loops from \
+         this, so new applications are covered automatically."
+  in
+  Cmd.v info term
+
 let workload_cmd =
   let info =
     Cmd.info "workload"
@@ -341,13 +371,206 @@ let workload_cmd =
           `P
             "Every catalog application is a typed workload IR program — data, \
              not code. $(b,dump) serialises one (or re-canonicalises a file), \
-             $(b,validate) statically checks one and prints its vitals, and \
+             $(b,validate) statically checks one and prints its vitals, \
              $(b,replay) fast-forwards its demand reference stream straight \
              into the replacement-policy lab, with no simulated machine in \
-             between.";
+             between, and $(b,list) enumerates the catalog.";
         ]
   in
-  Cmd.group info [ workload_dump_cmd; workload_validate_cmd; workload_replay_cmd ]
+  Cmd.group info
+    [ workload_dump_cmd; workload_validate_cmd; workload_replay_cmd; workload_list_cmd ]
+
+(* {2 wirgen} *)
+
+let spec_arg =
+  let doc =
+    "An acfc-wirgen/1 spec file describing the corpus family (defaults to the \
+     built-in default spec, every pattern weighted equally)."
+  in
+  Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc)
+
+let load_spec = function
+  | None -> Wirgen.default
+  | Some path -> or_die (Wirgen.load path)
+
+let wirgen_gen_cmd =
+  let out =
+    let doc = "Write the program here instead of standard output." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let go spec seed out =
+    let spec = load_spec spec in
+    let program = Wirgen.generate spec ~seed in
+    match out with
+    | Some path ->
+      Wir.save program path;
+      Format.printf "%s: %s (spec %s, seed %d)@." path (Wir.hash program)
+        (Wirgen.hash spec) seed
+    | None -> print_endline (Wir.to_string program)
+  in
+  let term = Term.(const go $ spec_arg $ seed $ out) in
+  let info =
+    Cmd.info "gen"
+      ~doc:
+        "Generate one workload program from a spec and a seed. Bit-reproducible: \
+         the same spec and seed give identical acfc-wir/1 JSON everywhere."
+  in
+  Cmd.v info term
+
+let wirgen_corpus_cmd =
+  let count =
+    let doc = "Corpus size (member $(i,i) uses seed + $(i,i))." in
+    Arg.(value & opt int 8 & info [ "n"; "count" ] ~docv:"N" ~doc)
+  in
+  let dir =
+    let doc = "Directory to write the corpus into (created if missing)." in
+    Arg.(value & opt string "corpus" & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
+  in
+  let go spec_file seed count dir =
+    let spec = load_spec spec_file in
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    List.iter
+      (fun program ->
+        let path = Filename.concat dir (program.Wir.name ^ ".json") in
+        Wir.save program path;
+        Format.printf "%s  %s@." (Wir.hash program) path)
+      (Wirgen.corpus spec ~seed ~count);
+    Format.printf "corpus: %d programs; spec %s (%s), seed %d@." count spec.Wirgen.name
+      (Wirgen.hash spec) seed
+  in
+  let term = Term.(const go $ spec_arg $ seed $ count $ dir) in
+  let info =
+    Cmd.info "corpus"
+      ~doc:
+        "Generate a reproducible corpus of workload programs from a spec file \
+         and a base seed, one acfc-wir/1 file per member"
+  in
+  Cmd.v info term
+
+let wirgen_fuzz_cmd =
+  let programs =
+    let doc =
+      "Programs to generate per spec (default 35, or 3000 with $(b,--long))."
+    in
+    Arg.(value & opt (some int) None & info [ "programs" ] ~docv:"N" ~doc)
+  in
+  let mutants =
+    let doc =
+      "Corrupting mutants per program (default 4, or 10 with $(b,--long))."
+    in
+    Arg.(value & opt (some int) None & info [ "mutants" ] ~docv:"N" ~doc)
+  in
+  let long =
+    let doc = "Long mode: the scheduled-CI budget (minutes, not seconds)." in
+    Arg.(value & flag & info [ "long" ] ~doc)
+  in
+  let failures_dir =
+    let doc =
+      "Write every failing case into $(docv) (created if missing): the \
+       offending document plus a failures.jsonl with spec, seed and invariant \
+       — enough to replay locally with $(b,wirgen gen --seed)."
+    in
+    Arg.(value & opt (some string) None & info [ "failures" ] ~docv:"DIR" ~doc)
+  in
+  let go spec_file seed programs mutants long failures_dir =
+    let specs =
+      match spec_file with
+      | Some _ -> [ load_spec spec_file ]
+      | None -> if long then Fuzz.long_specs else Fuzz.default_specs
+    in
+    let programs = match programs with Some n -> n | None -> if long then 3000 else 35 in
+    let mutants = match mutants with Some n -> n | None -> if long then 10 else 4 in
+    let stats, failures =
+      Fuzz.run ~progress:(Format.eprintf "wirgen: %s@.") ~specs ~seed ~programs
+        ~mutants ()
+    in
+    Format.printf "fuzz: %d generated, %d mutated, %d checks over %d specs@."
+      stats.Fuzz.generated stats.Fuzz.mutated stats.Fuzz.checks (List.length specs);
+    List.iter
+      (fun (category, n) -> Format.printf "  %-12s %d@." category n)
+      stats.Fuzz.by_category;
+    (match (failures, failures_dir) with
+    | [], _ -> ()
+    | failures, dir ->
+      (match dir with
+      | None -> ()
+      | Some dir -> (try Sys.mkdir dir 0o755 with Sys_error _ -> ()));
+      let jsonl =
+        match dir with
+        | None -> None
+        | Some d -> Some (open_out (Filename.concat d "failures.jsonl"))
+      in
+      List.iteri
+        (fun i f ->
+          Format.eprintf "FAIL [%s] spec %s seed %d: %s@." f.Fuzz.invariant
+            f.Fuzz.spec_name f.Fuzz.seed f.Fuzz.detail;
+          match dir with
+          | None -> ()
+          | Some d ->
+            let doc_path =
+              match f.Fuzz.program with
+              | None -> None
+              | Some doc ->
+                let path = Filename.concat d (Printf.sprintf "failure-%03d.json" i) in
+                let oc = open_out path in
+                Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+                    output_string oc doc;
+                    output_char oc '\n');
+                Some path
+            in
+            let open Obs.Json in
+            let row =
+              Obj
+                ([
+                   ("spec", Str f.Fuzz.spec_name);
+                   ("seed", Num (float_of_int f.Fuzz.seed));
+                   ("invariant", Str f.Fuzz.invariant);
+                   ("detail", Str f.Fuzz.detail);
+                 ]
+                @ match doc_path with None -> [] | Some p -> [ ("program", Str p) ])
+            in
+            Option.iter
+              (fun oc ->
+                output_string oc (to_string row);
+                output_char oc '\n')
+              jsonl)
+        failures;
+      Option.iter close_out jsonl;
+      Format.eprintf "fuzz: %d failure(s)@." (List.length failures);
+      exit 1)
+  in
+  let term =
+    Term.(const go $ spec_arg $ seed $ programs $ mutants $ long $ failures_dir)
+  in
+  let info =
+    Cmd.info "fuzz"
+      ~doc:
+        "Property-fuzz the wir toolchain: generated programs must validate and \
+         execute, their fast-forwarded reference stream must equal the recorded \
+         demand stream, the codec must round-trip, and corrupted programs must \
+         be rejected with a \\$.path diagnostic"
+  in
+  Cmd.v info term
+
+let wirgen_cmd =
+  let info =
+    Cmd.info "wirgen"
+      ~doc:"Generate seeded synthetic workloads and fuzz the wir toolchain"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "The paper evaluates eight hand-ported applications; $(b,wirgen) \
+             draws unlimited fresh-but-plausible ones instead, from a typed \
+             acfc-wirgen/1 spec: a pattern mix over the paper's access-pattern \
+             taxonomy (sequential, cyclic, hot/cold, random, access-once), \
+             file-count/size/pass budgets, and a smart-vs-oblivious advise \
+             density. Generation is deterministic — a committed spec plus a \
+             seed reproduces a corpus bit-for-bit — and $(b,fuzz) turns the \
+             generator on the toolchain itself.";
+        ]
+  in
+  Cmd.group info [ wirgen_gen_cmd; wirgen_corpus_cmd; wirgen_fuzz_cmd ]
 
 (* {2 report} *)
 
@@ -492,4 +715,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; scenario_cmd; workload_cmd; report_cmd; record_cmd; policies_cmd ]))
+          [
+            run_cmd;
+            scenario_cmd;
+            workload_cmd;
+            wirgen_cmd;
+            report_cmd;
+            record_cmd;
+            policies_cmd;
+          ]))

@@ -291,6 +291,18 @@ let inline_workloads t =
   in
   { t with workloads = List.map inline t.workloads }
 
+(* Reproduce the private RNG each workload fiber receives, without
+   assembling a machine: the same create/split order as [assemble]
+   (one split per disk, one for a scattered layout) followed by
+   [run_assembled]'s per-workload splits. Keep in lockstep with both —
+   this is what lets [Wir.references] fast-forward a live run's
+   stochastic demand stream. *)
+let workload_rngs t =
+  let rng = Rng.create t.seed in
+  List.iter (fun _ -> ignore (Rng.split rng)) t.disks;
+  if t.scattered_layout then ignore (Rng.split rng);
+  List.map (fun _ -> Rng.split rng) t.workloads
+
 let build ?tracer ?obs t =
   let specs = List.map spec_of_workload t.workloads in
   assemble ?tracer ?obs ~seed:t.seed ~disks:t.disks ~update_interval:t.update_interval

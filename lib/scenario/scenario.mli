@@ -146,6 +146,13 @@ val build :
     scenario — everything except the workload fibers — and wire the
     optional tracer and observability sink through every layer. *)
 
+val workload_rngs : t -> Acfc_sim.Rng.t list
+(** The private RNG stream each workload fiber would receive from
+    {!run}, one per workload in order, reproduced without assembling a
+    machine (same create/split order as {!build}). Pass one to
+    {!Acfc_wir.Wir.references} to fast-forward the exact stochastic
+    demand stream of a live run of this scenario. *)
+
 val run :
   ?tracer:(Acfc_core.Event.t -> unit) ->
   ?obs:Acfc_obs.Sink.t ->

@@ -1,0 +1,85 @@
+module Wir = Acfc_wir.Wir
+module Rng = Acfc_sim.Rng
+module Json = Acfc_obs.Json
+
+let preserve ~rng (p : Wir.t) =
+  match Rng.int rng 4 with
+  | 0 -> { p with Wir.name = p.Wir.name ^ "+" }
+  | 1 -> { p with Wir.ops = [ Wir.seq p.Wir.ops ] }
+  | 2 -> { p with Wir.ops = p.Wir.ops @ [ Wir.compute 0.001 ] }
+  | _ -> { p with Wir.ops = Wir.compute 0.001 :: p.Wir.ops }
+
+(* Insert [op] right after the first top-level [Open], so the file it
+   references is live when validation reaches it. *)
+let after_first_open ops op =
+  let rec go = function
+    | [] -> None
+    | (Wir.Open _ as o) :: rest -> Some (o :: op :: rest)
+    | o :: rest -> Option.map (fun tail -> o :: tail) (go rest)
+  in
+  go ops
+
+let corrupt ~rng (p : Wir.t) =
+  let append op = { p with Wir.ops = p.Wir.ops @ [ op ] } in
+  let bad_slot () =
+    (* One past the last slot the program ever opens. *)
+    append (Wir.read ~file:(Wir.file_count p) ~first:0 ~count:1 ())
+  in
+  match Rng.int rng 4 with
+  | 0 -> bad_slot ()
+  | 1 -> (
+    (* Read far past the just-opened file's reserved extent. *)
+    let overrun = Wir.read ~file:0 ~first:1_000_000_000 ~count:1 () in
+    match after_first_open p.Wir.ops overrun with
+    | Some ops -> { p with Wir.ops }
+    | None -> bad_slot ())
+  | 2 -> append (Wir.choice ~prob:1.5 [ Wir.compute 0.0 ] [])
+  | _ ->
+    append (Wir.loop 2 [ Wir.open_file ~name:"corrupt.dat" ~size_blocks:1 () ])
+
+(* {2 JSON-level corruption} *)
+
+let set_field k v members =
+  List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) members
+
+(* Rewrite the first op of the program's ops list with [f]; [None] when
+   the document doesn't have the expected {ops: [Obj ...]} shape. *)
+let with_first_op j f =
+  match j with
+  | Json.Obj members -> (
+    match List.assoc_opt "ops" members with
+    | Some (Json.List (Json.Obj op0 :: rest)) ->
+      Some (Json.Obj (set_field "ops" (Json.List (f op0 :: rest)) members))
+    | _ -> None)
+  | _ -> None
+
+let add_root_unknown j =
+  match j with
+  | Json.Obj members -> Json.Obj (members @ [ ("zzz", Json.Num 1.0) ])
+  | _ -> Json.Obj [ ("zzz", Json.Num 1.0) ]
+
+let corrupt_json ~rng j =
+  let fallback = add_root_unknown in
+  let or_fallback = function Some j' -> j' | None -> fallback j in
+  match Rng.int rng 5 with
+  | 0 -> fallback j
+  | 1 ->
+    (* Misspell the op tag: "read" -> "readx" etc. *)
+    or_fallback
+      (with_first_op j (fun op0 ->
+           match List.assoc_opt "op" op0 with
+           | Some (Json.Str tag) -> Json.Obj (set_field "op" (Json.Str (tag ^ "x")) op0)
+           | _ -> Json.Obj (("op", Json.Str "zzz") :: op0)))
+  | 2 ->
+    (* Drop the required op tag entirely. *)
+    or_fallback
+      (with_first_op j (fun op0 ->
+           Json.Obj (List.filter (fun (k, _) -> k <> "op") op0)))
+  | 3 ->
+    (* Type error: the op tag must be a string. *)
+    or_fallback (with_first_op j (fun op0 -> Json.Obj (set_field "op" (Json.Num 5.0) op0)))
+  | _ -> (
+    match j with
+    | Json.Obj members ->
+      Json.Obj (set_field "schema" (Json.Str "acfc-wir/999") members)
+    | _ -> fallback j)

@@ -1,0 +1,401 @@
+module Wir = Acfc_wir.Wir
+module Rng = Acfc_sim.Rng
+module Json = Acfc_obs.Json
+module Config = Acfc_core.Config
+module Scenario = Acfc_scenario.Scenario
+module Policy = Acfc_core.Policy
+
+type pattern = Sequential | Cyclic | Hot_cold | Random | Access_once
+
+let patterns = [ Sequential; Cyclic; Hot_cold; Random; Access_once ]
+
+let pattern_to_string = function
+  | Sequential -> "sequential"
+  | Cyclic -> "cyclic"
+  | Hot_cold -> "hot_cold"
+  | Random -> "random"
+  | Access_once -> "access_once"
+
+let pattern_of_string = function
+  | "sequential" -> Some Sequential
+  | "cyclic" -> Some Cyclic
+  | "hot_cold" -> Some Hot_cold
+  | "random" -> Some Random
+  | "access_once" -> Some Access_once
+  | _ -> None
+
+(* The paper's category labels, as used by the eight ported apps. *)
+let category = function
+  | Sequential -> "sequential"
+  | Cyclic -> "cyclic"
+  | Hot_cold -> "hot/cold"
+  | Random -> "random"
+  | Access_once -> "access-once"
+
+type spec = {
+  name : string;
+  mix : (pattern * float) list;
+  files : int * int;
+  file_blocks : int * int;
+  passes : int * int;
+  locality : float;
+  advise : float;
+}
+
+let default =
+  {
+    name = "default";
+    mix = List.map (fun p -> (p, 1.0)) patterns;
+    files = (1, 4);
+    file_blocks = (8, 64);
+    passes = (2, 4);
+    locality = 0.25;
+    advise = 0.5;
+  }
+
+(* Weight of a pattern in a spec's mix (missing entries weigh 0). *)
+let weight spec p = match List.assoc_opt p spec.mix with Some w -> w | None -> 0.0
+
+(* {2 Validation} *)
+
+let validate spec =
+  let err path msg = Error (Printf.sprintf "wirgen: %s at %s" msg path) in
+  let range path what (lo, hi) =
+    if lo < 1 then err path (what ^ " minimum must be at least 1")
+    else if hi < lo then err path (what ^ " maximum must be at least its minimum")
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = if spec.name = "" then err "$.name" "corpus name must be non-empty" else Ok () in
+  let* () =
+    if
+      List.exists
+        (fun (_, w) -> Float.is_nan w || w < 0.0 || w = Float.infinity)
+        spec.mix
+    then err "$.mix" "pattern weights must be finite and non-negative"
+    else if not (List.exists (fun p -> weight spec p > 0.0) patterns) then
+      err "$.mix" "at least one pattern weight must be positive"
+    else Ok ()
+  in
+  let* () = range "$.files" "file count" spec.files in
+  let* () = range "$.file_blocks" "file size" spec.file_blocks in
+  let* () = range "$.passes" "pass count" spec.passes in
+  let* () =
+    if Float.is_nan spec.locality || spec.locality <= 0.0 || spec.locality > 1.0 then
+      err "$.locality" "locality must be in (0, 1]"
+    else Ok ()
+  in
+  if Float.is_nan spec.advise || spec.advise < 0.0 || spec.advise > 1.0 then
+    err "$.advise" "advise density must be in [0, 1]"
+  else Ok ()
+
+(* {2 Generation}
+
+   Every random draw below happens in a fixed textual order, so a
+   program is a pure function of (spec, seed): this is the
+   bit-reproducibility contract the CI corpus smoke and the bench
+   fingerprints rely on. List.init / Array.init have unspecified
+   evaluation order — use [draws], never those, for anything that
+   touches the RNG. *)
+
+let draws n f =
+  let rec go i acc = if i = n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []
+
+let pick_pattern spec rng =
+  let weighted = List.filter (fun p -> weight spec p > 0.0) patterns in
+  let total = List.fold_left (fun acc p -> acc +. weight spec p) 0.0 weighted in
+  let x = Rng.float rng total in
+  let rec walk acc = function
+    | [] | [ _ ] -> List.nth weighted (List.length weighted - 1)
+    | p :: rest ->
+      let acc = acc +. weight spec p in
+      if x < acc then p else walk acc rest
+  in
+  walk 0.0 weighted
+
+(* Per-block CPU cost: a small quantized draw, so programs stay
+   readable and the JSON stays short. *)
+let draw_cpu rng = 0.001 *. float_of_int (Rng.int_in rng 1 8)
+
+let open_files ~slug sizes =
+  List.mapi
+    (fun i size ->
+      Wir.open_file ~name:(Printf.sprintf "%s.%02d.dat" slug i) ~size_blocks:size ())
+    sizes
+
+(* One pass over every file in order; smart programs drop each block
+   once consumed (the paper's sequential "done-with" idiom). *)
+let gen_sequential ~smart ~sizes ~cpu =
+  open_files ~slug:"seq" sizes
+  @ List.mapi
+      (fun i size -> Wir.read ~cpu ~done_with:smart ~file:i ~first:0 ~count:size ())
+      sizes
+
+(* Repeated full passes; the smart strategy is the cscope/dinero one:
+   everything on one priority level, managed MRU. *)
+let gen_cyclic ~smart ~temppri ~sizes ~passes ~cpu =
+  let n = List.length sizes in
+  let advice =
+    if smart then
+      draws n (fun i -> Wir.set_priority ~file:i ~prio:0)
+      @ [ Wir.set_policy ~prio:0 Policy.Mru ]
+    else []
+  in
+  let body =
+    List.mapi (fun i size -> Wir.read ~cpu ~file:i ~first:0 ~count:size ()) sizes
+  in
+  let tail =
+    (* An occasional temporary-priority flush of the first file's front
+       half, to exercise the temppri path. *)
+    match (smart, temppri, sizes) with
+    | true, true, size0 :: _ ->
+      [ Wir.set_temppri ~file:0 ~first:0 ~last:((size0 - 1) / 2) ~prio:(-1) ]
+    | _ -> []
+  in
+  open_files ~slug:"cyc" sizes @ advice @ [ Wir.loop passes body ] @ tail
+
+(* A small hot set (file 0, [locality] of its drawn size) and one or
+   more cold files; hot takes (1 - locality) of the accesses. The smart
+   strategy pins the hot file on a higher level (the pjn/gli shape). *)
+let gen_hot_cold ~smart ~locality ~sizes ~passes ~cpu =
+  let sizes = match sizes with [ only ] -> [ only; only ] | l -> l in
+  let hot_size =
+    match sizes with
+    | size0 :: _ -> Stdlib.max 1 (int_of_float (locality *. float_of_int size0))
+    | [] -> assert false
+  in
+  let sizes = hot_size :: List.tl sizes in
+  let cold = List.tl sizes in
+  let total = List.fold_left ( + ) 0 sizes in
+  let advice =
+    if smart then [ Wir.set_priority ~file:0 ~prio:1; Wir.set_policy ~prio:0 Policy.Lru ]
+    else []
+  in
+  let body =
+    List.mapi
+      (fun j cold_size ->
+        Wir.choice ~prob:(1.0 -. locality)
+          [ Wir.rand_read ~cpu ~file:0 ~base:0 ~range:hot_size () ]
+          [ Wir.rand_read ~cpu ~file:(j + 1) ~base:0 ~range:cold_size () ])
+      cold
+  in
+  let times = Stdlib.max 1 (passes * total / List.length body) in
+  open_files ~slug:"hc" sizes @ advice @ [ Wir.loop times body ]
+
+(* Uniform point reads over every file: the pattern no strategy can
+   help (the paper's oblivious baseline); no advice even when smart. *)
+let gen_random ~sizes ~passes ~cpu =
+  let total = List.fold_left ( + ) 0 sizes in
+  let body =
+    List.mapi (fun i size -> Wir.rand_read ~cpu ~file:i ~base:0 ~range:size ()) sizes
+  in
+  let times = Stdlib.max 1 (passes * total / List.length body) in
+  open_files ~slug:"rnd" sizes @ [ Wir.loop times body ]
+
+(* Read every input once, write one output of the combined size, unlink
+   the inputs: the ld/sort shape. Smart programs drop blocks as they
+   are consumed. *)
+let gen_access_once ~smart ~sizes ~cpu =
+  let n = List.length sizes in
+  let total = List.fold_left ( + ) 0 sizes in
+  open_files ~slug:"once" sizes
+  @ [ Wir.open_file ~name:"once.out" ~size_blocks:0 ~reserve_blocks:total () ]
+  @ List.mapi
+      (fun i size -> Wir.read ~cpu ~done_with:smart ~file:i ~first:0 ~count:size ())
+      sizes
+  @ [ Wir.write ~cpu:(cpu /. 2.0) ~done_with:smart ~file:n ~first:0 ~count:total () ]
+  @ draws n (fun i -> Wir.unlink i)
+
+let generate spec ~seed =
+  (match validate spec with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Wirgen.generate: " ^ e));
+  let rng = Rng.create seed in
+  let pattern = pick_pattern spec rng in
+  let smart = Rng.float rng 1.0 < spec.advise in
+  let fmin, fmax = spec.files in
+  let nfiles = Rng.int_in rng fmin fmax in
+  let bmin, bmax = spec.file_blocks in
+  let sizes = draws nfiles (fun _ -> Rng.int_in rng bmin bmax) in
+  let pmin, pmax = spec.passes in
+  let passes = Rng.int_in rng pmin pmax in
+  let cpu = draw_cpu rng in
+  let pre_compute = Rng.bool rng in
+  let temppri = Rng.bool rng in
+  let ops =
+    match pattern with
+    | Sequential -> gen_sequential ~smart ~sizes ~cpu
+    | Cyclic -> gen_cyclic ~smart ~temppri ~sizes ~passes ~cpu
+    | Hot_cold -> gen_hot_cold ~smart ~locality:spec.locality ~sizes ~passes ~cpu
+    | Random -> gen_random ~sizes ~passes ~cpu
+    | Access_once -> gen_access_once ~smart ~sizes ~cpu
+  in
+  let ops = if pre_compute then Wir.compute (cpu *. 4.0) :: ops else ops in
+  Wir.make
+    ~name:(Printf.sprintf "%s-%s-s%d" spec.name (pattern_to_string pattern) seed)
+    ~category:(category pattern) ops
+
+let corpus spec ~seed ~count = draws count (fun i -> generate spec ~seed:(seed + i))
+
+(* Does the program carry a caching strategy? Advise ops, or the
+   done-with flag on a read/write (which compiles to a strategy call). *)
+let rec op_has_advice = function
+  | Wir.Advise _ -> true
+  | Wir.Read { done_with; _ } | Wir.Write { done_with; _ } -> done_with
+  | Wir.Seq body | Wir.Loop { body; _ } -> List.exists op_has_advice body
+  | Wir.Choice { if_true; if_false; _ } ->
+    List.exists op_has_advice if_true || List.exists op_has_advice if_false
+  | Wir.Open _ | Wir.Rand_read _ | Wir.Compute _ | Wir.Unlink _ -> false
+
+let has_advice (p : Wir.t) = List.exists op_has_advice p.Wir.ops
+
+let scenario ?(cache_blocks = 819) ?(alloc_policy = Config.Lru_sp) spec ~seed ~count =
+  let programs = corpus spec ~seed ~count in
+  Scenario.make ~seed ~cache_blocks ~alloc_policy
+    (List.map (fun p -> Scenario.inline_workload ~smart:(has_advice p) ~disk:0 p) programs)
+
+(* {2 Serialisation (acfc-wirgen/1)} *)
+
+let schema = "acfc-wirgen/1"
+
+let to_json spec =
+  let pair (lo, hi) = Json.List [ Json.Num (float_of_int lo); Json.Num (float_of_int hi) ] in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("name", Json.Str spec.name);
+      ( "mix",
+        Json.Obj
+          (List.filter_map
+             (fun p ->
+               let w = weight spec p in
+               if w > 0.0 then Some (pattern_to_string p, Json.Num w) else None)
+             patterns) );
+      ("files", pair spec.files);
+      ("file_blocks", pair spec.file_blocks);
+      ("passes", pair spec.passes);
+      ("locality", Json.Num spec.locality);
+      ("advise", Json.Num spec.advise);
+    ]
+
+let ( let* ) = Result.bind
+
+let err path msg = Error (Printf.sprintf "wirgen: %s at %s" msg path)
+
+let known_fields =
+  [ "schema"; "name"; "mix"; "files"; "file_blocks"; "passes"; "locality"; "advise" ]
+
+let require ~path name members =
+  match List.assoc_opt name members with
+  | Some v -> Ok v
+  | None -> err path (Printf.sprintf "missing required field %S" name)
+
+let as_num ~path = function
+  | Json.Num x -> Ok x
+  | _ -> err path "expected a number"
+
+let as_str ~path = function
+  | Json.Str s -> Ok s
+  | _ -> err path "expected a string"
+
+let as_range ~path = function
+  | Json.List [ (Json.Num _ as a); (Json.Num _ as b) ] ->
+    (match (Json.to_int a, Json.to_int b) with
+    | Some lo, Some hi -> Ok (lo, hi)
+    | _ -> err path "expected a [min, max] pair of integers")
+  | _ -> err path "expected a [min, max] pair of integers"
+
+let req_range ~path name members =
+  let* v = require ~path name members in
+  as_range ~path:(path ^ "." ^ name) v
+
+let req_num ~path name members =
+  let* v = require ~path name members in
+  as_num ~path:(path ^ "." ^ name) v
+
+let parse_mix ~path = function
+  | Json.Obj members ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, v) :: rest ->
+        (match pattern_of_string k with
+        | None ->
+          err path
+            (Printf.sprintf
+               "unknown pattern %S (expected sequential, cyclic, hot_cold, random or \
+                access_once)"
+               k)
+        | Some p ->
+          if List.mem_assoc p acc then err path (Printf.sprintf "duplicate pattern %S" k)
+          else
+            let* w = as_num ~path:(path ^ "." ^ k) v in
+            go ((p, w) :: acc) rest)
+    in
+    go [] members
+  | _ -> err path "expected an object of pattern weights"
+
+let of_json j =
+  match j with
+  | Json.Obj members ->
+    let* () =
+      let rec check = function
+        | [] -> Ok ()
+        | (k, _) :: rest ->
+          if List.mem k known_fields then check rest
+          else err "$" (Printf.sprintf "unknown field %S" k)
+      in
+      check members
+    in
+    let* s = require ~path:"$" "schema" members in
+    let* schema_str = as_str ~path:"$.schema" s in
+    let* () =
+      if schema_str = schema then Ok ()
+      else
+        err "$.schema"
+          (Printf.sprintf "unsupported schema %S (expected %s)" schema_str schema)
+    in
+    let* name =
+      let* v = require ~path:"$" "name" members in
+      as_str ~path:"$.name" v
+    in
+    let* mix =
+      let* v = require ~path:"$" "mix" members in
+      parse_mix ~path:"$.mix" v
+    in
+    let* files = req_range ~path:"$" "files" members in
+    let* file_blocks = req_range ~path:"$" "file_blocks" members in
+    let* passes = req_range ~path:"$" "passes" members in
+    let* locality = req_num ~path:"$" "locality" members in
+    let* advise = req_num ~path:"$" "advise" members in
+    let spec = { name; mix; files; file_blocks; passes; locality; advise } in
+    let* () = validate spec in
+    Ok spec
+  | _ -> err "$" "expected a spec object"
+
+let to_string spec = Json.to_string (to_json spec)
+
+let of_string s =
+  match Json.of_string s with
+  | Error e -> Error ("wirgen: invalid JSON: " ^ e)
+  | Ok j -> of_json j
+
+let save spec path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string spec);
+      output_char oc '\n')
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error ("wirgen: " ^ e)
+  | contents -> of_string contents
+
+let hash spec = Digest.to_hex (Digest.string (to_string spec))
