@@ -1,4 +1,18 @@
-type level = { prio : int; mutable policy : Policy.t; list : Entry.t Dll.t }
+(* Columnar ACM: level lists are intrusive {!Ilist}s over the shared
+   {!Ctab} columns, managers live in a pid-indexed array, and the
+   per-access notifications ([new_block] / [block_accessed] /
+   [block_gone]) touch only int columns on the steady-state path. The
+   record-based predecessor survives verbatim as {!Acm_ref} and the
+   lockstep replay in [Lockstep] / `bench check` proves the two
+   trace-identical.
+
+   Order-sensitive state keeps its exact predecessor representation:
+   [mgr.blocks] stays a stdlib [Hashtbl] (now mapping to slots) because
+   [set_priority] and the upcall resident set observably iterate it,
+   and stdlib bucket order depends only on the keys and the
+   insert/remove sequence — both unchanged. *)
+
+type level = { prio : int; mutable policy : Policy.t; list : Ilist.t }
 
 type chooser = candidate:Block.t -> resident:Block.t list -> Block.t option
 
@@ -8,7 +22,7 @@ type manager = {
   mutable sorted_levels : level list;  (* ascending priority *)
   mutable n_levels : int;  (* cached |levels| = |sorted_levels|, kept on insert *)
   file_prio : (Block.file, int) Hashtbl.t;  (* only non-zero priorities stored *)
-  blocks : (Block.t, Entry.t) Hashtbl.t;  (* every entry this manager holds *)
+  blocks : (Block.t, int) Hashtbl.t;  (* every slot this manager holds *)
   mutable chooser : chooser option;  (* upcall replacement handler *)
   mutable decisions : int;
   mutable overrules : int;
@@ -20,19 +34,19 @@ module Obs = Acfc_obs
 
 type t = {
   config : Config.t;
-  managers : (Pid.t, manager) Hashtbl.t;
+  tab : Ctab.t;
+  mutable managers : manager option array;  (* index = pid *)
+  mutable n_managers : int;
   mutable tracer : (Event.t -> unit) option;
   mutable obs : Obs.Sink.t option;
 }
 
-let create config =
-  { config; managers = Hashtbl.create 16; tracer = None; obs = None }
+let create config ~tab =
+  { config; tab; managers = Array.make 16 None; n_managers = 0; tracer = None; obs = None }
 
 let set_tracer t tracer = t.tracer <- tracer
 
 let set_obs t obs = t.obs <- obs
-
-let emit t ev = match t.tracer with Some f -> f ev | None -> ()
 
 (* One [fbehavior] control call, for the trace. *)
 let obs_call t pid op detail =
@@ -41,7 +55,10 @@ let obs_call t pid op detail =
   | Some sink ->
     Obs.Sink.emit sink (Obs.Trace.Syscall { pid = Pid.to_int pid; op; detail = detail () })
 
-let find_manager t pid = Hashtbl.find_opt t.managers pid
+(* Allocation-free: returns the stored [Some mgr] or [None]. *)
+let find_manager t pid =
+  let i = Pid.to_int pid in
+  if i < Array.length t.managers then t.managers.(i) else None
 
 (* Create the level record for [prio] if missing, respecting the
    per-manager level limit. *)
@@ -51,7 +68,7 @@ let ensure_level t mgr prio =
   | None ->
     if mgr.n_levels >= t.config.Config.max_levels then Error Error.Too_many_levels
     else begin
-      let lvl = { prio; policy = Policy.default; list = Dll.create () } in
+      let lvl = { prio; policy = Policy.default; list = Ilist.create () } in
       Hashtbl.replace mgr.levels prio lvl;
       let rec insert = function
         | [] -> [ lvl ]
@@ -65,41 +82,47 @@ let ensure_level t mgr prio =
 
 let long_term_prio mgr file = Option.value (Hashtbl.find_opt mgr.file_prio file) ~default:0
 
-(* Link [e] into [lvl] at the MRU (recency) end: used for blocks that
-   enter because they were just loaded or referenced. *)
-let link_recent mgr lvl (e : Entry.t) =
-  e.Entry.level_node <- Some (Dll.push_front lvl.list e);
-  e.Entry.level <- lvl.prio;
-  e.Entry.managed_by <- Some mgr.pid;
-  Hashtbl.replace mgr.blocks e.Entry.key e
+(* Link slot [s] into [lvl] at the MRU (recency) end: used for blocks
+   that enter because they were just loaded or referenced. *)
+let link_recent t mgr lvl s =
+  let tab = t.tab in
+  Ilist.push_front tab.Ctab.lvl lvl.list s;
+  tab.Ctab.level.(s) <- lvl.prio;
+  tab.Ctab.managed.(s) <- Pid.to_int mgr.pid;
+  Hashtbl.replace mgr.blocks (Ctab.block tab s) s
 
-(* Link [e] into [lvl] at the end that causes it to be replaced later
+(* Link [s] into [lvl] at the end that causes it to be replaced later
    (paper Sec. 4): the MRU end under LRU, the LRU end under MRU. Used
    for blocks moved by [set_priority] / [set_temppri]. *)
-let link_replaced_later mgr lvl (e : Entry.t) =
-  let node =
-    match lvl.policy with
-    | Policy.Lru -> Dll.push_front lvl.list e
-    | Policy.Mru -> Dll.push_back lvl.list e
-  in
-  e.Entry.level_node <- Some node;
-  e.Entry.level <- lvl.prio;
-  e.Entry.managed_by <- Some mgr.pid;
-  Hashtbl.replace mgr.blocks e.Entry.key e
+let link_replaced_later t mgr lvl s =
+  let tab = t.tab in
+  (match lvl.policy with
+  | Policy.Lru -> Ilist.push_front tab.Ctab.lvl lvl.list s
+  | Policy.Mru -> Ilist.push_back tab.Ctab.lvl lvl.list s);
+  tab.Ctab.level.(s) <- lvl.prio;
+  tab.Ctab.managed.(s) <- Pid.to_int mgr.pid;
+  Hashtbl.replace mgr.blocks (Ctab.block tab s) s
 
-let unlink mgr (e : Entry.t) =
-  (match (e.Entry.level_node, Hashtbl.find_opt mgr.levels e.Entry.level) with
-  | Some node, Some lvl -> Dll.remove lvl.list node
-  | Some _, None -> invalid_arg "Acm: entry linked to a missing level"
-  | None, _ -> ());
-  e.Entry.level_node <- None;
-  e.Entry.managed_by <- None;
-  e.Entry.temp <- false;
-  Hashtbl.remove mgr.blocks e.Entry.key
+let unlink t mgr s =
+  let tab = t.tab in
+  if tab.Ctab.managed.(s) >= 0 then begin
+    match Hashtbl.find_opt mgr.levels tab.Ctab.level.(s) with
+    | Some lvl -> Ilist.remove tab.Ctab.lvl lvl.list s
+    | None -> invalid_arg "Acm: entry linked to a missing level"
+  end;
+  tab.Ctab.managed.(s) <- -1;
+  tab.Ctab.flags.(s) <- tab.Ctab.flags.(s) land lnot Ctab.temp_bit;
+  Hashtbl.remove mgr.blocks (Ctab.block tab s)
 
 let register t pid =
-  if Hashtbl.mem t.managers pid then Error Error.Already_registered
-  else if Hashtbl.length t.managers >= t.config.Config.max_managers then
+  let i = Pid.to_int pid in
+  if i >= Array.length t.managers then begin
+    let n = Array.make (max (i + 1) (2 * Array.length t.managers)) None in
+    Array.blit t.managers 0 n 0 (Array.length t.managers);
+    t.managers <- n
+  end;
+  if Option.is_some t.managers.(i) then Error Error.Already_registered
+  else if t.n_managers >= t.config.Config.max_managers then
     Error Error.Too_many_managers
   else begin
     let mgr =
@@ -119,7 +142,8 @@ let register t pid =
     in
     (* Level 0 always exists: it is the default long-term priority. *)
     (match ensure_level t mgr 0 with Ok _ -> () | Error _ -> assert false);
-    Hashtbl.replace t.managers pid mgr;
+    t.managers.(i) <- Some mgr;
+    t.n_managers <- t.n_managers + 1;
     obs_call t pid "register" (fun () -> "");
     Ok ()
   end
@@ -128,28 +152,30 @@ let unregister t pid =
   match find_manager t pid with
   | None -> ()
   | Some mgr ->
-    let entries = Hashtbl.fold (fun _ e acc -> e :: acc) mgr.blocks [] in
+    let slots = Hashtbl.fold (fun _ s acc -> s :: acc) mgr.blocks [] in
     List.iter
-      (fun e ->
-        unlink mgr e;
-        e.Entry.level <- 0)
-      entries;
-    Hashtbl.remove t.managers pid;
+      (fun s ->
+        unlink t mgr s;
+        t.tab.Ctab.level.(s) <- 0)
+      slots;
+    t.managers.(Pid.to_int pid) <- None;
+    t.n_managers <- t.n_managers - 1;
     obs_call t pid "unregister" (fun () -> "")
 
-let is_registered t pid = Hashtbl.mem t.managers pid
+let is_registered t pid = Option.is_some (find_manager t pid)
 
 let consults t pid =
   match find_manager t pid with Some mgr -> not mgr.revoked | None -> false
 
-let manager_count t = Hashtbl.length t.managers
+let manager_count t = t.n_managers
 
-let new_block t ~pid ~prefetched (e : Entry.t) =
-  e.Entry.owner <- pid;
+let new_block t ~pid ~prefetched s =
+  let tab = t.tab in
+  tab.Ctab.owner.(s) <- Pid.to_int pid;
   match find_manager t pid with
   | None -> ()
   | Some mgr ->
-    let prio = long_term_prio mgr (Block.file e.Entry.key) in
+    let prio = long_term_prio mgr tab.Ctab.file.(s) in
     let lvl =
       match Hashtbl.find_opt mgr.levels prio with
       | Some lvl -> lvl
@@ -162,110 +188,113 @@ let new_block t ~pid ~prefetched (e : Entry.t) =
        A read-ahead block has not been referenced yet, so it must not
        become an MRU policy's first victim; it enters at the end that is
        replaced later and earns its recency at its first real access. *)
-    if prefetched then link_replaced_later mgr lvl e else link_recent mgr lvl e
+    if prefetched then link_replaced_later t mgr lvl s else link_recent t mgr lvl s
 
-let block_gone t (e : Entry.t) =
-  match e.Entry.managed_by with
-  | None -> ()
-  | Some pid ->
-    (match find_manager t pid with
-    | Some mgr -> unlink mgr e
-    | None -> invalid_arg "Acm.block_gone: entry managed by unknown manager")
+let block_gone t s =
+  let m = t.tab.Ctab.managed.(s) in
+  if m >= 0 then begin
+    match find_manager t (Pid.make m) with
+    | Some mgr -> unlink t mgr s
+    | None -> invalid_arg "Acm.block_gone: entry managed by unknown manager"
+  end
 
-let block_accessed t ~pid (e : Entry.t) =
-  e.Entry.owner <- pid;
+let block_accessed t ~pid s =
+  let tab = t.tab in
+  tab.Ctab.owner.(s) <- Pid.to_int pid;
+  let managed = tab.Ctab.managed.(s) in
   (* Under the Sticky shared-file discipline, a block already held by a
      live manager stays with it: only its recency is updated. *)
   let sticky_holder =
-    match (t.config.Config.shared_files, e.Entry.managed_by) with
-    | Config.Sticky, Some current -> find_manager t current
-    | (Config.Transfer | Config.Sticky), _ -> None
+    match t.config.Config.shared_files with
+    | Config.Sticky when managed >= 0 -> find_manager t (Pid.make managed)
+    | Config.Transfer | Config.Sticky -> None
   in
   let target =
     match sticky_holder with Some m -> Some m | None -> find_manager t pid
   in
   (* Unlink if currently held by a different manager (ownership moved
      between processes). *)
-  (match e.Entry.managed_by with
-  | Some current when (match target with Some m -> not (Pid.equal m.pid current) | None -> true)
-    -> (match find_manager t current with
-       | Some mgr -> unlink mgr e
-       | None -> invalid_arg "Acm.block_accessed: stale manager link")
-  | Some _ | None -> ());
+  if
+    managed >= 0
+    && (match target with Some m -> Pid.to_int m.pid <> managed | None -> true)
+  then begin
+    match find_manager t (Pid.make managed) with
+    | Some mgr -> unlink t mgr s
+    | None -> invalid_arg "Acm.block_accessed: stale manager link"
+  end;
   match target with
   | None -> ()
   | Some mgr ->
-    let lt_prio = long_term_prio mgr (Block.file e.Entry.key) in
-    (match e.Entry.level_node with
-    | None ->
+    let lt_prio = long_term_prio mgr tab.Ctab.file.(s) in
+    if tab.Ctab.managed.(s) < 0 then begin
       (* Newly transferred to this manager. *)
       let lvl = match Hashtbl.find_opt mgr.levels lt_prio with Some l -> l | None -> assert false in
-      link_recent mgr lvl e
-    | Some node ->
-      if e.Entry.temp then begin
-        (* A reference ends the temporary priority (paper Sec. 3). *)
-        (match Hashtbl.find_opt mgr.levels e.Entry.level with
-        | Some lvl -> Dll.remove lvl.list node
-        | None -> assert false);
-        e.Entry.temp <- false;
-        let lvl = match Hashtbl.find_opt mgr.levels lt_prio with Some l -> l | None -> assert false in
-        e.Entry.level_node <- Some (Dll.push_front lvl.list e);
-        e.Entry.level <- lvl.prio
-      end
-      else begin
-        match Hashtbl.find_opt mgr.levels e.Entry.level with
-        | Some lvl -> Dll.move_front lvl.list node
-        | None -> assert false
-      end)
+      link_recent t mgr lvl s
+    end
+    else if tab.Ctab.flags.(s) land Ctab.temp_bit <> 0 then begin
+      (* A reference ends the temporary priority (paper Sec. 3). *)
+      (match Hashtbl.find_opt mgr.levels tab.Ctab.level.(s) with
+      | Some lvl -> Ilist.remove tab.Ctab.lvl lvl.list s
+      | None -> assert false);
+      tab.Ctab.flags.(s) <- tab.Ctab.flags.(s) land lnot Ctab.temp_bit;
+      let lvl = match Hashtbl.find_opt mgr.levels lt_prio with Some l -> l | None -> assert false in
+      Ilist.push_front tab.Ctab.lvl lvl.list s;
+      tab.Ctab.level.(s) <- lvl.prio
+    end
+    else begin
+      match Hashtbl.find_opt mgr.levels tab.Ctab.level.(s) with
+      | Some lvl -> Ilist.move_front tab.Ctab.lvl lvl.list s
+      | None -> assert false
+    end
 
 (* Pick the victim the manager prefers: lowest-priority non-empty level,
    scanning from the end its policy replaces first and skipping pinned
    blocks. Not-yet-referenced read-ahead blocks are passed over while a
    referenced block exists anywhere (they are about to be used); they
-   are remembered as a fallback. *)
-let manager_choice mgr =
-  let fallback = ref None in
+   are remembered as a fallback. Slots throughout; [-1] = none. *)
+let manager_choice t mgr =
+  let tab = t.tab in
+  let fallback = ref (-1) in
   let rec scan_level = function
     | [] -> !fallback
     | lvl :: rest ->
       let start, step =
         match lvl.policy with
-        | Policy.Lru -> (Dll.back lvl.list, Dll.next_toward_front)
-        | Policy.Mru -> (Dll.front lvl.list, Dll.next_toward_back)
+        | Policy.Lru -> (Ilist.back lvl.list, Ilist.next_toward_front)
+        | Policy.Mru -> (Ilist.front lvl.list, Ilist.next_toward_back)
       in
-      let rec walk = function
-        | None -> scan_level rest
-        | Some node ->
-          let e = Dll.value node in
-          if Entry.is_pinned e then walk (step node)
-          else if not e.Entry.referenced then begin
-            if Option.is_none !fallback then fallback := Some e;
-            walk (step node)
-          end
-          else Some e
+      let rec walk s =
+        if s < 0 then scan_level rest
+        else if tab.Ctab.pinned.(s) > 0 then walk (step tab.Ctab.lvl s)
+        else if tab.Ctab.flags.(s) land Ctab.referenced_bit = 0 then begin
+          if !fallback < 0 then fallback := s;
+          walk (step tab.Ctab.lvl s)
+        end
+        else s
       in
       walk start
   in
   scan_level mgr.sorted_levels
 
-let entry_manager t (e : Entry.t) =
-  match e.Entry.managed_by with None -> None | Some pid -> find_manager t pid
+let slot_manager t s =
+  let m = t.tab.Ctab.managed.(s) in
+  if m < 0 then None else find_manager t (Pid.make m)
 
 (* Consult an upcall handler: materialise the manager's resident set
    (this is the generality-vs-overhead trade the paper discusses), call
    the handler, and validate its answer — an unknown or pinned block
    falls back to the kernel's candidate, like an uncooperative manager. *)
-let upcall_choice mgr chooser ~candidate =
+let upcall_choice t mgr chooser ~candidate =
   let resident = Hashtbl.fold (fun key _ acc -> key :: acc) mgr.blocks [] in
-  match chooser ~candidate:candidate.Entry.key ~resident with
-  | None -> None
+  match chooser ~candidate:(Ctab.block t.tab candidate) ~resident with
+  | None -> -1
   | Some key ->
     (match Hashtbl.find_opt mgr.blocks key with
-    | Some e when not (Entry.is_pinned e) -> Some e
-    | Some _ | None -> None)
+    | Some s when t.tab.Ctab.pinned.(s) = 0 -> s
+    | Some _ | None -> -1)
 
 let replace_block t ~candidate ~missing:_ =
-  match entry_manager t candidate with
+  match slot_manager t candidate with
   | None -> candidate
   | Some mgr ->
     if mgr.revoked then candidate
@@ -274,19 +303,18 @@ let replace_block t ~candidate ~missing:_ =
       let choice =
         match mgr.chooser with
         | Some chooser ->
-          (match upcall_choice mgr chooser ~candidate with
-          | Some e -> Some e
-          | None -> manager_choice mgr)
-        | None -> manager_choice mgr
+          let s = upcall_choice t mgr chooser ~candidate in
+          if s >= 0 then s else manager_choice t mgr
+        | None -> manager_choice t mgr
       in
-      match choice with
-      | None -> candidate
-      | Some chosen ->
-        if chosen != candidate then mgr.overrules <- mgr.overrules + 1;
-        chosen
+      if choice < 0 then candidate
+      else begin
+        if choice <> candidate then mgr.overrules <- mgr.overrules + 1;
+        choice
+      end
     end
 
-let placeholder_used t ~chooser ~missing:_ ~target:_ =
+let placeholder_used t ~chooser =
   match find_manager t chooser with
   | None -> ()
   | Some mgr ->
@@ -298,7 +326,9 @@ let placeholder_used t ~chooser ~missing:_ ~target:_ =
         && float_of_int mgr.mistakes >= mistake_ratio *. float_of_int mgr.overrules
       then begin
         mgr.revoked <- true;
-        emit t (Event.Manager_revoked chooser);
+        (match t.tracer with
+        | Some f -> f (Event.Manager_revoked chooser)
+        | None -> ());
         match t.obs with
         | None -> ()
         | Some sink ->
@@ -326,18 +356,23 @@ let set_priority t pid ~file ~prio =
           | Ok lvl ->
             if prio = 0 then Hashtbl.remove mgr.file_prio file
             else Hashtbl.replace mgr.file_prio file prio;
-            if old <> prio then
+            if old <> prio then begin
+              let tab = t.tab in
               (* Move cached, non-temporary blocks of this file now. *)
               Hashtbl.iter
-                (fun key (e : Entry.t) ->
-                  if Block.file key = file && not e.Entry.temp && e.Entry.level <> prio
+                (fun key s ->
+                  if
+                    Block.file key = file
+                    && tab.Ctab.flags.(s) land Ctab.temp_bit = 0
+                    && tab.Ctab.level.(s) <> prio
                   then begin
-                    (match (e.Entry.level_node, Hashtbl.find_opt mgr.levels e.Entry.level) with
-                    | Some node, Some l -> Dll.remove l.list node
-                    | _ -> assert false);
-                    link_replaced_later mgr lvl e
+                    (match Hashtbl.find_opt mgr.levels tab.Ctab.level.(s) with
+                    | Some l -> Ilist.remove tab.Ctab.lvl l.list s
+                    | None -> assert false);
+                    link_replaced_later t mgr lvl s
                   end)
-                mgr.blocks;
+                mgr.blocks
+            end;
             Ok ()
       end)
 
@@ -371,18 +406,21 @@ let set_temppri t pid ~file ~first ~last ~prio =
         match ensure_level t mgr prio with
         | Error _ as e -> e
         | Ok lvl ->
+          let tab = t.tab in
           let lt = long_term_prio mgr file in
           for index = first to last do
             match Hashtbl.find_opt mgr.blocks (Block.make ~file ~index) with
             | None -> ()  (* only blocks presently in the cache are affected *)
-            | Some e ->
-              if e.Entry.level <> prio then begin
-                (match (e.Entry.level_node, Hashtbl.find_opt mgr.levels e.Entry.level) with
-                | Some node, Some l -> Dll.remove l.list node
-                | _ -> assert false);
-                link_replaced_later mgr lvl e
+            | Some s ->
+              if tab.Ctab.level.(s) <> prio then begin
+                (match Hashtbl.find_opt mgr.levels tab.Ctab.level.(s) with
+                | Some l -> Ilist.remove tab.Ctab.lvl l.list s
+                | None -> assert false);
+                link_replaced_later t mgr lvl s
               end;
-              e.Entry.temp <- prio <> lt
+              if prio <> lt then
+                tab.Ctab.flags.(s) <- tab.Ctab.flags.(s) lor Ctab.temp_bit
+              else tab.Ctab.flags.(s) <- tab.Ctab.flags.(s) land lnot Ctab.temp_bit
           done;
           Ok ())
 
@@ -411,44 +449,46 @@ let revoked t pid = match find_manager t pid with Some m -> m.revoked | None -> 
 (* {2 Testing support} *)
 
 let check_invariants t =
-  Hashtbl.iter
-    (fun pid mgr ->
-      if not (Pid.equal pid mgr.pid) then failwith "Acm: manager key/pid mismatch";
-      (* sorted_levels and the cached count mirror the level table. *)
-      if mgr.n_levels <> Hashtbl.length mgr.levels then
-        failwith "Acm: cached level count out of sync";
-      let n_sorted =
-        List.fold_left (fun n _ -> n + 1) 0 mgr.sorted_levels
-      in
-      if n_sorted <> mgr.n_levels then failwith "Acm: sorted_levels out of sync";
-      let rec ascending = function
-        | a :: (b :: _ as rest) ->
-          if a.prio >= b.prio then failwith "Acm: sorted_levels not ascending";
-          ascending rest
-        | [ _ ] | [] -> ()
-      in
-      ascending mgr.sorted_levels;
-      (* Every list member is indexed, consistent, and counted once. *)
-      let counted = ref 0 in
-      List.iter
-        (fun lvl ->
-          Dll.iter
-            (fun (e : Entry.t) ->
-              incr counted;
-              if e.Entry.level <> lvl.prio then failwith "Acm: entry level mismatch";
-              (match e.Entry.managed_by with
-              | Some p when Pid.equal p pid -> ()
-              | Some _ | None -> failwith "Acm: entry managed_by mismatch");
-              (match e.Entry.level_node with
-              | Some node when Dll.contains lvl.list node -> ()
-              | Some _ | None -> failwith "Acm: entry level_node mismatch");
-              match Hashtbl.find_opt mgr.blocks e.Entry.key with
-              | Some e' when e' == e -> ()
-              | Some _ | None -> failwith "Acm: entry missing from manager index")
-            lvl.list)
-        mgr.sorted_levels;
-      if !counted <> Hashtbl.length mgr.blocks then
-        failwith "Acm: manager index size mismatch")
+  let tab = t.tab in
+  Array.iteri
+    (fun i mgro ->
+      match mgro with
+      | None -> ()
+      | Some mgr ->
+        if Pid.to_int mgr.pid <> i then failwith "Acm: manager key/pid mismatch";
+        (* sorted_levels and the cached count mirror the level table. *)
+        if mgr.n_levels <> Hashtbl.length mgr.levels then
+          failwith "Acm: cached level count out of sync";
+        let n_sorted =
+          List.fold_left (fun n _ -> n + 1) 0 mgr.sorted_levels
+        in
+        if n_sorted <> mgr.n_levels then failwith "Acm: sorted_levels out of sync";
+        let rec ascending = function
+          | a :: (b :: _ as rest) ->
+            if a.prio >= b.prio then failwith "Acm: sorted_levels not ascending";
+            ascending rest
+          | [ _ ] | [] -> ()
+        in
+        ascending mgr.sorted_levels;
+        (* Every list member is indexed, consistent, and counted once. *)
+        let counted = ref 0 in
+        List.iter
+          (fun lvl ->
+            Ilist.iter
+              (fun s ->
+                incr counted;
+                if Ctab.is_free tab s then failwith "Acm: free slot in level list";
+                if tab.Ctab.level.(s) <> lvl.prio then
+                  failwith "Acm: entry level mismatch";
+                if tab.Ctab.managed.(s) <> i then
+                  failwith "Acm: entry managed_by mismatch";
+                match Hashtbl.find_opt mgr.blocks (Ctab.block tab s) with
+                | Some s' when s' = s -> ()
+                | Some _ | None -> failwith "Acm: entry missing from manager index")
+              tab.Ctab.lvl lvl.list)
+          mgr.sorted_levels;
+        if !counted <> Hashtbl.length mgr.blocks then
+          failwith "Acm: manager index size mismatch")
     t.managers
 
 let level_blocks t pid ~prio =
@@ -457,4 +497,5 @@ let level_blocks t pid ~prio =
   | Some mgr ->
     (match Hashtbl.find_opt mgr.levels prio with
     | None -> []
-    | Some lvl -> List.map (fun (e : Entry.t) -> e.Entry.key) (Dll.to_list lvl.list))
+    | Some lvl ->
+      List.map (fun s -> Ctab.block t.tab s) (Ilist.to_list t.tab.Ctab.lvl lvl.list))

@@ -1,4 +1,4 @@
-(** Application Control Module, columnar core.
+(** Application Control Module.
 
     ACM is the kernel half that "implements the interface calls and acts
     as a proxy for the user-level managers" (paper Sec. 4). It keeps,
@@ -7,22 +7,13 @@
     priorities of that manager's files; and the statistics the kernel
     uses to detect foolish managers.
 
-    Blocks are named by their {!Ctab} slot: the level lists are
-    intrusive {!Ilist}s over the shared table's link columns and the
-    per-access notifications below are int-only on the steady-state
-    path. The record-based predecessor is retained as {!Acm_ref} and
-    proven trace-identical by lockstep replay ({!Lockstep},
-    `bench check`).
-
     BUF notifies ACM through {!new_block}, {!block_gone},
     {!block_accessed} and {!placeholder_used}, and asks it for decisions
     through {!replace_block} — the paper's five procedure calls. *)
 
 type t
 
-val create : Config.t -> tab:Ctab.t -> t
-(** [tab] is the columnar entry table shared with {!Buf} (built by
-    {!Cache.create}). *)
+val create : Config.t -> t
 
 val set_tracer : t -> (Event.t -> unit) option -> unit
 (** Install a callback receiving {!Event.Manager_revoked} events. *)
@@ -53,35 +44,36 @@ val manager_count : t -> int
 
 (** {2 BUF → ACM notifications and queries (paper Sec. 4)} *)
 
-val new_block : t -> pid:Pid.t -> prefetched:bool -> int -> unit
-(** The slot just entered the cache on behalf of [pid]; link it into
+val new_block : t -> pid:Pid.t -> prefetched:bool -> Entry.t -> unit
+(** The block just entered the cache on behalf of [pid]; link it into
     the appropriate level list based on its file's long-term priority
     (if [pid] has a manager). A demand-fetched block takes the MRU
     position; a [prefetched] (read-ahead) block has not been referenced
     yet, so it enters at the end its level's policy replaces later and
     gains recency only at its first real access. *)
 
-val block_gone : t -> int -> unit
-(** The slot left the cache; unlink it from any manager lists. *)
+val block_gone : t -> Entry.t -> unit
+(** The block left the cache; unlink it from any manager lists. *)
 
-val block_accessed : t -> pid:Pid.t -> int -> unit
-(** The slot was referenced by [pid]: expire any temporary priority
+val block_accessed : t -> pid:Pid.t -> Entry.t -> unit
+(** The block was referenced by [pid]: expire any temporary priority
     (reverting to the file's long-term priority), transfer the block to
     [pid]'s manager if ownership moved between processes, and record the
     reference by moving the block to the MRU end of its level list. *)
 
-val replace_block : t -> candidate:int -> missing:Block.t -> int
+val replace_block : t -> candidate:Entry.t -> missing:Block.t -> Entry.t
 (** Ask the manager of [candidate]'s owner which block to give up,
     offering [candidate] as the kernel's suggestion. Returns the chosen
-    resident, unpinned slot — [candidate] itself when the owner has no
+    resident, unpinned entry — [candidate] itself when the owner has no
     (consulted) manager or agrees with the kernel. The manager picks
     from its lowest-priority non-empty level, at the end its policy
     replaces first. *)
 
-val placeholder_used : t -> chooser:Pid.t -> unit
-(** A placeholder fired: an earlier overrule by [chooser] was a
-    mistake. Updates the mistake statistics and, if configured, revokes
-    a consistently foolish manager. *)
+val placeholder_used : t -> chooser:Pid.t -> missing:Block.t -> target:Entry.t -> unit
+(** A placeholder fired: the earlier decision by [chooser] to replace
+    [missing] (keeping [target]) was a mistake. Updates the mistake
+    statistics and, if configured, revokes a consistently foolish
+    manager. *)
 
 (** {2 The application interface (multiplexed by [fbehavior])} *)
 

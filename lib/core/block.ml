@@ -18,4 +18,18 @@ let compare a b =
 
 let hash t = (t.file * 1000003) + t.index
 
+(* Packed form for the columnar core: one non-negative int, ordered the
+   same way as [compare]. 32 bits of index bound files at 2^32 blocks
+   (32 TB at 8 KB) and file ids at 2^30 — far beyond any simulation. *)
+let max_packed_index = (1 lsl 32) - 1
+
+let max_packed_file = (1 lsl 30) - 1
+
+let pack t =
+  if t.index > max_packed_index || t.file > max_packed_file then
+    invalid_arg "Block.pack: id out of packable range";
+  (t.file lsl 32) lor t.index
+
+let unpack p = { file = p lsr 32; index = p land max_packed_index }
+
 let pp ppf t = Format.fprintf ppf "f%d[%d]" t.file t.index

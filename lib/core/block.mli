@@ -22,4 +22,12 @@ val compare : t -> t -> int
 
 val hash : t -> int
 
+val pack : t -> int
+(** One non-negative int per block, ordered like {!compare} (file then
+    index), for the columnar core's int-keyed tables. Raises
+    [Invalid_argument] beyond 2^30 files or 2^32 blocks per file. *)
+
+val unpack : int -> t
+(** Inverse of {!pack}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -3,7 +3,7 @@
     BUF "handles cache management and bookkeeping and implements the
     allocation policy" (paper Sec. 4): the block table, the kernel's
     global LRU list, and — for LRU-SP — the swapping and placeholder
-    machinery. On replacement it picks a candidate and asks {!Acm}
+    machinery. On replacement it picks a candidate and asks {!Acm_ref}
     which block the candidate's manager actually wants to give up.
 
     Replacement walk (paper Sec. 4, for {!Config.Lru_sp}):
@@ -11,22 +11,14 @@
       points to becomes the candidate (and the manager that caused the
       placeholder is charged a mistake); otherwise the candidate is the
       LRU-end block;
-    + the candidate's manager is consulted ([Acm.replace_block]) and may
+    + the candidate's manager is consulted ([Acm_ref.replace_block]) and may
       overrule with a block of its own;
     + on overrule the two blocks swap positions in the global LRU list
       and a placeholder for the evicted block, pointing at the surviving
       candidate, is installed.
 
     The other {!Config.alloc_policy} values disable the corresponding
-    steps.
-
-    This is the columnar implementation: the block table is an
-    int-keyed {!Itbl} over packed block ids, the global list an
-    intrusive {!Ilist} over the shared {!Ctab} columns, and the
-    steady-state hit/miss paths are allocation-free (trace events are
-    built only when a tracer or obs sink is installed). The record
-    predecessor is retained as {!Buf_ref} and held trace-identical by
-    lockstep replay. *)
+    steps. *)
 
 type t
 
@@ -35,16 +27,14 @@ exception Cache_busy
     victim can be chosen. Callers inside a simulation should back off
     and retry; it cannot happen unless concurrent I/Os ≥ cache size. *)
 
-val create : Config.t -> acm:Acm.t -> tab:Ctab.t -> backend:Backend.t -> t
-(** [tab] is the columnar entry table shared with [acm] (see
-    {!Cache.create}). *)
+val create : Config.t -> acm:Acm_ref.t -> backend:Backend.t -> t
 
 val set_tracer : t -> (Event.t -> unit) option -> unit
-(** Also installs the tracer on the underlying {!Acm}. *)
+(** Also installs the tracer on the underlying {!Acm_ref}. *)
 
 val set_obs : t -> Acfc_obs.Sink.t option -> unit
 (** Install (or remove) the observability sink, also on the underlying
-    {!Acm}. When installed, every hit, miss, eviction, swap, writeback
+    {!Acm_ref}. When installed, every hit, miss, eviction, swap, writeback
     and placeholder transition is emitted as a timestamped
     {!Acfc_obs.Trace.t} event, and the cache's counters are registered
     as gauges on the sink's metrics registry. Off ([None]) by default;
@@ -58,7 +48,7 @@ val read : ?prefetch:bool -> t -> pid:Pid.t -> Block.t -> [ `Hit | `Miss ]
 (** Reference a block for reading; on a miss, makes room (replacement),
     inserts the block and fetches it through the backend. [prefetch]
     (default false) marks a read-ahead: the block is installed without
-    recency (see {!Acm.new_block}). *)
+    recency (see {!Acm_ref.new_block}). *)
 
 val write : t -> pid:Pid.t -> Block.t -> fetch:bool -> [ `Hit | `Miss ]
 (** Reference a block for writing, marking it dirty. On a miss the
@@ -115,4 +105,4 @@ val lru_keys : t -> Block.t list
 (** Global LRU list, MRU end first. *)
 
 val check_invariants : t -> unit
-(** Raise [Failure] on any broken invariant, including {!Acm}'s. *)
+(** Raise [Failure] on any broken invariant, including {!Acm_ref}'s. *)

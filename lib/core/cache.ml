@@ -3,8 +3,13 @@ type t = { acm : Acm.t; buf : Buf.t }
 exception Cache_busy = Buf.Cache_busy
 
 let create ?(backend = Backend.null) config =
-  let acm = Acm.create config in
-  let buf = Buf.create config ~acm ~backend in
+  (* One shared columnar entry table: BUF's global list and ACM's level
+     lists are intrusive links over the same slots. Pre-sized to
+     capacity — evictions precede inserts, so steady state never
+     grows it. *)
+  let tab = Ctab.create ~initial:(max 16 config.Config.capacity_blocks) () in
+  let acm = Acm.create config ~tab in
+  let buf = Buf.create config ~acm ~tab ~backend in
   { acm; buf }
 
 let config t = Buf.config t.buf

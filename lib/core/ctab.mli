@@ -1,0 +1,62 @@
+(** Columnar block/entry table — flat int columns replacing per-entry
+    heap records on the cache hot path.
+
+    A resident block is a {e slot}: an index into the parallel columns
+    below. BUF and ACM address state as [tab.flags.(slot)] etc. and
+    thread the slot through the intrusive {!Ilist} link stores
+    ([global] for the BUF global-position list, [lvl] for the ACM level
+    lists). Slot allocation is a free-list pop; nothing on the
+    steady-state path allocates.
+
+    The columns are exposed as record fields on purpose — the hot paths
+    in [Buf]/[Acm] index them directly rather than going through
+    accessor calls. *)
+
+type t = {
+  mutable cap : int;
+  mutable file : int array;  (** file id; [-1] marks a free slot *)
+  mutable index : int array;  (** block index within the file *)
+  mutable key : int array;  (** [Block.pack] of (file, index) *)
+  mutable owner : int array;  (** pid that faulted the block in *)
+  mutable flags : int array;  (** bit set: dirty / referenced / clock / temp *)
+  mutable pinned : int array;  (** pin count *)
+  mutable level : int array;  (** ACM level priority the block sits in *)
+  mutable managed : int array;  (** managing pid, [-1] = kernel-managed *)
+  mutable ph_head : int array;
+      (** head of the block's incoming-placeholder chain, [-1] = none *)
+  global : Ilist.store;
+  lvl : Ilist.store;
+  mutable free_next : int array;
+  mutable free : int;
+  mutable live : int;
+}
+
+val dirty_bit : int
+
+val referenced_bit : int
+
+val clock_bit : int
+
+val temp_bit : int
+
+val create : ?initial:int -> unit -> t
+(** [create ~initial ()] pre-sizes for [initial] slots (e.g. the cache
+    capacity, so steady state never grows). *)
+
+val capacity : t -> int
+
+val live : t -> int
+
+val alloc : t -> file:int -> index:int -> key:int -> owner:int -> int
+(** Pop a free slot and initialise it: flags/pins/level zero, unmanaged,
+    no placeholders, links untouched (the slot is in no list). Grows by
+    doubling when full. *)
+
+val release : t -> int -> unit
+(** Return a slot to the free list. The caller must already have
+    unlinked it from every list. *)
+
+val is_free : t -> int -> bool
+
+val block : t -> int -> Block.t
+(** Rebuild the [Block.t] for a slot (allocates — cold paths only). *)

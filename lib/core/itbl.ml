@@ -1,0 +1,146 @@
+(* Open-addressing int -> int hash table, the columnar replacement for
+   [(Block.t, Entry.t) Hashtbl] on the cache hot path.
+
+   Keys are non-negative ints (packed block ids from [Block.pack]);
+   values are non-negative ints (table slots). Linear probing over a
+   power-of-two array with tombstones; [find] allocates nothing and
+   returns [-1] for absence so the hit path never touches the GC. The
+   property tests in [test/test_ctab.ml] replay random op sequences
+   against a stdlib [Hashtbl] model. *)
+
+let empty_key = -1
+
+let tomb_key = -2
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable mask : int; (* Array.length keys - 1 *)
+  mutable size : int; (* live bindings *)
+  mutable used : int; (* live bindings + tombstones *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create n =
+  let cap = pow2 (max 8 (n * 2)) 8 in
+  {
+    keys = Array.make cap empty_key;
+    vals = Array.make cap 0;
+    mask = cap - 1;
+    size = 0;
+    used = 0;
+  }
+
+let length t = t.size
+
+(* Fibonacci multiplicative hash: spreads consecutive packed block ids
+   (same file, increasing index) across the table. The multiplier is
+   2^62 / phi, odd; [land mask] keeps it in range on 63-bit ints. *)
+let hash t key = (key * 0x2545F4914F6CDD1D) land t.mask
+
+let find t key =
+  let mask = t.mask in
+  let keys = t.keys in
+  let i = ref (hash t key) in
+  let res = ref (-3) in
+  while !res = -3 do
+    let k = keys.(!i) in
+    if k = key then res := t.vals.(!i)
+    else if k = empty_key then res := -1
+    else i := (!i + 1) land mask
+  done;
+  !res
+
+let mem t key = find t key >= 0
+
+let rehash t cap =
+  let okeys = t.keys and ovals = t.vals in
+  t.keys <- Array.make cap empty_key;
+  t.vals <- Array.make cap 0;
+  t.mask <- cap - 1;
+  t.used <- t.size;
+  let mask = t.mask in
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then begin
+        let j = ref (hash t k) in
+        while t.keys.(!j) >= 0 do
+          j := (!j + 1) land mask
+        done;
+        t.keys.(!j) <- k;
+        t.vals.(!j) <- ovals.(i)
+      end)
+    okeys
+
+let set t key v =
+  let mask = t.mask in
+  let keys = t.keys in
+  let i = ref (hash t key) in
+  let slot = ref (-1) in
+  let stop = ref false in
+  while not !stop do
+    let k = keys.(!i) in
+    if k = key then begin
+      t.vals.(!i) <- v;
+      stop := true;
+      slot := -1
+    end
+    else if k = empty_key then begin
+      (* insert at the first tombstone seen, else here *)
+      let j = if !slot >= 0 then !slot else !i in
+      if !slot < 0 then t.used <- t.used + 1;
+      t.keys.(j) <- key;
+      t.vals.(j) <- v;
+      t.size <- t.size + 1;
+      stop := true;
+      (* Load factor (incl. tombstones) capped at 3/4. Rehash to 4x the
+         live count: a steady-state table (fixed live set, constant
+         remove/insert churn) then has live-count*3 of tombstone
+         headroom per rehash instead of thrashing at 2x. *)
+      if t.used * 4 > (mask + 1) * 3 then
+        rehash t (pow2 (max 8 (t.size * 4)) 8);
+      slot := -1
+    end
+    else begin
+      if k = tomb_key && !slot < 0 then slot := !i;
+      i := (!i + 1) land mask
+    end
+  done
+
+let remove t key =
+  let mask = t.mask in
+  let keys = t.keys in
+  let i = ref (hash t key) in
+  let stop = ref false in
+  while not !stop do
+    let k = keys.(!i) in
+    if k = key then begin
+      keys.(!i) <- tomb_key;
+      t.size <- t.size - 1;
+      (* If the next probe slot is empty, no chain continues through
+         this slot: convert it — and the tombstone run ending here —
+         back to empty. Steady-state churn (remove/insert at a fixed
+         live count) then accretes no tombstones and never rehashes. *)
+      if keys.((!i + 1) land mask) = empty_key then begin
+        let j = ref !i in
+        while keys.(!j) = tomb_key do
+          keys.(!j) <- empty_key;
+          t.used <- t.used - 1;
+          j := (!j - 1) land mask
+        done
+      end;
+      stop := true
+    end
+    else if k = empty_key then stop := true
+    else i := (!i + 1) land mask
+  done
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) empty_key;
+  t.size <- 0;
+  t.used <- 0
+
+(* Order is probe-layout order — callers must not depend on it. *)
+let iter f t =
+  Array.iteri (fun i k -> if k >= 0 then f k t.vals.(i)) t.keys

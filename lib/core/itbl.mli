@@ -1,0 +1,34 @@
+(** Open-addressing int -> int hash table for the cache hot path.
+
+    Replaces [(Block.t, Entry.t) Hashtbl] on the columnar core: keys
+    are non-negative ints (packed block ids, see {!Block.pack}), values
+    are non-negative ints (table slots). Linear probing with
+    tombstones over a power-of-two array; {!find} is allocation-free.
+
+    Iteration order is probe-layout order and carries no meaning —
+    anything order-sensitive must keep an explicit list. *)
+
+type t
+
+val create : int -> t
+(** [create n] sizes the table for about [n] expected bindings. *)
+
+val length : t -> int
+
+val find : t -> int -> int
+(** [find t key] is the bound value, or [-1] if absent. Allocation-free.
+    Values are non-negative by contract, so [-1] is unambiguous. *)
+
+val mem : t -> int -> bool
+
+val set : t -> int -> int -> unit
+(** Insert or replace. [key] and the value must be non-negative. *)
+
+val remove : t -> int -> unit
+(** No-op if absent. *)
+
+val clear : t -> unit
+
+val iter : (int -> int -> unit) -> t -> unit
+(** [iter f t] calls [f key value] in probe-layout order (meaningless —
+    tests and invariant checks only). *)

@@ -1,0 +1,232 @@
+(* Drive the columnar {!Cache} and the record-based {!Cache_ref} through
+   the same op sequence and diff every observable. See the interface for
+   the contract; the comparisons below are intentionally string-based —
+   a divergence report has to be readable anyway, and rendering both
+   sides through the same printers guarantees the comparison and the
+   report can never disagree. *)
+
+type op =
+  | Read of { pid : Pid.t; block : Block.t; prefetch : bool }
+  | Write of { pid : Pid.t; block : Block.t; fetch : bool }
+  | Sync of Block.file option
+  | Invalidate_file of Block.file
+  | Register_manager of Pid.t
+  | Unregister_manager of Pid.t
+  | Set_priority of { pid : Pid.t; file : Block.file; prio : int }
+  | Set_policy of { pid : Pid.t; prio : int; policy : Policy.t }
+  | Set_temppri of {
+      pid : Pid.t;
+      file : Block.file;
+      first : int;
+      last : int;
+      prio : int;
+    }
+  | Set_chooser of {
+      pid : Pid.t;
+      chooser :
+        (candidate:Block.t -> resident:Block.t list -> Block.t option) option;
+    }
+
+let pp_op ppf = function
+  | Read { pid; block; prefetch } ->
+    Format.fprintf ppf "read pid=%a %a%s" Pid.pp pid Block.pp block
+      (if prefetch then " (prefetch)" else "")
+  | Write { pid; block; fetch } ->
+    Format.fprintf ppf "write pid=%a %a%s" Pid.pp pid Block.pp block
+      (if fetch then " (fetch)" else "")
+  | Sync None -> Format.fprintf ppf "sync"
+  | Sync (Some f) -> Format.fprintf ppf "sync file=%d" f
+  | Invalidate_file f -> Format.fprintf ppf "invalidate file=%d" f
+  | Register_manager pid -> Format.fprintf ppf "register %a" Pid.pp pid
+  | Unregister_manager pid -> Format.fprintf ppf "unregister %a" Pid.pp pid
+  | Set_priority { pid; file; prio } ->
+    Format.fprintf ppf "set_priority pid=%a file=%d prio=%d" Pid.pp pid file prio
+  | Set_policy { pid; prio; policy } ->
+    Format.fprintf ppf "set_policy pid=%a prio=%d %a" Pid.pp pid prio Policy.pp
+      policy
+  | Set_temppri { pid; file; first; last; prio } ->
+    Format.fprintf ppf "set_temppri pid=%a file=%d [%d,%d] prio=%d" Pid.pp pid
+      file first last prio
+  | Set_chooser { pid; chooser } ->
+    Format.fprintf ppf "set_chooser pid=%a %s" Pid.pp pid
+      (match chooser with Some _ -> "<fun>" | None -> "none")
+
+type divergence = {
+  step : int;
+  op : string;
+  what : string;
+  columnar : string;
+  reference : string;
+}
+
+let pp_divergence ppf d =
+  Format.fprintf ppf
+    "step %d (%s): %s differ@,  columnar:  %s@,  reference: %s" d.step d.op
+    d.what d.columnar d.reference
+
+(* Render a result / an exception through one channel so both sides are
+   compared exactly as they would be reported. *)
+let outcome f =
+  match f () with
+  | s -> s
+  | exception Buf.Cache_busy -> "raise Cache_busy"
+  | exception Buf_ref.Cache_busy -> "raise Cache_busy"
+  | exception Invalid_argument m -> "raise Invalid_argument " ^ m
+  | exception Failure m -> "raise Failure " ^ m
+
+let hm = function `Hit -> "hit" | `Miss -> "miss"
+
+let ctl = function
+  | Ok () -> "ok"
+  | Error e -> "error " ^ Error.to_string e
+
+let events_to_string evs =
+  Format.asprintf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Event.pp)
+    (List.rev evs)
+
+let blocks_to_string bs =
+  Format.asprintf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Block.pp)
+    bs
+
+let run ?(deep_every = 512) config ops =
+  let a = Cache.create config in
+  let b = Cache_ref.create config in
+  let ea = ref [] and eb = ref [] in
+  Cache.set_tracer a (Some (fun e -> ea := e :: !ea));
+  Cache_ref.set_tracer b (Some (fun e -> eb := e :: !eb));
+  (* (pid, prio) level lists worth diffing: every pair a control op
+     touched, plus level 0 of every registered manager (where blocks
+     land by default). *)
+  let levels = ref [] in
+  let note_level pid prio =
+    if not (List.mem (pid, prio) !levels) then levels := (pid, prio) :: !levels
+  in
+  let divergence = ref None in
+  let report step op what columnar reference =
+    if !divergence = None then
+      divergence :=
+        Some
+          {
+            step;
+            op = Format.asprintf "%a" pp_op op;
+            what;
+            columnar;
+            reference;
+          }
+  in
+  let compare_state step op =
+    let stat what va vb =
+      if !divergence = None && va <> vb then
+        report step op what (string_of_int va) (string_of_int vb)
+    in
+    stat "hits" (Cache.hits a) (Cache_ref.hits b);
+    stat "misses" (Cache.misses a) (Cache_ref.misses b);
+    stat "evictions" (Cache.evictions a) (Cache_ref.evictions b);
+    stat "writebacks" (Cache.writebacks a) (Cache_ref.writebacks b);
+    stat "overrules" (Cache.overrule_count a) (Cache_ref.overrule_count b);
+    stat "placeholders_created" (Cache.placeholders_created a)
+      (Cache_ref.placeholders_created b);
+    stat "placeholders_used" (Cache.placeholders_used a)
+      (Cache_ref.placeholders_used b);
+    stat "placeholder_count" (Cache.placeholder_count a)
+      (Cache_ref.placeholder_count b);
+    stat "resident blocks" (Cache.length a) (Cache_ref.length b);
+    (if !divergence = None then
+       let la = blocks_to_string (Cache.lru_keys a)
+       and lb = blocks_to_string (Cache_ref.lru_keys b) in
+       if la <> lb then report step op "global LRU order" la lb);
+    List.iter
+      (fun (pid, prio) ->
+        if !divergence = None then begin
+          let la =
+            outcome (fun () ->
+                blocks_to_string (Cache.level_blocks a pid ~prio))
+          and lb =
+            outcome (fun () ->
+                blocks_to_string (Cache_ref.level_blocks b pid ~prio))
+          in
+          if la <> lb then
+            report step op
+              (Printf.sprintf "level (pid=%d, prio=%d)" (Pid.to_int pid) prio)
+              la lb
+        end)
+      !levels;
+    if !divergence = None then begin
+      (match Cache.check_invariants a with
+      | () -> ()
+      | exception Failure m -> report step op "columnar invariants" m "ok");
+      match Cache_ref.check_invariants b with
+      | () -> ()
+      | exception Failure m -> report step op "reference invariants" "ok" m
+    end
+  in
+  let n = Array.length ops in
+  let step = ref 0 in
+  while !divergence = None && !step < n do
+    let op = ops.(!step) in
+    ea := [];
+    eb := [];
+    let ra =
+      outcome (fun () ->
+          match op with
+          | Read { pid; block; prefetch } -> hm (Cache.read ~prefetch a ~pid block)
+          | Write { pid; block; fetch } -> hm (Cache.write a ~pid block ~fetch)
+          | Sync file -> string_of_int (Cache.sync a ?file ())
+          | Invalidate_file file -> string_of_int (Cache.invalidate_file a ~file)
+          | Register_manager pid -> ctl (Cache.register_manager a pid)
+          | Unregister_manager pid ->
+            Cache.unregister_manager a pid;
+            "ok"
+          | Set_priority { pid; file; prio } ->
+            ctl (Cache.set_priority a pid ~file ~prio)
+          | Set_policy { pid; prio; policy } ->
+            ctl (Cache.set_policy a pid ~prio policy)
+          | Set_temppri { pid; file; first; last; prio } ->
+            ctl (Cache.set_temppri a pid ~file ~first ~last ~prio)
+          | Set_chooser { pid; chooser } -> ctl (Cache.set_chooser a pid chooser))
+    in
+    let rb =
+      outcome (fun () ->
+          match op with
+          | Read { pid; block; prefetch } ->
+            hm (Cache_ref.read ~prefetch b ~pid block)
+          | Write { pid; block; fetch } -> hm (Cache_ref.write b ~pid block ~fetch)
+          | Sync file -> string_of_int (Cache_ref.sync b ?file ())
+          | Invalidate_file file ->
+            string_of_int (Cache_ref.invalidate_file b ~file)
+          | Register_manager pid -> ctl (Cache_ref.register_manager b pid)
+          | Unregister_manager pid ->
+            Cache_ref.unregister_manager b pid;
+            "ok"
+          | Set_priority { pid; file; prio } ->
+            ctl (Cache_ref.set_priority b pid ~file ~prio)
+          | Set_policy { pid; prio; policy } ->
+            ctl (Cache_ref.set_policy b pid ~prio policy)
+          | Set_temppri { pid; file; first; last; prio } ->
+            ctl (Cache_ref.set_temppri b pid ~file ~first ~last ~prio)
+          | Set_chooser { pid; chooser } ->
+            ctl (Cache_ref.set_chooser b pid chooser))
+    in
+    (match op with
+    | Register_manager pid -> note_level pid 0
+    | Set_priority { pid; prio; _ } | Set_policy { pid; prio; _ } ->
+      note_level pid prio
+    | Set_temppri { pid; prio; _ } -> note_level pid prio
+    | _ -> ());
+    if ra <> rb then report !step op "result" ra rb;
+    (if !divergence = None then
+       let sa = events_to_string !ea and sb = events_to_string !eb in
+       if sa <> sb then report !step op "event stream" sa sb);
+    if !divergence = None && (!step + 1) mod deep_every = 0 then
+      compare_state !step op;
+    incr step
+  done;
+  if !divergence = None && n > 0 then compare_state (n - 1) ops.(n - 1);
+  match !divergence with Some d -> Error d | None -> Ok n
+
+let of_references ?(pid = Pid.make 1) blocks =
+  Array.map (fun block -> Read { pid; block; prefetch = false }) blocks

@@ -164,12 +164,16 @@ let io ?(blocks = 1) t kind ~addr =
       0.0
     end
   in
-  Fun.protect
-    ~finally:(fun () ->
-      match pick_next t with
-      | Some w -> Engine.schedule t.engine ~at:(Engine.now t.engine) w.resume
-      | None -> t.busy <- false)
-    (fun () -> serve t kind ~addr ~blocks ~waited)
+  let handoff () =
+    match pick_next t with
+    | Some w -> Engine.schedule t.engine ~at:(Engine.now t.engine) w.resume
+    | None -> t.busy <- false
+  in
+  (try serve t kind ~addr ~blocks ~waited
+   with e ->
+     handoff ();
+     raise e);
+  handoff ()
 
 let reads t = t.reads
 

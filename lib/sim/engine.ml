@@ -1,39 +1,256 @@
 module Obs = Acfc_obs
 
-type event = { time : float; seq : int; thunk : unit -> unit }
+(* Specialised event queue: a binary min-heap on (time, seq) laid out as
+   parallel scalar columns — unboxed float times, int seqs, and int pool
+   slots — so a push/pop allocates nothing and sifting moves only
+   scalars. Job payloads (closures, continuations) sit still in a
+   free-listed pool: a heap entry points at its pool slot, so no pointer
+   ever moves through the sift loop's write barrier. [seq] breaks time
+   ties in schedule order, which keeps same-instant events FIFO and runs
+   deterministic.
+
+   Exposed in the interface for the property tests, which replay random
+   (time, seq) sequences against the generic closure-based {!Heap}. *)
+module Equeue = struct
+  type job =
+    | Nop
+    | Thunk of (unit -> unit)
+    | Cont of (unit, unit) Effect.Deep.continuation
+
+  type t = {
+    mutable ts : float array;
+    mutable sq : int array;
+    mutable js : int array; (* heap index -> pool slot *)
+    mutable jobs : job array; (* pool slot -> payload; Nop when free *)
+    mutable free : int array; (* stack of free pool slots *)
+    mutable nfree : int;
+    mutable size : int;
+    st : float array; (* staged push time; see [stage] / [push_staged] *)
+  }
+
+  (* Pool capacity always equals heap capacity: size + nfree = cap. *)
+  let create () =
+    {
+      ts = Array.make 64 0.0;
+      sq = Array.make 64 0;
+      js = Array.make 64 0;
+      jobs = Array.make 64 Nop;
+      free = Array.init 64 (fun i -> 63 - i);
+      nfree = 64;
+      size = 0;
+      st = Array.make 1 0.0;
+    }
+
+  let length t = t.size
+
+  let is_empty t = t.size = 0
+
+  let grow t =
+    let old = Array.length t.ts in
+    let cap = 2 * old in
+    let ts = Array.make cap 0.0
+    and sq = Array.make cap 0
+    and js = Array.make cap 0
+    and jobs = Array.make cap Nop
+    and free = Array.make cap 0 in
+    Array.blit t.ts 0 ts 0 t.size;
+    Array.blit t.sq 0 sq 0 t.size;
+    Array.blit t.js 0 js 0 t.size;
+    Array.blit t.jobs 0 jobs 0 old;
+    Array.blit t.free 0 free 0 t.nfree;
+    for i = 0 to old - 1 do
+      free.(t.nfree + i) <- old + i
+    done;
+    t.nfree <- t.nfree + old;
+    t.ts <- ts;
+    t.sq <- sq;
+    t.js <- js;
+    t.jobs <- jobs;
+    t.free <- free
+
+  (* (time, seq) lexicographic. Forced inline: as an out-of-line call
+     the [tm] float argument would be boxed once per sift level. *)
+  let[@inline always] leq t i tm sq =
+    t.ts.(i) < tm || (t.ts.(i) = tm && t.sq.(i) <= sq)
+
+  (* A float passed to the non-inlined [push] is boxed at the call; the
+     hot paths instead write it into the unboxed [st] slot ([stage] is
+     small enough to inline, so the store stays unboxed) and call
+     [push_staged]. *)
+  let[@inline] stage t time = t.st.(0) <- time
+
+  let push_staged t ~seq job =
+    let time = t.st.(0) in
+    if t.size = Array.length t.ts then grow t;
+    let slot = t.free.(t.nfree - 1) in
+    t.nfree <- t.nfree - 1;
+    t.jobs.(slot) <- job;
+    let i = ref t.size in
+    t.size <- t.size + 1;
+    (* Sift up with the hole trick: slide parents down, store once. *)
+    let stop = ref false in
+    while (not !stop) && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if leq t parent time seq then stop := true
+      else begin
+        t.ts.(!i) <- t.ts.(parent);
+        t.sq.(!i) <- t.sq.(parent);
+        t.js.(!i) <- t.js.(parent);
+        i := parent
+      end
+    done;
+    t.ts.(!i) <- time;
+    t.sq.(!i) <- seq;
+    t.js.(!i) <- slot
+
+  let push t ~time ~seq job =
+    stage t time;
+    push_staged t ~seq job
+
+  let top_time t =
+    if t.size = 0 then invalid_arg "Equeue.top_time: empty queue";
+    t.ts.(0)
+
+  let pop t =
+    if t.size = 0 then invalid_arg "Equeue.pop: empty queue";
+    let slot = t.js.(0) in
+    let job = t.jobs.(slot) in
+    t.jobs.(slot) <- Nop;
+    t.free.(t.nfree) <- slot;
+    t.nfree <- t.nfree + 1;
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      let tm = t.ts.(n) and sq = t.sq.(n) and js = t.js.(n) in
+      let i = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        let l = (2 * !i) + 1 in
+        if l >= n then stop := true
+        else begin
+          let r = l + 1 in
+          let c =
+            if r < n && not (leq t l t.ts.(r) t.sq.(r)) then r else l
+          in
+          if leq t c tm sq && not (t.ts.(c) = tm && t.sq.(c) = sq) then begin
+            t.ts.(!i) <- t.ts.(c);
+            t.sq.(!i) <- t.sq.(c);
+            t.js.(!i) <- t.js.(c);
+            i := c
+          end
+          else stop := true
+        end
+      done;
+      t.ts.(!i) <- tm;
+      t.sq.(!i) <- sq;
+      t.js.(!i) <- js
+    end;
+    job
+end
 
 type t = {
-  mutable clock : float;
+  (* Virtual time, in a 1-element float array so reads and writes stay
+     unboxed (a mutable float field in this mixed record would box on
+     every clock advance). *)
+  clock : float array;
   mutable seq : int;
-  events : event Heap.t;
-  mutable live : int;          (* fibers spawned and not finished *)
-  mutable waiting : int;       (* fibers currently suspended *)
-  blocked : (int, string) Hashtbl.t;  (* fiber id -> name, while suspended *)
+  events : Equeue.t;
+  (* Ready ring: FIFO of jobs due exactly now. A completion scheduled at
+     the current instant, when nothing in the heap could run before it,
+     bypasses the heap entirely — so a disk batch or an ivar broadcast
+     costs one ring slot per waiter instead of one heap op each. *)
+  mutable rbuf : Equeue.job array;
+  mutable rhead : int;
+  mutable rtail : int; (* rtail - rhead = occupancy; indices mod capacity *)
+  mutable live : int; (* fibers spawned and not finished *)
+  mutable waiting : int; (* fibers currently suspended (sleepers included) *)
+  blocked : (int, string) Hashtbl.t; (* fiber id -> name, while suspended *)
   mutable next_fiber_id : int;
   mutable processed : int;
   mutable obs : Obs.Sink.t option;
+  sleep_dt : float array; (* argument slot for the Sleep effect *)
+  mutable sleep_some : ((unit, unit) Effect.Deep.continuation -> unit) option;
 }
 
 exception Deadlock of string
 
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
-let event_leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+(* Fast-path sleep: [delay] passes its duration through [sleep_dt]
+   (an unboxed float slot) and performs the argument-less [Sleep], so
+   suspending for a duration allocates no effect payload, no resume
+   closure and no heap record — just the captured continuation. *)
+type _ Effect.t += Sleep : unit Effect.t
+
+let ring_length t = t.rtail - t.rhead
+
+let ring_push t job =
+  let cap = Array.length t.rbuf in
+  if ring_length t = cap then begin
+    let nbuf = Array.make (2 * cap) Equeue.Nop in
+    for i = 0 to cap - 1 do
+      nbuf.(i) <- t.rbuf.((t.rhead + i) land (cap - 1))
+    done;
+    t.rbuf <- nbuf;
+    t.rhead <- 0;
+    t.rtail <- cap
+  end;
+  t.rbuf.(t.rtail land (Array.length t.rbuf - 1)) <- job;
+  t.rtail <- t.rtail + 1
+
+let ring_pop t =
+  let i = t.rhead land (Array.length t.rbuf - 1) in
+  let job = t.rbuf.(i) in
+  t.rbuf.(i) <- Equeue.Nop;
+  t.rhead <- t.rhead + 1;
+  job
+
+(* Queue a sleeping fiber's continuation at its wake time, with the
+   same ring-vs-heap routing as [schedule_job] below. [dt > 0] implies
+   the wake time is never in the past, so no check is needed. *)
+let sleep_push t k =
+  let at = t.clock.(0) +. t.sleep_dt.(0) in
+  (* [Equeue] fields are read directly here and below: [top_time] is an
+     arm's-length call whose float return would box on the hot path. *)
+  if at = t.clock.(0) && (Equeue.is_empty t.events || t.events.Equeue.ts.(0) > at)
+  then ring_push t (Equeue.Cont k)
+  else begin
+    t.seq <- t.seq + 1;
+    Equeue.stage t.events at;
+    Equeue.push_staged t.events ~seq:t.seq (Equeue.Cont k)
+  end
 
 let create () =
-  {
-    clock = 0.0;
-    seq = 0;
-    events = Heap.create ~leq:event_leq ();
-    live = 0;
-    waiting = 0;
-    blocked = Hashtbl.create 16;
-    next_fiber_id = 0;
-    processed = 0;
-    obs = None;
-  }
+  let t =
+    {
+      clock = Array.make 1 0.0;
+      seq = 0;
+      events = Equeue.create ();
+      rbuf = Array.make 64 Equeue.Nop;
+      rhead = 0;
+      rtail = 0;
+      live = 0;
+      waiting = 0;
+      blocked = Hashtbl.create 16;
+      next_fiber_id = 0;
+      processed = 0;
+      obs = None;
+      sleep_dt = Array.make 1 0.0;
+      sleep_some = None;
+    }
+  in
+  (* One handler closure per engine, shared by every fiber: performing
+     Sleep finds it pre-allocated. A sleeping fiber counts as waiting
+     but is never registered in [blocked] — its wake event is in the
+     queue, so it cannot deadlock. *)
+  t.sleep_some <-
+    Some
+      (fun (k : (unit, unit) Effect.Deep.continuation) ->
+        t.waiting <- t.waiting + 1;
+        sleep_push t k);
+  t
 
-let now t = t.clock
+let now t = t.clock.(0)
 
 let set_obs t obs =
   t.obs <- obs;
@@ -41,21 +258,36 @@ let set_obs t obs =
   | None -> ()
   | Some sink ->
     (* The engine owns virtual time, so it owns the sink's clock. *)
-    Obs.Sink.set_clock sink (fun () -> t.clock);
+    Obs.Sink.set_clock sink (fun () -> t.clock.(0));
     let m = Obs.Sink.metrics sink in
-    Obs.Metrics.gauge m "sim.clock" (fun () -> t.clock);
+    Obs.Metrics.gauge m "sim.clock" (fun () -> t.clock.(0));
     Obs.Metrics.gauge m "sim.live_fibers" (fun () -> float_of_int t.live);
     Obs.Metrics.gauge m "sim.waiting_fibers" (fun () -> float_of_int t.waiting);
     Obs.Metrics.gauge m "sim.events_processed" (fun () -> float_of_int t.processed);
     Obs.Metrics.gauge m "sim.pending_events" (fun () ->
-        float_of_int (Heap.length t.events))
+        float_of_int (Equeue.length t.events + ring_length t))
 
-let schedule t ~at thunk =
-  if at < t.clock then
+(* An event due exactly now, with nothing in the heap able to run
+   before it, goes to the ready ring: same firing order as a heap push
+   (any same-time heap event already present would have top_time = at
+   and forces the heap path; later pushes get larger seqs and fire
+   after). *)
+let schedule_job t ~at job =
+  if at < t.clock.(0) then
     invalid_arg
-      (Printf.sprintf "Engine.schedule: time %g is in the past (now %g)" at t.clock);
-  t.seq <- t.seq + 1;
-  Heap.push t.events { time = at; seq = t.seq; thunk }
+      (Printf.sprintf "Engine.schedule: time %g is in the past (now %g)" at
+         t.clock.(0));
+  if
+    at = t.clock.(0)
+    && (Equeue.is_empty t.events || t.events.Equeue.ts.(0) > at)
+  then ring_push t job
+  else begin
+    t.seq <- t.seq + 1;
+    Equeue.stage t.events at;
+    Equeue.push_staged t.events ~seq:t.seq job
+  end
+
+let schedule t ~at thunk = schedule_job t ~at (Equeue.Thunk thunk)
 
 (* Fiber-local knowledge of "who am I" is threaded through the effect
    handler: each fiber runs under its own handler closure that knows its
@@ -80,6 +312,7 @@ let start_fiber t ~name f =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
+          | Sleep -> (t.sleep_some : ((a, unit) continuation -> unit) option)
           | Suspend register ->
             Some
               (fun (k : (a, unit) continuation) ->
@@ -100,23 +333,40 @@ let start_fiber t ~name f =
   match_with f () handler
 
 let spawn t ?(name = "fiber") f =
-  schedule t ~at:t.clock (fun () -> start_fiber t ~name f)
+  schedule t ~at:t.clock.(0) (fun () -> start_fiber t ~name f)
 
 let suspend _t register = Effect.perform (Suspend register)
 
 let delay t dt =
   if dt < 0.0 then invalid_arg "Engine.delay: negative delay";
   if dt = 0.0 then ()
-  else suspend t (fun resume -> schedule t ~at:(t.clock +. dt) resume)
+  else begin
+    t.sleep_dt.(0) <- dt;
+    Effect.perform Sleep
+  end
+
+let run_job t job =
+  match job with
+  | Equeue.Thunk f -> f ()
+  | Equeue.Cont k ->
+    t.waiting <- t.waiting - 1;
+    Effect.Deep.continue k ()
+  | Equeue.Nop -> ()
 
 let step t =
-  match Heap.pop t.events with
-  | None -> false
-  | Some ev ->
-    t.clock <- ev.time;
+  if t.rtail <> t.rhead then begin
     t.processed <- t.processed + 1;
-    ev.thunk ();
+    run_job t (ring_pop t);
     true
+  end
+  else if Equeue.is_empty t.events then false
+  else begin
+    t.clock.(0) <- t.events.Equeue.ts.(0);
+    let job = Equeue.pop t.events in
+    t.processed <- t.processed + 1;
+    run_job t job;
+    true
+  end
 
 let run t =
   while step t do
@@ -130,11 +380,15 @@ let run t =
 let run_until t horizon =
   let continue_ = ref true in
   while !continue_ do
-    match Heap.peek t.events with
-    | Some ev when ev.time <= horizon -> ignore (step t)
-    | Some _ | None -> continue_ := false
+    if t.rtail <> t.rhead then
+      (* Ring entries are due exactly now. *)
+      if t.clock.(0) <= horizon then ignore (step t) else continue_ := false
+    else if
+      (not (Equeue.is_empty t.events)) && t.events.Equeue.ts.(0) <= horizon
+    then ignore (step t)
+    else continue_ := false
   done;
-  if t.clock < horizon then t.clock <- horizon
+  if t.clock.(0) < horizon then t.clock.(0) <- horizon
 
 let fiber_count t = t.live
 

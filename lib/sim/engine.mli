@@ -10,8 +10,45 @@
     Time is virtual, a [float] in seconds. Events scheduled for the same
     instant fire in FIFO order, which makes runs deterministic. *)
 
+(** The engine's specialised event queue: a binary min-heap on
+    (time, seq) as parallel arrays — unboxed float times, int seqs and a
+    payload column — so pushes and pops allocate nothing. Exposed for
+    the property tests, which replay random sequences against the
+    generic {!Heap}. *)
+module Equeue : sig
+  type job =
+    | Nop
+    | Thunk of (unit -> unit)
+    | Cont of (unit, unit) Effect.Deep.continuation
+
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val push : t -> time:float -> seq:int -> job -> unit
+  (** Ties on [time] pop in ascending [seq] order; the engine feeds a
+      globally increasing seq, making same-instant events FIFO. *)
+
+  val top_time : t -> float
+  (** Raises [Invalid_argument] when empty. *)
+
+  val pop : t -> job
+  (** Pop the least (time, seq) job. Raises [Invalid_argument] when
+      empty. *)
+end
+
 type t
-(** A simulation instance: virtual clock plus pending-event queue. *)
+(** A simulation instance: virtual clock plus pending-event queue.
+
+    Internally events live in an {!Equeue} plus a ready ring: a callback
+    scheduled for the current instant when nothing pending could run
+    before it skips the heap entirely, so batched completions (an ivar
+    broadcast, a disk queue handoff) cost one ring slot per waiter
+    instead of one heap operation each. *)
 
 exception Deadlock of string
 (** Raised by {!run} when fibers remain blocked but no event can ever
