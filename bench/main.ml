@@ -53,8 +53,10 @@ module Config = Acfc_core.Config
 module Cache = Acfc_core.Cache
 module Policy = Acfc_core.Policy
 module Block = Acfc_core.Block
-module Dll = Acfc_core.Dll
+module Ilist = Acfc_core.Ilist
 module Pool = Acfc_par.Pool
+module Fleet = Acfc_fleet.Fleet
+module Scenario = Acfc_scenario.Scenario
 module Cache_ref = Acfc_core.Cache_ref
 module Wir = Acfc_wir.Wir
 module Wirgen = Acfc_wirgen.Wirgen
@@ -121,13 +123,14 @@ let set_temppri_test =
      flip := (!flip + 1) land 1023;
      ignore (Cache.set_temppri cache pid0 ~file:0 ~first:!flip ~last:!flip ~prio:(-1)))
 
-let dll_test =
-  let l = Dll.create () in
-  let node = ref (Dll.push_front l 0) in
-  Bechamel.Test.make ~name:"dll/remove+push"
+let ilist_test =
+  let store = Ilist.make_store 16 in
+  let l = Ilist.create () in
+  Ilist.push_front store l 0;
+  Bechamel.Test.make ~name:"ilist/remove+push"
     (Bechamel.Staged.stage @@ fun () ->
-     Dll.remove l !node;
-     node := Dll.push_front l 0)
+     Ilist.remove store l 0;
+     Ilist.push_front store l 0)
 
 let heap_test =
   let h = Acfc_sim.Heap.create ~leq:(fun (a : float) b -> a <= b) () in
@@ -187,7 +190,7 @@ let micro_tests =
       ~smart:true;
     cache_miss_upcall_test;
     set_temppri_test;
-    dll_test;
+    ilist_test;
     heap_test;
     engine_event_test;
     policy_sim_test ~name:"policy-sim/lru-cyclic" (module Acfc_replacement.Policies.Lru);
@@ -276,6 +279,11 @@ let speedup_pairs =
     ("engine-events/steady", "engine-events/steady-naive");
     ("engine-events/batch", "engine-events/batch-naive");
     ("cache-churn", "cache-churn/ref");
+    (* Not an indexed/naive pair but a scaling pair: the same fleet on 4
+       domains vs 1. The ratio gate on it is the multi-core scaling
+       floor (meaningful on the >= 4-vCPU CI runners; a 1-core box
+       measures ~1x and must not run the ratio gate). *)
+    ("fleet-events/jobs4", "fleet-events/jobs1");
   ]
 
 (* Best wall time of three timed passes: scheduler and frequency
@@ -604,6 +612,101 @@ let bench_wir_corpus () =
       incr pos;
       if !pos = n then pos := 0)
 
+(* {2 Fleet perf family (fleet-events)}
+
+   The whole domain-parallel fleet engine as one benchmark: N client
+   machines (each an engine + columnar cache + analytic local disks)
+   in front of a shared server cache, run to completion at --jobs 1, 2
+   and 4. One op = one engine event aggregated over every client, so
+   ops/sec is the fleet's events-per-second throughput. The reports
+   must be byte-identical across the jobs values (the conservative-
+   lookahead determinism contract); the jobs4/jobs1 ratio row is the
+   multi-core scaling gate. See docs/PERF.md. *)
+
+(* Every client runs this three-workload machine: a cyclic scan of the
+   one server-backed shared file, a random-read mix over a local file
+   larger than its cache share, and a local sequential scan. The 50 ms
+   link latency keeps epochs long (lookahead 100 ms), so barriers stay
+   rare relative to events and the scaling ratio measures the engine,
+   not the barrier. *)
+let fleet_scenario ~clients ~scan_passes ~rand_reads ~seq_passes =
+  let shared_scan =
+    Wir.make ~name:"fleet-shared-scan" ~category:"cyclic"
+      [
+        Wir.open_file ~name:"shared" ~size_blocks:192 ();
+        Wir.loop scan_passes [ Wir.read ~file:0 ~first:0 ~count:192 () ];
+      ]
+  in
+  let local_rand =
+    Wir.make ~name:"fleet-local-rand" ~category:"hot/cold"
+      [
+        Wir.open_file ~name:"rand" ~size_blocks:640 ();
+        Wir.loop rand_reads [ Wir.rand_read ~file:0 ~base:0 ~range:640 () ];
+      ]
+  in
+  let local_seq =
+    Wir.make ~name:"fleet-local-seq" ~category:"cyclic"
+      [
+        Wir.open_file ~name:"seq" ~size_blocks:512 ();
+        Wir.loop seq_passes [ Wir.read ~file:0 ~first:0 ~count:512 () ];
+      ]
+  in
+  Scenario.make ~seed:7 ~cache_blocks:1024
+    ~fleet:
+      (Scenario.fleet ~shared_files:1 ~clients ~server_cache_blocks:256
+         ~latency_ms:50.0 ~bandwidth_mb_per_s:50.0 ())
+    [
+      Scenario.inline_workload ~smart:false shared_scan;
+      Scenario.inline_workload ~smart:false local_rand;
+      Scenario.inline_workload ~smart:false local_seq;
+    ]
+
+let fleet_jobs = [ 1; 2; 4 ]
+
+let bench_fleet () =
+  let scn = fleet_scenario ~clients:16 ~scan_passes:12 ~rand_reads:20_000 ~seq_passes:20 in
+  let rows = ref [] and outputs = ref [] in
+  List.iter
+    (fun jobs ->
+      let name = Printf.sprintf "fleet-events/jobs%d" jobs in
+      let best = ref Float.infinity and words = ref 0.0 and events = ref 0 in
+      for pass = 1 to 3 do
+        let w0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        let r = Fleet.run ~jobs scn in
+        let wall = Unix.gettimeofday () -. t0 in
+        if pass = 1 then begin
+          (* Minor words are domain-local, so only the jobs1 row (whose
+             Team runs everything on this domain) measures the whole
+             fleet's allocation; that is the row the alloc gate covers. *)
+          words := Gc.minor_words () -. w0;
+          events := r.Fleet.events;
+          outputs := (name, Fleet.to_string r) :: !outputs
+        end;
+        if wall < !best then best := wall
+      done;
+      rows :=
+        {
+          p_name = name;
+          ops_per_sec = float_of_int !events /. Float.max !best 1e-9;
+          alloc_words_per_op = !words /. float_of_int (max !events 1);
+          p_ops = !events;
+        }
+        :: !rows)
+    fleet_jobs;
+  (* The determinism contract, enforced on every perf run: the rendered
+     report must not depend on the worker count. *)
+  (match List.rev !outputs with
+  | [] -> ()
+  | (ref_name, ref_out) :: rest ->
+    List.iter
+      (fun (name, out) ->
+        if out <> ref_out then
+          failwith
+            (Printf.sprintf "fleet: report at %s differs from %s" name ref_name))
+      rest);
+  List.rev !rows
+
 let run_perf () =
   Format.printf "@.%s@." (String.make 74 '=');
   Format.printf "Hot-path microbenchmarks: ops/sec and minor words per op@.";
@@ -611,6 +714,7 @@ let run_perf () =
     (bench_engine_events () :: (bench_engine_steady () @ bench_engine_batch ()))
     @ bench_disk_queues () @ bench_policy_miss ()
     @ [ bench_cache_churn (); bench_cache_churn_ref (); bench_wir_corpus () ]
+    @ bench_fleet ()
   in
   List.iter
     (fun r ->
@@ -838,12 +942,49 @@ let check_lockstep () =
     [ Config.Global_lru; Config.Alloc_lru; Config.Lru_s; Config.Lru_sp;
       Config.Clock_sp ]
 
+(* {2 Fleet determinism replay}
+
+   The fleet engine's Lockstep-style proof: one fleet run to
+   completion at jobs 1, 2, 3 and 4, all four rendered reports
+   byte-identical — then the same fleet with the lookahead halved
+   (twice the barriers, different epoch partition of simulated time),
+   which must reproduce every client and server statistic exactly,
+   because the barrier merge order is a pure function of (send time,
+   client id, seq), independent of the epoch boundary set. *)
+
+let check_fleet () =
+  let scn = fleet_scenario ~clients:4 ~scan_passes:3 ~rand_reads:1_500 ~seq_passes:3 in
+  let base = Fleet.run ~jobs:1 scn in
+  let base_out = Fleet.to_string base in
+  List.iter
+    (fun jobs ->
+      let out = Fleet.to_string (Fleet.run ~jobs scn) in
+      if out <> base_out then
+        failwith
+          (Printf.sprintf "check: fleet report at jobs=%d differs from jobs=1" jobs))
+    [ 2; 3; 4 ];
+  let fl = match scn.Scenario.fleet with Some f -> f | None -> assert false in
+  let halved =
+    { fl with Scenario.lookahead_ms = Some (Scenario.fleet_lookahead_ms fl /. 2.0) }
+  in
+  let rh = Fleet.run ~jobs:2 { scn with Scenario.fleet = Some halved } in
+  (* Only the epoch count and the lookahead itself may differ. *)
+  let normalized =
+    Fleet.to_string
+      { rh with Fleet.epochs = base.Fleet.epochs; lookahead_s = base.Fleet.lookahead_s }
+  in
+  if normalized <> base_out then
+    failwith "check: fleet with halved lookahead diverged from the full-epoch run";
+  Format.printf
+    "  check fleet: 4 clients byte-identical at jobs 1/2/3/4 and at half lookahead@."
+
 let run_check () =
   Format.printf "@.%s@." (String.make 74 '=');
   Format.printf "Equivalence replay: naive reference vs indexed hot paths@.";
   check_disk_queues ();
   check_policies ();
   check_lockstep ();
+  check_fleet ();
   Format.printf "  check: all implementations agree@."
 
 (* {2 Baseline regression gate (--baseline)}
@@ -885,6 +1026,12 @@ let read_baseline path =
    with End_of_file -> ());
   List.rev !rows
 
+(* Ratio rows whose pair compares worker counts, not implementations:
+   their measured value depends on the core count, so the gate only
+   applies on machines with at least 4 cores (the CI runners). The
+   indexed/naive ratios stay machine-independent and always gate. *)
+let scaling_rows = [ "fleet-events/jobs4" ]
+
 let check_baseline ~path perf_rows =
   let find name = List.find_opt (fun r -> r.p_name = name) perf_rows in
   let baseline = read_baseline path in
@@ -893,6 +1040,10 @@ let check_baseline ~path perf_rows =
   List.iter
     (fun (name, gate) ->
       match gate with
+      | Ratio _ when List.mem name scaling_rows && Pool.auto_jobs () < 4 ->
+        Format.printf
+          "  baseline %-26s scaling ratio needs >= 4 cores (have %d), skipped@."
+          name (Pool.auto_jobs ())
       | Ratio expected -> (
         match List.assoc_opt name speedup_pairs with
         | None ->
@@ -941,8 +1092,14 @@ let check_baseline ~path perf_rows =
   (match List.filter (fun r -> not (gated r.p_name)) perf_rows with
   | [] -> ()
   | ungated ->
-    Format.printf "  ungated rows (measured, no baseline entry): %s@."
-      (String.concat ", " (List.map (fun r -> r.p_name) ungated)));
+    let names = String.concat ", " (List.map (fun r -> r.p_name) ungated) in
+    Format.printf "  ungated rows (measured, no baseline entry): %s@." names;
+    (* Surface the same one-liner as a GitHub Actions annotation, so a
+       new benchmark flying without a gate shows up on the PR itself. *)
+    if Sys.getenv_opt "GITHUB_ACTIONS" = Some "true" then
+      Format.printf
+        "::warning title=ungated perf rows::measured but not gated by %s: %s@."
+        path names);
   if !failures > 0 then begin
     Format.printf "[baseline check FAILED: %d gate(s) violated]@." !failures;
     exit 1
@@ -975,12 +1132,13 @@ let run_wirgen ~quick ~corpus_seed ~jobs =
   wirgen_fingerprint := Some (Acfc_scenario.Scenario.hash scenario, corpus_seed);
   (* Each program's demand stream, fast-forwarded with the same RNG its
      workload fiber gets, then disjoint file ids so the concatenation
-     is one coherent multi-program trace. *)
+     is one coherent multi-program trace. Each member owns its private
+     RNG, so extraction parallelises over the pool — this is what makes
+     wirgen honor --jobs / ACFC_JOBS. *)
   let streams =
-    List.map2
-      (fun program rng -> Wir.references ~rng program)
-      corpus
-      (Acfc_scenario.Scenario.workload_rngs scenario)
+    Pool.map ?jobs
+      (fun (program, rng) -> Wir.references ~rng program)
+      (List.combine corpus (Acfc_scenario.Scenario.workload_rngs scenario))
   in
   let trace =
     let next_file = ref 0 in

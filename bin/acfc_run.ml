@@ -159,6 +159,16 @@ let execute_scenario scenario =
   finish_obs ();
   result
 
+(* Execute a fleet scenario through the domain-parallel fleet engine:
+   the report is byte-identical at every [jobs] value, so the golden
+   smoke can diff --jobs 1 against --jobs 4. *)
+let execute_fleet ?jobs scenario =
+  let obs, finish_obs = make_obs scenario.Scenario.obs in
+  let report = Acfc_fleet.Fleet.run ?jobs ?obs scenario in
+  Format.printf "%a" Acfc_fleet.Fleet.pp report;
+  finish_obs ();
+  report
+
 let cli_workloads ~oblivious names =
   List.map
     (fun name ->
@@ -212,24 +222,35 @@ let check_flag =
   Arg.(value & flag & info [ "check" ] ~doc)
 
 let scenario_cmd =
-  let go dump inline check file =
+  let go dump inline check jobs file =
     match Scenario.load file with
     | Error msg ->
       prerr_endline ("acfc-run: " ^ msg);
       exit 1
     | Ok scenario ->
       let scenario = if inline then Scenario.inline_workloads scenario else scenario in
-      if check then
+      if check then begin
         Format.printf "%s: ok; %d workloads, %d disks; hash %s@." file
           (List.length scenario.Scenario.workloads)
           (List.length scenario.Scenario.disks)
-          (Scenario.hash scenario)
+          (Scenario.hash scenario);
+        match scenario.Scenario.fleet with
+        | None -> ()
+        | Some f ->
+          Format.printf "fleet: %d clients, %d shared files, lookahead %g ms@."
+            f.Scenario.clients f.Scenario.shared_files
+            (Scenario.fleet_lookahead_ms f)
+      end
       else begin
         maybe_dump scenario dump;
-        ignore (execute_scenario scenario)
+        match scenario.Scenario.fleet with
+        | Some _ -> ignore (execute_fleet ?jobs scenario)
+        | None -> ignore (execute_scenario scenario)
       end
   in
-  let term = Term.(const go $ dump_scenario $ inline_flag $ check_flag $ scenario_file) in
+  let term =
+    Term.(const go $ dump_scenario $ inline_flag $ check_flag $ jobs $ scenario_file)
+  in
   let info =
     Cmd.info "scenario"
       ~doc:"Run a complete machine description from a scenario file"
@@ -244,7 +265,11 @@ let scenario_cmd =
              an inline $(b,acfc-wir/1) program ($(b,\"program\")). Produce \
              such files by hand (see docs/TUTORIAL.md), from \
              $(b,examples/scenarios/), or with $(b,--dump-scenario) on \
-             $(b,acfc-run run). Unknown fields are rejected with their path.";
+             $(b,acfc-run run). Unknown fields are rejected with their path. \
+             A scenario with a $(b,fleet) section replicates the machine \
+             into N clients in front of a shared server cache and runs the \
+             domain-parallel fleet engine; $(b,--jobs) picks the worker \
+             count without changing a byte of the report.";
         ]
   in
   Cmd.v info term

@@ -1,0 +1,37 @@
+(** Single-producer single-consumer request batch.
+
+    The per-domain mailbox through which client machines hand
+    client→server requests to the server shard at an epoch barrier:
+    parallel scalar columns (float send times, int everything else), so
+    the steady-path {!push} allocates nothing. One domain pushes during
+    an epoch; after the team barrier, one domain reads by index and
+    {!clear}s — the barrier provides the happens-before edges, the
+    buffer itself uses no atomics. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Initial capacity defaults to 256 requests; the columns double on
+    overflow (amortised O(1), allocation only until the run's
+    high-water mark). *)
+
+val length : t -> int
+
+val clear : t -> unit
+(** Forget every request (O(1)); capacity is retained. *)
+
+val push : t -> ts:float -> client:int -> seq:int -> wld:int -> blk:int -> unit
+(** Append a request: send time, sender client id, per-client sequence
+    number, workload index within the client, packed block id. *)
+
+(** {2 Reading} Indexed accessors, [0 .. length - 1]. *)
+
+val ts : t -> int -> float
+
+val client : t -> int -> int
+
+val seq : t -> int -> int
+
+val wld : t -> int -> int
+
+val blk : t -> int -> int

@@ -42,6 +42,40 @@ let gauge t name read = Hashtbl.replace t.gauges name read
 let gauge_value t name =
   match Hashtbl.find_opt t.gauges name with Some read -> Some (read ()) | None -> None
 
+(* Canonical label rendering: [name{k=v,k2=v2}], keys in the order
+   given. One syntax everywhere means snapshot sorting groups a
+   metric's label sets together and [gauge_sum]'s prefix match is a
+   plain string test. *)
+let label name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+    let buf = Buffer.create (String.length name + 16) in
+    Buffer.add_string buf name;
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf v)
+      labels;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+let gauge_sum t name =
+  let prefix = name ^ "{" in
+  let matches candidate =
+    candidate = name
+    || String.length candidate > String.length prefix
+       && String.sub candidate 0 (String.length prefix) = prefix
+  in
+  gauge t name (fun () ->
+      Hashtbl.fold
+        (fun candidate read acc ->
+          if candidate <> name && matches candidate then acc +. read () else acc)
+        t.gauges 0.0)
+
 let histogram t name =
   match Hashtbl.find_opt t.histograms name with
   | Some h -> h

@@ -34,6 +34,18 @@ val gauge : t -> string -> (unit -> float) -> unit
 
 val gauge_value : t -> string -> float option
 
+val label : string -> (string * string) list -> string
+(** [label name [(k, v); …]] renders the canonical labelled metric name
+    [name{k=v,…}] (the name unchanged when the list is empty). Using
+    one syntax everywhere keeps snapshot ordering grouping a metric's
+    label sets together, and makes {!gauge_sum} a prefix match. *)
+
+val gauge_sum : t -> string -> unit
+(** Register gauge [name] as the sum, at sample time, of every gauge
+    whose name is [name{…}] — the global roll-up of a per-client (or
+    per-shard) labelled family. Gauges registered after [gauge_sum] are
+    included too: the sum is computed when sampled. *)
+
 (** {2 Histograms} *)
 
 val histogram : t -> string -> histogram

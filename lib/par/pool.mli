@@ -83,3 +83,17 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 val run_list : ?jobs:int -> (unit -> 'a) list -> 'a list
 (** [run_list ~jobs tasks] runs independent thunks under {!map}'s
     ordering and failure rules. *)
+
+(** {2 Hooks for other schedulers}
+
+    {!Team} (the fleet's pinned-worker barrier crew) reuses the pool's
+    nesting discipline rather than inventing a second flag. *)
+
+val reject_nesting : unit -> unit
+(** Raise {!Nested} if the calling domain (or dynamic extent, under
+    [jobs = 1]) is executing a task of this module or of {!Team}. *)
+
+val as_task : (unit -> 'a) -> 'a
+(** Run a thunk with the nesting flag set for its dynamic extent, so
+    pool re-entry from inside it raises {!Nested} exactly as it would
+    on a worker domain. *)

@@ -1,0 +1,126 @@
+(* A crew of pinned worker domains driven through a reusable
+   epoch-counter barrier. Unlike {!Pool}, which feeds interchangeable
+   workers from one queue, a team gives every worker a stable identity:
+   [run t f] executes [f 0 .. f (workers-1)] with worker [i] always on
+   the same domain, so domain-local state (an engine, its effect
+   handlers, its outbox) stays pinned across rounds.
+
+   The barrier is a generation counter under one mutex: the leader
+   bumps [round] and broadcasts; each worker runs its slice, decrements
+   [running], and the last one wakes the leader. Mutex acquire/release
+   provides the happens-before edges in both directions, so anything
+   the leader wrote before [run] is visible to workers and anything
+   workers wrote is visible to the leader when [run] returns. *)
+
+type t = {
+  workers : int;
+  mutable domains : unit Domain.t list;
+  lock : Mutex.t;
+  start : Condition.t; (* a new round was published, or [stop] was set *)
+  finished : Condition.t; (* [running] reached 0 *)
+  mutable job : (int -> unit) option;
+  mutable round : int;
+  mutable running : int;
+  (* Worker failures of the current round, recorded under [lock]. *)
+  mutable failures : (int * exn * Printexc.raw_backtrace) list;
+  mutable stop : bool;
+}
+
+let workers t = t.workers
+
+let worker t i =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.lock;
+    while t.round = !seen && not t.stop do
+      Condition.wait t.start t.lock
+    done;
+    if t.stop then Mutex.unlock t.lock
+    else begin
+      seen := t.round;
+      let f = Option.get t.job in
+      Mutex.unlock t.lock;
+      let failure =
+        match Pool.as_task (fun () -> f i) with
+        | () -> None
+        | exception e -> Some (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.lock;
+      (match failure with
+      | None -> ()
+      | Some (e, bt) -> t.failures <- (i, e, bt) :: t.failures);
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers:n =
+  Pool.reject_nesting ();
+  if n < 1 then invalid_arg "Team.create: workers must be >= 1";
+  let t =
+    {
+      workers = n;
+      domains = [];
+      lock = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      round = 0;
+      running = 0;
+      failures = [];
+      stop = false;
+    }
+  in
+  (* workers = 1 spawns no domain: [run] executes on the caller, the
+     exact sequential code path. *)
+  if n > 1 then
+    t.domains <- List.init n (fun i -> Domain.spawn (fun () -> worker t i));
+  t
+
+let run t f =
+  Pool.reject_nesting ();
+  if t.domains = [] then begin
+    if t.stop then invalid_arg "Team.run: team is shut down";
+    Pool.as_task (fun () -> f 0)
+  end
+  else begin
+    Mutex.lock t.lock;
+    if t.stop then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Team.run: team is shut down"
+    end;
+    t.job <- Some f;
+    t.failures <- [];
+    t.running <- t.workers;
+    t.round <- t.round + 1;
+    Condition.broadcast t.start;
+    while t.running > 0 do
+      Condition.wait t.finished t.lock
+    done;
+    t.job <- None;
+    let failures = t.failures in
+    t.failures <- [];
+    Mutex.unlock t.lock;
+    (* Every worker has finished the round; report the failure of the
+       lowest worker id, deterministically. *)
+    match List.sort (fun (a, _, _) (b, _, _) -> compare a b) failures with
+    | [] -> ()
+    | (_, e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+  end
+
+let shutdown t =
+  if not t.stop then begin
+    Mutex.lock t.lock;
+    t.stop <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_team ~workers f =
+  let t = create ~workers in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,48 @@
+(** Pinned worker domains with a reusable barrier.
+
+    {!Pool} feeds interchangeable workers from one queue — right for a
+    bag of independent experiments, wrong for a fleet simulation where
+    each worker owns long-lived mutable state (a client engine and its
+    captured effect continuations) that must stay on one domain. A
+    team pins worker [i] to domain [i] for its whole lifetime and runs
+    rounds through a reusable generation-counter barrier, so a
+    thousand-epoch simulation pays two condvar handoffs per epoch
+    instead of a domain spawn.
+
+    {2 Memory model}
+
+    [run] is a full barrier in both directions: writes made by the
+    caller before [run] are visible to every worker during the round,
+    and writes made by workers during the round are visible to the
+    caller after [run] returns (all edges via one mutex). Workers must
+    not touch data another worker writes in the same round.
+
+    {2 Sequential fallback and nesting}
+
+    [workers = 1] spawns no domain: [run t f] executes [f 0] on the
+    calling domain — the exact sequential code path, which is how
+    [--jobs 1] fleet runs stay bit-identical to parallel ones. Team
+    rounds count as pool tasks: creating or running a team (or a
+    {!Pool}) from inside either raises {!Pool.Nested}. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [workers] pinned domains ([workers = 1] spawns none). Raises
+    [Invalid_argument] when [workers < 1]. *)
+
+val workers : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f i] for every worker id [i] in [0 .. workers-1],
+    worker [i] always on the same domain, and returns when all have
+    finished. If workers raise, every worker still completes the round,
+    then the exception of the lowest worker id is re-raised (with its
+    backtrace) — deterministic regardless of completion order. *)
+
+val shutdown : t -> unit
+(** Join every worker domain. Idempotent; [run] after [shutdown] raises. *)
+
+val with_team : workers:int -> (t -> 'a) -> 'a
+(** [with_team ~workers f] runs [f] with a fresh team and shuts it down
+    when [f] returns or raises. *)

@@ -1,24 +1,99 @@
 module Block = Acfc_core.Block
-module Dll = Acfc_core.Dll
+module Ilist = Acfc_core.Ilist
+module Itbl = Acfc_core.Itbl
+
+(* One recency list of blocks on columnar storage: free-listed slots
+   over an {!Ilist} store with an {!Itbl} index keyed by {!Block.pack}.
+   The policy-lab counterpart of the cache core's Ctab — every list
+   operation is O(1) and allocation-free at steady state, where the
+   old [Block.t Dll.t] + node Hashtbl boxed a node per insert and
+   hashed a record key per touch. *)
+module Islab = struct
+  type t = {
+    store : Ilist.store;
+    list : Ilist.t;
+    tbl : Itbl.t; (* Block.pack -> slot *)
+    mutable blocks : Block.t array; (* slot -> block *)
+    mutable free : int array; (* stack of free slots *)
+    mutable nfree : int;
+  }
+
+  let dummy = Block.make ~file:0 ~index:0
+
+  let create n =
+    let n = Stdlib.max 16 n in
+    {
+      store = Ilist.make_store n;
+      list = Ilist.create ();
+      tbl = Itbl.create n;
+      blocks = Array.make n dummy;
+      free = Array.init n (fun i -> n - 1 - i);
+      nfree = n;
+    }
+
+  let grow t =
+    let old = Array.length t.blocks in
+    let cap = 2 * old in
+    Ilist.grow_store t.store cap;
+    let blocks = Array.make cap dummy in
+    Array.blit t.blocks 0 blocks 0 old;
+    t.blocks <- blocks;
+    let free = Array.make cap 0 in
+    Array.blit t.free 0 free 0 t.nfree;
+    for i = 0 to old - 1 do
+      free.(t.nfree + i) <- old + i
+    done;
+    t.free <- free;
+    t.nfree <- t.nfree + old
+
+  let slot t block =
+    let s = Itbl.find t.tbl (Block.pack block) in
+    if s < 0 then failwith "Islab: block not resident";
+    s
+
+  let push_front t block =
+    if t.nfree = 0 then grow t;
+    let s = t.free.(t.nfree - 1) in
+    t.nfree <- t.nfree - 1;
+    t.blocks.(s) <- block;
+    Itbl.set t.tbl (Block.pack block) s;
+    Ilist.push_front t.store t.list s
+
+  let move_front t block = Ilist.move_front t.store t.list (slot t block)
+
+  let remove t block =
+    let key = Block.pack block in
+    let s = Itbl.find t.tbl key in
+    if s >= 0 then begin
+      Ilist.remove t.store t.list s;
+      Itbl.remove t.tbl key;
+      t.free.(t.nfree) <- s;
+      t.nfree <- t.nfree + 1
+    end
+
+  let is_empty t = Ilist.is_empty t.list
+
+  let front t = t.blocks.(Ilist.front t.list)
+
+  let back t = t.blocks.(Ilist.back t.list)
+end
 
 (* Shared recency-list state for LRU and MRU. *)
 module Recency = struct
-  type t = { list : Block.t Dll.t; nodes : (Block.t, Block.t Dll.node) Hashtbl.t }
+  type t = Islab.t
 
-  let init ~capacity:_ _trace =
-    { list = Dll.create (); nodes = Hashtbl.create 1024 }
+  let init ~capacity _trace = Islab.create capacity
 
-  let hit t ~pos:_ block = Dll.move_front t.list (Hashtbl.find t.nodes block)
+  let hit t ~pos:_ block = Islab.move_front t block
 
-  let inserted t ~pos:_ block = Hashtbl.replace t.nodes block (Dll.push_front t.list block)
+  let inserted t ~pos:_ block = Islab.push_front t block
 
-  let evicted t block =
-    Dll.remove t.list (Hashtbl.find t.nodes block);
-    Hashtbl.remove t.nodes block
+  let evicted t block = Islab.remove t block
 
   let end_victim t ~front =
-    let node = if front then Dll.front t.list else Dll.back t.list in
-    match node with Some n -> Dll.value n | None -> failwith "Recency: empty list"
+    if Islab.is_empty t then failwith "Recency: empty list"
+    else if front then Islab.front t
+    else Islab.back t
 end
 
 module Lru = struct
@@ -273,8 +348,7 @@ module Two_q = struct
     kin : int;  (* A1in capacity *)
     kout : int;  (* A1out ghost capacity *)
     a1in : Block.t Queue.t;
-    am : Block.t Dll.t;
-    am_nodes : (Block.t, Block.t Dll.node) Hashtbl.t;
+    am : Islab.t;
     where : (Block.t, queue) Hashtbl.t;  (* resident pages only *)
     a1out : Block.t Queue.t;  (* ghosts: identities only *)
     ghost : (Block.t, unit) Hashtbl.t;
@@ -287,8 +361,7 @@ module Two_q = struct
       kin = Stdlib.max 1 (capacity / 4);
       kout = Stdlib.max 1 (capacity / 2);
       a1in = Queue.create ();
-      am = Dll.create ();
-      am_nodes = Hashtbl.create 1024;
+      am = Islab.create capacity;
       where = Hashtbl.create 1024;
       a1out = Queue.create ();
       ghost = Hashtbl.create 1024;
@@ -296,7 +369,7 @@ module Two_q = struct
 
   let hit t ~pos:_ block =
     match Hashtbl.find_opt t.where block with
-    | Some Am -> Dll.move_front t.am (Hashtbl.find t.am_nodes block)
+    | Some Am -> Islab.move_front t.am block
     | Some A1in -> ()  (* classic 2Q: probation hits do not promote *)
     | None -> assert false
 
@@ -308,21 +381,18 @@ module Two_q = struct
     done
 
   let choose_victim t ~pos:_ ~missing:_ =
-    if Queue.length t.a1in > t.kin || Dll.is_empty t.am then begin
+    if Queue.length t.a1in > t.kin || Islab.is_empty t.am then begin
       let victim = Queue.pop t.a1in in
       remember_ghost t victim;
       victim
     end
-    else
-      match Dll.back t.am with
-      | Some node -> Dll.value node
-      | None -> Queue.pop t.a1in
+    else Islab.back t.am
 
   let inserted t ~pos:_ block =
     if Hashtbl.mem t.ghost block then begin
       (* Seen recently: promote straight to the protected queue. *)
       Hashtbl.replace t.where block Am;
-      Hashtbl.replace t.am_nodes block (Dll.push_front t.am block)
+      Islab.push_front t.am block
     end
     else begin
       Hashtbl.replace t.where block A1in;
@@ -331,9 +401,7 @@ module Two_q = struct
 
   let evicted t block =
     (match Hashtbl.find_opt t.where block with
-    | Some Am ->
-      Dll.remove t.am (Hashtbl.find t.am_nodes block);
-      Hashtbl.remove t.am_nodes block
+    | Some Am -> Islab.remove t.am block
     | Some A1in | None -> ()  (* A1in victims were already popped *));
     Hashtbl.remove t.where block
 end

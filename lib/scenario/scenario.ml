@@ -26,6 +26,19 @@ type workload = {
 
 type obs_spec = { trace_path : string option; metrics_path : string option }
 
+type link = { latency_ms : float; bandwidth_mb_per_s : float }
+
+type fleet_server = { server_cache_blocks : int; server_drive : Params.t }
+
+type fleet = {
+  clients : int;
+  shared_files : int;
+  server : fleet_server;
+  net : link;
+  links : (int * link) list;
+  lookahead_ms : float option;
+}
+
 type t = {
   seed : int;
   config : Config.t;
@@ -37,6 +50,7 @@ type t = {
   scattered_layout : bool;
   disks : disk list;
   workloads : workload list;
+  fleet : fleet option;
   obs : obs_spec;
 }
 
@@ -64,10 +78,102 @@ let inline_workload ?(smart = true) ?(disk = 0) program =
   | Error msg -> invalid_arg ("Scenario.inline_workload: " ^ msg));
   { app = Inline program; smart; disk; file_blocks = None }
 
+(* {2 Fleet} *)
+
+let client_link f c =
+  match List.assoc_opt c f.links with Some l -> l | None -> f.net
+
+let fleet_min_latency_ms f =
+  let m = ref Float.infinity in
+  for c = 0 to f.clients - 1 do
+    let l = (client_link f c).latency_ms in
+    if l < !m then m := l
+  done;
+  !m
+
+let fleet_lookahead_ms f =
+  match f.lookahead_ms with
+  | Some la -> la
+  | None -> 2.0 *. fleet_min_latency_ms f
+
+(* Semantic checks shared by [make] and the JSON parser. [Error (sub,
+   msg)] carries the field sub-path relative to the fleet object, so
+   the parser can turn it into a [$.fleet…] diagnostic. *)
+let check_link_values sub l =
+  if not (Float.is_finite l.latency_ms && l.latency_ms > 0.0) then
+    Error (sub ^ ".latency_ms", "latency_ms must be > 0")
+  else if not (Float.is_finite l.bandwidth_mb_per_s && l.bandwidth_mb_per_s > 0.0) then
+    Error (sub ^ ".bandwidth_mb_per_s", "bandwidth_mb_per_s must be > 0")
+  else Ok ()
+
+let fleet_check f =
+  let ( let* ) = Result.bind in
+  let* () = if f.clients >= 1 then Ok () else Error (".clients", "clients must be >= 1") in
+  let* () =
+    if f.shared_files >= 0 then Ok ()
+    else Error (".shared_files", "shared_files must be >= 0")
+  in
+  let* () =
+    if f.server.server_cache_blocks >= 1 then Ok ()
+    else Error (".server.cache_blocks", "cache_blocks must be >= 1")
+  in
+  let* () = check_link_values ".network" f.net in
+  let* () =
+    List.fold_left
+      (fun acc (i, (c, l)) ->
+        let* () = acc in
+        let sub = Printf.sprintf ".links[%d]" i in
+        let* () =
+          if c >= 0 && c < f.clients then Ok ()
+          else
+            Error
+              ( sub ^ ".client",
+                Printf.sprintf "client index %d out of range (%d client%s)" c f.clients
+                  (if f.clients = 1 then "" else "s") )
+        in
+        let* () =
+          if List.length (List.filter (fun (c', _) -> c' = c) f.links) = 1 then Ok ()
+          else Error (sub ^ ".client", Printf.sprintf "duplicate link for client %d" c)
+        in
+        check_link_values sub l)
+      (Ok ())
+      (List.mapi (fun i x -> (i, x)) f.links)
+  in
+  match f.lookahead_ms with
+  | None -> Ok ()
+  | Some la ->
+    let bound = 2.0 *. fleet_min_latency_ms f in
+    if not (Float.is_finite la && la > 0.0) then
+      Error (".lookahead_ms", "lookahead_ms must be > 0")
+    else if la > bound then
+      Error
+        ( ".lookahead_ms",
+          Printf.sprintf
+            "lookahead_ms %g exceeds the conservative bound %g (twice the minimum \
+             link latency)"
+            la bound )
+    else Ok ()
+
+let fleet ?(shared_files = 0) ?(links = []) ?lookahead_ms ?(server_drive = Params.rz56)
+    ~clients ~server_cache_blocks ~latency_ms ~bandwidth_mb_per_s () =
+  let f =
+    {
+      clients;
+      shared_files;
+      server = { server_cache_blocks; server_drive };
+      net = { latency_ms; bandwidth_mb_per_s };
+      links;
+      lookahead_ms;
+    }
+  in
+  match fleet_check f with
+  | Ok () -> f
+  | Error (sub, msg) -> invalid_arg (Printf.sprintf "Scenario.fleet: %s: %s" sub msg)
+
 let make ?(seed = 0) ?(disks = default_disks) ?disk_sched ?(update_interval = 30.0)
     ?hit_cost ?io_cpu_cost ?write_cluster ?readahead ?(scattered_layout = false)
     ?revocation ?shared_files ?config ?(obs = no_obs) ?cache_blocks ?alloc_policy
-    workloads =
+    ?fleet workloads =
   let config =
     match (config, cache_blocks) with
     | Some _, Some _ ->
@@ -92,6 +198,13 @@ let make ?(seed = 0) ?(disks = default_disks) ?disk_sched ?(update_interval = 30
       if w.disk < 0 || w.disk >= List.length disks then
         invalid_arg "Scenario.make: disk index out of range")
     workloads;
+  (match fleet with
+  | None -> ()
+  | Some f ->
+    (match fleet_check f with
+    | Ok () -> ()
+    | Error (sub, msg) ->
+      invalid_arg (Printf.sprintf "Scenario.make: fleet%s: %s" sub msg)));
   {
     seed;
     config;
@@ -103,6 +216,7 @@ let make ?(seed = 0) ?(disks = default_disks) ?disk_sched ?(update_interval = 30
     scattered_layout;
     disks;
     workloads;
+    fleet;
     obs;
   }
 
@@ -427,6 +541,48 @@ let to_json t =
           @ opt "file_blocks" num_i w.file_blocks))
       t.workloads
   in
+  let link_fields l =
+    [
+      ("latency_ms", Json.Num l.latency_ms);
+      ("bandwidth_mb_per_s", Json.Num l.bandwidth_mb_per_s);
+    ]
+  in
+  let fleet =
+    match t.fleet with
+    | None -> []
+    | Some f ->
+      let links =
+        (* Canonical order: ascending client index (parse accepts any). *)
+        match List.sort (fun (a, _) (b, _) -> compare a b) f.links with
+        | [] -> []
+        | ls ->
+          [
+            ( "links",
+              Json.List
+                (List.map
+                   (fun (c, l) -> Json.Obj (("client", num_i c) :: link_fields l))
+                   ls) );
+          ]
+      in
+      [
+        ( "fleet",
+          Json.Obj
+            ([ ("clients", num_i f.clients) ]
+            @ (if f.shared_files <> 0 then [ ("shared_files", num_i f.shared_files) ]
+               else [])
+            @ [
+                ( "server",
+                  Json.Obj
+                    [
+                      ("cache_blocks", num_i f.server.server_cache_blocks);
+                      ("drive", drive_to_json f.server.server_drive);
+                    ] );
+                ("network", Json.Obj (link_fields f.net));
+              ]
+            @ links
+            @ opt "lookahead_ms" (fun v -> Json.Num v) f.lookahead_ms) );
+      ]
+  in
   let obs =
     opt "trace" (fun p -> Json.Str p) t.obs.trace_path
     @ opt "metrics" (fun p -> Json.Str p) t.obs.metrics_path
@@ -436,6 +592,7 @@ let to_json t =
     @ (if cpu <> [] then [ ("cpu", Json.Obj cpu) ] else [])
     @ (if fs <> [] then [ ("fs", Json.Obj fs) ] else [])
     @ [ ("disks", Json.List disks); ("workloads", Json.List workloads) ]
+    @ fleet
     @ if obs <> [] then [ ("obs", Json.Obj obs) ] else [])
 
 (* {3 Parsing} *)
@@ -697,11 +854,74 @@ let parse_obs ~path j =
   let* metrics_path = opt_field ~path "metrics" as_str members in
   Ok { trace_path; metrics_path }
 
+let parse_link_fields ~path members =
+  let* v = require ~path "latency_ms" members in
+  let* latency_ms = as_num ~path:(path ^ ".latency_ms") v in
+  let* v = require ~path "bandwidth_mb_per_s" members in
+  let* bandwidth_mb_per_s = as_num ~path:(path ^ ".bandwidth_mb_per_s") v in
+  Ok { latency_ms; bandwidth_mb_per_s }
+
+let parse_fleet ~path j =
+  let* members =
+    fields ~path
+      ~known:
+        [ "clients"; "shared_files"; "server"; "network"; "links"; "lookahead_ms" ]
+      j
+  in
+  let* v = require ~path "clients" members in
+  let* clients = as_int ~path:(path ^ ".clients") v in
+  let* shared_files =
+    match field "shared_files" members with
+    | None -> Ok 0
+    | Some v -> as_int ~path:(path ^ ".shared_files") v
+  in
+  let* s = require ~path "server" members in
+  let* server =
+    let path = path ^ ".server" in
+    let* members = fields ~path ~known:[ "cache_blocks"; "drive" ] s in
+    let* v = require ~path "cache_blocks" members in
+    let* server_cache_blocks = as_int ~path:(path ^ ".cache_blocks") v in
+    let* v = require ~path "drive" members in
+    let* server_drive = parse_drive ~path:(path ^ ".drive") v in
+    Ok { server_cache_blocks; server_drive }
+  in
+  let* n = require ~path "network" members in
+  let* net =
+    let path = path ^ ".network" in
+    let* members = fields ~path ~known:[ "latency_ms"; "bandwidth_mb_per_s" ] n in
+    parse_link_fields ~path members
+  in
+  let* links =
+    match field "links" members with
+    | None -> Ok []
+    | Some v ->
+      let path = path ^ ".links" in
+      let* l = as_list ~path v in
+      mapi_result ~path
+        (fun ~path j ->
+          let* members =
+            fields ~path ~known:[ "client"; "latency_ms"; "bandwidth_mb_per_s" ] j
+          in
+          let* v = require ~path "client" members in
+          let* client = as_int ~path:(path ^ ".client") v in
+          let* link = parse_link_fields ~path members in
+          Ok (client, link))
+        l
+  in
+  let* lookahead_ms = opt_field ~path "lookahead_ms" as_num members in
+  let f =
+    { clients; shared_files; server; net; links; lookahead_ms }
+  in
+  match fleet_check f with
+  | Ok () -> Ok f
+  | Error (sub, msg) -> err (path ^ sub) msg
+
 let of_json j =
   let path = "$" in
   let* members =
     fields ~path
-      ~known:[ "schema"; "seed"; "cache"; "cpu"; "fs"; "disks"; "workloads"; "obs" ]
+      ~known:
+        [ "schema"; "seed"; "cache"; "cpu"; "fs"; "disks"; "workloads"; "fleet"; "obs" ]
       j
   in
   let* s = require ~path "schema" members in
@@ -763,6 +983,13 @@ let of_json j =
   let* workloads =
     mapi_result ~path:"$.workloads" (parse_workload ~n_disks:(List.length disks)) wl
   in
+  let* fleet =
+    match field "fleet" members with
+    | None -> Ok None
+    | Some v ->
+      let* f = parse_fleet ~path:"$.fleet" v in
+      Ok (Some f)
+  in
   let* obs =
     match field "obs" members with
     | None -> Ok no_obs
@@ -780,6 +1007,7 @@ let of_json j =
       scattered_layout;
       disks;
       workloads;
+      fleet;
       obs;
     }
 

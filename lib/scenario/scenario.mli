@@ -53,6 +53,35 @@ type obs_spec = {
       (** write an end-of-run metrics snapshot (JSON) here *)
 }
 
+(** One direction-agnostic network link: fixed propagation latency plus
+    a bandwidth term per transferred block. *)
+type link = { latency_ms : float; bandwidth_mb_per_s : float }
+
+(** The shared server machine of a fleet: its cache size and the drive
+    behind it. *)
+type fleet_server = {
+  server_cache_blocks : int;
+  server_drive : Acfc_disk.Params.t;
+}
+
+(** Fleet extension ([$.fleet]): replicate the machine into [clients]
+    identical client machines (each running this scenario's workload
+    list against its own cache and disks) in front of one shared server
+    cache. File slots [0 .. shared_files-1] of the workload list are
+    server-backed and shared by every client; the rest stay on the
+    client's local disks. [net] is the default client↔server link;
+    [links] overrides it per client index. [lookahead_ms], when given,
+    must not exceed twice the minimum link latency (the conservative
+    parallel-simulation bound); it defaults to exactly that bound. *)
+type fleet = {
+  clients : int;
+  shared_files : int;
+  server : fleet_server;
+  net : link;
+  links : (int * link) list;
+  lookahead_ms : float option;
+}
+
 type t = {
   seed : int;
   config : Acfc_core.Config.t;
@@ -64,6 +93,7 @@ type t = {
   scattered_layout : bool;  (** aged file system with inter-file gaps *)
   disks : disk list;
   workloads : workload list;
+  fleet : fleet option;  (** fleet extension; [None] = single machine *)
   obs : obs_spec;
 }
 
@@ -114,6 +144,7 @@ val make :
   ?obs:obs_spec ->
   ?cache_blocks:int ->
   ?alloc_policy:Acfc_core.Config.alloc_policy ->
+  ?fleet:fleet ->
   workload list ->
   t
 (** Build a scenario. Either pass a full [config], or [cache_blocks]
@@ -122,7 +153,37 @@ val make :
     overrides the discipline of every disk in [disks] (which default to
     {!default_disks}); [update_interval] defaults to 30 s. Raises
     [Invalid_argument] on an empty workload list, an out-of-range disk
-    index, or conflicting [config] + cache knobs. *)
+    index, conflicting [config] + cache knobs, or an invalid [fleet]
+    (bad link index, non-positive latency, lookahead above the bound). *)
+
+(** {2 Fleet helpers} *)
+
+val fleet :
+  ?shared_files:int ->
+  ?links:(int * link) list ->
+  ?lookahead_ms:float ->
+  ?server_drive:Acfc_disk.Params.t ->
+  clients:int ->
+  server_cache_blocks:int ->
+  latency_ms:float ->
+  bandwidth_mb_per_s:float ->
+  unit ->
+  fleet
+(** Validated {!type-fleet} constructor ([shared_files] defaults to 0,
+    [links] to none, [server_drive] to the RZ56). Raises
+    [Invalid_argument] with the offending sub-path on bad values. *)
+
+val client_link : fleet -> int -> link
+(** Effective link of a client: its [links] override, else [net]. *)
+
+val fleet_min_latency_ms : fleet -> float
+(** Minimum effective link latency over all clients. *)
+
+val fleet_lookahead_ms : fleet -> float
+(** The epoch length the fleet engine will use: [lookahead_ms] if set,
+    else twice {!fleet_min_latency_ms} — the largest window that still
+    guarantees a request sent in one epoch cannot be answered within
+    the same epoch. *)
 
 (** {2 Building and running} *)
 

@@ -393,3 +393,8 @@ let run_until t horizon =
 let fiber_count t = t.live
 
 let events_processed t = t.processed
+
+let next_event_time t =
+  if t.rtail <> t.rhead then Some t.clock.(0)
+  else if Equeue.is_empty t.events then None
+  else Some t.events.Equeue.ts.(0)

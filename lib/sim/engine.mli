@@ -101,3 +101,10 @@ val fiber_count : t -> int
 
 val events_processed : t -> int
 (** Total events executed so far (a cheap progress/cost metric). *)
+
+val next_event_time : t -> float option
+(** Time of the earliest pending event (ready-ring entries are due at
+    the current instant), or [None] when nothing is pending. Lets a
+    coordinator running several engines under {!run_until} skip epochs
+    in which no engine has work. Boxes its result — a barrier-rate
+    operation, not for the per-event path. *)

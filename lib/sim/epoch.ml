@@ -1,0 +1,41 @@
+(* Epoch clock for conservative parallel simulation: virtual time cut
+   into fixed windows of one lookahead each. Boundaries are computed by
+   multiplication, never by accumulating [+. length], so every caller
+   (and every domain) derives bit-identical boundaries for the same
+   epoch index. *)
+
+type t = { start : float; length : float }
+
+let make ~start ~length =
+  if not (Float.is_finite length) || length <= 0.0 then
+    invalid_arg "Epoch.make: length must be positive and finite";
+  if not (Float.is_finite start) then invalid_arg "Epoch.make: start must be finite";
+  { start; length }
+
+let length t = t.length
+
+(* Lower edge of window [k]: window k is the half-open-below interval
+   (boundary k, boundary (k+1)]. *)
+let boundary t k =
+  if k < 0 then invalid_arg "Epoch.boundary: negative index";
+  t.start +. (float_of_int k *. t.length)
+
+let horizon t k = boundary t (k + 1)
+
+(* Smallest k with [time <= horizon t k]; clamps below to 0. The float
+   division gives a first guess, then at most one step in each
+   direction repairs rounding — both fixups are needed because
+   [ceil ((b -. start) /. length)] can land on either side of the exact
+   boundary for large indices. *)
+let index_of t time =
+  if not (Float.is_finite time) then invalid_arg "Epoch.index_of: time not finite";
+  if time <= t.start then 0
+  else begin
+    let guess =
+      int_of_float (Float.ceil ((time -. t.start) /. t.length)) - 1
+    in
+    let k = ref (if guess < 0 then 0 else guess) in
+    if horizon t !k < time then incr k;
+    if !k > 0 && horizon t (!k - 1) >= time then decr k;
+    !k
+  end

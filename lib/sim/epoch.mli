@@ -1,0 +1,29 @@
+(** Epoch clock for conservative parallel simulation.
+
+    Virtual time is cut into fixed windows ("epochs") of one lookahead
+    each: epoch [k] covers the interval [(boundary k, boundary (k+1)]],
+    matching {!Engine.run_until}'s inclusive horizon. Boundaries are
+    pure functions of the epoch index (multiplication, not
+    accumulation), so every domain computes bit-identical boundaries
+    and the fleet's epoch schedule is independent of who asks. *)
+
+type t
+
+val make : start:float -> length:float -> t
+(** [length] must be positive and finite. *)
+
+val length : t -> float
+
+val boundary : t -> int -> float
+(** [boundary t k] is the lower edge of epoch [k]:
+    [start +. float k *. length]. Raises on negative [k]. *)
+
+val horizon : t -> int -> float
+(** [horizon t k = boundary t (k + 1)] — the inclusive upper edge of
+    epoch [k], i.e. the [Engine.run_until] horizon for that epoch. *)
+
+val index_of : t -> float -> int
+(** [index_of t time] is the epoch in which an event at [time] fires:
+    the smallest [k] with [time <= horizon t k] (clamped to [0] for
+    times at or before [start]). Used to skip empty epochs: jumping to
+    [index_of t next_event_time] never skips past work. *)

@@ -23,4 +23,12 @@ let () =
         ~finally:(fun () -> close_out oc)
         (fun () -> output_string oc contents);
       Printf.printf "wrote %s (%d bytes)\n%!" path (String.length contents))
-    (Golden_defs.snapshots ~jobs:1)
+    (Golden_defs.snapshots ~jobs:1);
+  (* The committed fleet example is generated from the same definition
+     the fleet_small.txt golden pins, so the two can never drift. Only
+     written when run from the repo root. *)
+  let example = "examples/scenarios/fleet_small.json" in
+  if Sys.file_exists (Filename.dirname example) then begin
+    Acfc_scenario.Scenario.save (Golden_defs.fleet_small ()) example;
+    Printf.printf "wrote %s\n%!" example
+  end

@@ -31,10 +31,29 @@ let metrics () =
     (Obs.Metrics.snapshot (Obs.Sink.metrics sink) ~now:(Obs.Sink.now sink))
   ^ "\n"
 
+(* The committed examples/scenarios/fleet_small.json: four client
+   machines, two oblivious readN workloads each, the first one's file
+   server-backed, over a 2 ms link. Small enough that the golden run is
+   instant, busy enough that every path (local hit, local disk, server
+   hit, server drive queue) is exercised. *)
+let fleet_small () =
+  Acfc_scenario.Scenario.make ~seed:11 ~cache_blocks:96
+    ~fleet:
+      (Acfc_scenario.Scenario.fleet ~shared_files:1 ~clients:4
+         ~server_cache_blocks:64 ~latency_ms:2.0 ~bandwidth_mb_per_s:20.0 ())
+    [
+      Acfc_scenario.Scenario.workload ~smart:false ~disk:0 "read120";
+      Acfc_scenario.Scenario.workload ~smart:false ~disk:0 "read80";
+    ]
+
+let fleet ~jobs () =
+  Acfc_fleet.Fleet.to_string (Acfc_fleet.Fleet.run ~jobs (fleet_small ()))
+
 let snapshots ~jobs =
   [
     ("fig5_cs3_ldk.txt", fig5 ~jobs);
     ("fig6_cs2_gli.txt", fig6 ~jobs);
     ("criteria3_din.txt", criteria ~jobs);
     ("metrics_readn.json", fun () -> metrics ());
+    ("fleet_small.txt", fleet ~jobs);
   ]

@@ -86,6 +86,51 @@ let test_async_nested_rejected () =
   | _ -> Alcotest.fail "nested pool use was not rejected"
   | exception Pool.Nested -> ()
 
+(* {2 Team: pinned worker domains and the reusable barrier} *)
+
+module Team = Acfc_par.Team
+
+let test_team_rounds () =
+  List.iter
+    (fun workers ->
+      Team.with_team ~workers @@ fun team ->
+      let counters = Array.make workers 0 in
+      for _ = 1 to 50 do
+        Team.run team (fun wid -> counters.(wid) <- counters.(wid) + 1)
+      done;
+      Array.iteri
+        (fun i c ->
+          chk_int
+            (Printf.sprintf "worker %d of %d ran every round" i workers)
+            50 c)
+        counters)
+    [ 1; 2; 4 ]
+
+exception Kaboom of int
+
+let test_team_failure () =
+  Team.with_team ~workers:3 @@ fun team ->
+  (match Team.run team (fun wid -> if wid >= 1 then raise (Kaboom wid)) with
+  | () -> Alcotest.fail "team failure was not propagated"
+  | exception Kaboom w -> chk_int "lowest failing worker re-raised" 1 w);
+  (* A failed round must not wedge the barrier. *)
+  let ran = Array.make 3 false in
+  Team.run team (fun wid -> ran.(wid) <- true);
+  Array.iteri
+    (fun i ok -> chk_bool (Printf.sprintf "worker %d usable after failure" i) true ok)
+    ran
+
+(* Team jobs count as pool tasks: the no-nested-parallelism contract
+   covers them on every worker, including the workers=1 caller path. *)
+let test_team_nesting_rejected () =
+  List.iter
+    (fun workers ->
+      Team.with_team ~workers @@ fun team ->
+      match Team.run team (fun _ -> ignore (Pool.map ~jobs:2 (fun x -> x) [ 1 ])) with
+      | () -> Alcotest.fail "pool use inside a team job was not rejected"
+      | exception Pool.Nested -> ())
+    [ 1; 2 ]
+
 (* {2 Determinism regressions: the reason the pool may exist at all} *)
 
 let render_fig5 jobs =
@@ -127,6 +172,12 @@ let suites =
         case "first failure re-raised after drain" test_exception_propagation;
         case "nested use rejected" test_nested_rejected;
         case "nested use rejected through async" test_async_nested_rejected;
+      ] );
+    ( "par/team",
+      [
+        case "every worker runs every round" test_team_rounds;
+        case "failure propagation and recovery" test_team_failure;
+        case "nested pool use rejected inside jobs" test_team_nesting_rejected;
       ] );
     ( "par/determinism",
       [
