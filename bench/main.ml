@@ -25,6 +25,11 @@
                               reference traces through the naive and the
                               indexed disk-queue pickers and replacement
                               policies; exits non-zero on any divergence
+     main.exe tournament      policy tournament: every registered policy
+                              (stock + adaptive) over every wirgen corpus
+                              family, scored as miss-count regret vs OPT;
+                              rows land in the JSON "tournament" section
+                              and --tournament-baseline gates them
      main.exe wirgen          generated-corpus family: draw a corpus from
                               the default wirgen spec at --corpus-seed,
                               replay its combined demand stream through
@@ -794,10 +799,18 @@ let check_policies () =
       ("synthetic/cyclic", Rt.cyclic ~file:0 ~blocks:300 ~passes:10);
     ]
   in
+  (* Every adapter-ported stock policy against its retained record twin:
+     the core extraction must not move a single victim. *)
   let pairs =
     [
-      ("lru2", (module Policies.Lru_2 : Policy_sim.POLICY),
-        (module Reference.Lru_2 : Policy_sim.POLICY));
+      ("lru", (module Policies.Lru : Policy_sim.POLICY),
+        (module Reference.Lru : Policy_sim.POLICY));
+      ("mru", (module Policies.Mru), (module Reference.Mru));
+      ("fifo", (module Policies.Fifo), (module Reference.Fifo));
+      ("clock", (module Policies.Clock), (module Reference.Clock));
+      ("lru2", (module Policies.Lru_2), (module Reference.Lru_2));
+      ("2q", (module Policies.Two_q), (module Reference.Two_q));
+      ("rand", (module Policies.Rand), (module Reference.Rand));
       ("opt", (module Policies.Opt), (module Reference.Opt));
     ]
   in
@@ -816,7 +829,7 @@ let check_policies () =
                      pname tname capacity pos Block.pp va Block.pp vb))
             [ 64; 200 ])
         pairs;
-      Format.printf "  check policies on %s (%d refs): lru2, opt identical@." tname
+      Format.printf "  check policies on %s (%d refs): all 8 stock identical@." tname
         (Array.length trace))
     traces
 
@@ -1170,6 +1183,169 @@ let run_wirgen ~quick ~corpus_seed ~jobs =
     result.Acfc_workload.Runner.makespan result.Acfc_workload.Runner.total_ios
     result.Acfc_workload.Runner.cache_hits result.Acfc_workload.Runner.cache_misses
 
+(* {2 Policy tournament (tournament)}
+
+   Every registered policy against every wirgen corpus family, scored
+   as miss-count regret vs OPT on the identical demand stream. A family
+   is a wirgen spec: the committed default ("mixed") plus one
+   single-pattern variant per taxonomy entry. Traces are pure functions
+   of (spec, --corpus-seed), so regret is deterministic and the
+   committed ceilings in bench/tournament_baseline.txt are exact.
+   Rows land in the JSON report's "tournament" section (acfc-bench/1);
+   --tournament-baseline gates them in CI. See docs/PERF.md. *)
+
+type tournament_row = {
+  t_family : string;
+  t_policy : string;
+  t_seed : int;
+  t_spec_hash : string;
+  t_refs : int;
+  t_misses : int;
+  t_opt_misses : int;
+  t_regret : int;
+  t_hit_rate : float;
+}
+
+let tournament_rows : tournament_row list ref = ref []
+
+let tournament_families =
+  ("mixed", Wirgen.default)
+  :: List.map
+       (fun p ->
+         let name = "t-" ^ Wirgen.pattern_to_string p in
+         (name, { Wirgen.default with Wirgen.name; mix = [ (p, 1.0) ] }))
+       Wirgen.patterns
+
+(* The family's combined demand stream, built exactly the way the
+   wirgen artifact builds its trace: each program's references
+   fast-forwarded with the RNG its workload fiber would get, then
+   disjoint file ids. *)
+let tournament_trace spec ~seed ~count =
+  let corpus = Wirgen.corpus spec ~seed ~count in
+  let scenario = Wirgen.scenario spec ~seed ~count in
+  let streams =
+    List.map
+      (fun (program, rng) -> Wir.references ~rng program)
+      (List.combine corpus (Acfc_scenario.Scenario.workload_rngs scenario))
+  in
+  let next_file = ref 0 in
+  Array.concat
+    (List.map2
+       (fun stream program ->
+         let offset = !next_file in
+         next_file := offset + Wir.file_count program;
+         Array.map
+           (fun b -> Block.make ~file:(offset + Block.file b) ~index:(Block.index b))
+           stream)
+       streams corpus)
+
+let run_tournament ~corpus_seed ~jobs =
+  Format.printf "@.%s@." (String.make 74 '=');
+  Format.printf
+    "Policy tournament: every policy x every corpus family, regret vs OPT@.";
+  let count = 2 in
+  let rows =
+    List.concat_map
+      (fun (family, spec) ->
+        let trace = tournament_trace spec ~seed:corpus_seed ~count in
+        (* A cache a third of the working set, so policies actually
+           differ (the wirgen artifact's sizing rule). *)
+        let capacity = Stdlib.max 64 (Rt.working_set_size trace / 3) in
+        let results =
+          Pool.map ?jobs
+            (fun policy -> Policy_sim.run policy ~capacity trace)
+            Policies.all
+        in
+        let opt_misses =
+          match
+            List.find_opt (fun r -> r.Policy_sim.policy = "OPT") results
+          with
+          | Some r -> r.Policy_sim.misses
+          | None -> failwith "tournament: OPT missing from the registry"
+        in
+        Format.printf "  %-16s %6d refs  capacity %4d  OPT misses %d@." family
+          (Array.length trace) capacity opt_misses;
+        List.map
+          (fun r ->
+            let row =
+              {
+                t_family = family;
+                t_policy = r.Policy_sim.policy;
+                t_seed = corpus_seed;
+                t_spec_hash = Wirgen.hash spec;
+                t_refs = r.Policy_sim.references;
+                t_misses = r.Policy_sim.misses;
+                t_opt_misses = opt_misses;
+                t_regret = r.Policy_sim.misses - opt_misses;
+                t_hit_rate =
+                  float_of_int r.Policy_sim.hits
+                  /. float_of_int (Stdlib.max r.Policy_sim.references 1);
+              }
+            in
+            Format.printf "    %-12s regret %5d   hit rate %5.1f%%@."
+              row.t_policy row.t_regret (100.0 *. row.t_hit_rate);
+            row)
+          results)
+      tournament_families
+  in
+  tournament_rows := !tournament_rows @ rows
+
+(* Gate file: one "<family> <policy> <max_regret>" line per row ('#'
+   comments). Regret is deterministic at the committed seed, so the
+   ceilings are exact measured values; any increase is a behaviour
+   change and fails. A ceiling with no measured row (renamed policy or
+   family) fails too, so the file cannot go stale silently. *)
+let read_tournament_baseline path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let rows = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | [ family; policy; ceiling ] ->
+           rows := ((family, policy), int_of_string ceiling) :: !rows
+         | _ -> failwith (Printf.sprintf "tournament baseline: bad line %S" line)
+     done
+   with End_of_file -> ());
+  List.rev !rows
+
+let check_tournament_baseline ~path rows =
+  let baseline = read_tournament_baseline path in
+  let failures = ref 0 in
+  List.iter
+    (fun row ->
+      match List.assoc_opt (row.t_family, row.t_policy) baseline with
+      | None ->
+        Format.printf "  tournament %-16s %-12s regret %5d   (no ceiling)@."
+          row.t_family row.t_policy row.t_regret
+      | Some ceiling ->
+        let ok = row.t_regret <= ceiling in
+        if not ok then incr failures;
+        Format.printf "  tournament %-16s %-12s regret %5d   ceiling %5d  %s@."
+          row.t_family row.t_policy row.t_regret ceiling
+          (if ok then "ok" else "REGRESSION"))
+    rows;
+  List.iter
+    (fun ((family, policy), _) ->
+      if
+        not
+          (List.exists
+             (fun r -> r.t_family = family && r.t_policy = policy)
+             rows)
+      then begin
+        incr failures;
+        Format.printf "  tournament %-16s %-12s ceiling has no measured row@."
+          family policy
+      end)
+    baseline;
+  if !failures > 0 then begin
+    Format.printf "[tournament gate FAILED: %d violation(s)]@." !failures;
+    exit 1
+  end
+  else Format.printf "[tournament gate passed: %s]@." path
+
 (* {2 Machine-readable report (--json)} *)
 
 (* The fingerprint of the exact scenario grid behind an artifact row
@@ -1257,6 +1433,23 @@ let write_json ~path ~quick ~runs ~jobs ~opts ~artifacts ~micro ~perf ~total_wal
                      ("ops", J.Num (float_of_int r.p_ops));
                    ])
                perf) );
+        ( "tournament",
+          J.List
+            (List.map
+               (fun r ->
+                 J.Obj
+                   [
+                     ("family", J.Str r.t_family);
+                     ("policy", J.Str r.t_policy);
+                     ("corpus_seed", J.Num (float_of_int r.t_seed));
+                     ("spec_hash", J.Str r.t_spec_hash);
+                     ("refs", J.Num (float_of_int r.t_refs));
+                     ("misses", J.Num (float_of_int r.t_misses));
+                     ("opt_misses", J.Num (float_of_int r.t_opt_misses));
+                     ("regret", J.Num (float_of_int r.t_regret));
+                     ("hit_rate", num r.t_hit_rate);
+                   ])
+               !tournament_rows) );
         ("total_wall_s", num total_wall_s);
       ]
   in
@@ -1300,6 +1493,7 @@ let () =
   let jobs = ref None in
   let json_out = ref None in
   let baseline = ref None in
+  let tournament_baseline = ref None in
   let corpus_seed = ref 0 in
   let selected = ref [] in
   let spec =
@@ -1319,12 +1513,16 @@ let () =
       ( "--baseline",
         Arg.String (fun f -> baseline := Some f),
         "FILE with perf: fail on a >30% speedup regression vs this baseline" );
+      ( "--tournament-baseline",
+        Arg.String (fun f -> tournament_baseline := Some f),
+        "FILE with tournament: fail on any policy whose regret vs OPT exceeds \
+         the committed per-family ceiling" );
     ]
   in
   let usage =
     "main.exe [--quick] [--runs N] [--jobs N] [--json FILE] [--baseline FILE] \
-     [--corpus-seed N] \
-     [all|micro|perf|check|wirgen|ablations|criteria|fig5-par|fig4|fig5|fig6|table1..table6]*"
+     [--tournament-baseline FILE] [--corpus-seed N] \
+     [all|micro|perf|check|wirgen|tournament|ablations|criteria|fig5-par|fig4|fig5|fig6|table1..table6]*"
   in
   Arg.parse spec (fun a -> selected := a :: !selected) usage;
   let selected = if !selected = [] then [ "all"; "micro" ] else List.rev !selected in
@@ -1346,6 +1544,8 @@ let () =
       | "check" -> run_check ()
       | "wirgen" ->
         run_wirgen ~quick:!quick ~corpus_seed:!corpus_seed ~jobs:opts.Report.jobs
+      | "tournament" ->
+        run_tournament ~corpus_seed:!corpus_seed ~jobs:opts.Report.jobs
       | "ablations" ->
         Format.printf "@.%s@.@." (String.make 74 '=');
         Ablations.print_all ?jobs:opts.Report.jobs ~runs:opts.Report.runs
@@ -1381,7 +1581,16 @@ let () =
     write_json ~path ~quick:!quick ~runs:opts.Report.runs ~jobs:eff_jobs ~opts
       ~artifacts:(List.rev !artifact_walls) ~micro:!micro_rows ~perf:!perf_rows
       ~total_wall_s);
-  (* The gate runs last so the JSON artifact is written even on failure. *)
+  (* The gates run last so the JSON artifact is written even on failure. *)
+  (match !tournament_baseline with
+  | None -> ()
+  | Some path ->
+    if !tournament_rows = [] then begin
+      Format.printf
+        "[--tournament-baseline requires the tournament family to have run]@.";
+      exit 2
+    end;
+    check_tournament_baseline ~path !tournament_rows);
   match !baseline with
   | None -> ()
   | Some path ->

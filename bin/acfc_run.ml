@@ -8,7 +8,8 @@
      wirgen     generate seeded synthetic workloads and fuzz the toolchain
      report     regenerate the paper's tables and figures
      record     run applications and record the block reference trace
-     policies   trace-driven replacement-policy comparison *)
+     policies   trace-driven replacement-policy comparison
+     policy     inspect the unified replacement-policy registry *)
 
 open Cmdliner
 module Config = Acfc_core.Config
@@ -693,6 +694,47 @@ let trace_file =
   let doc = "Replay a recorded trace file instead of a synthetic pattern." in
   Arg.(value & opt (some string) None & info [ "f"; "trace-file" ] ~docv:"FILE" ~doc)
 
+(* {2 policy} *)
+
+let policy_list_cmd =
+  let go () =
+    let module R = Acfc_policy.Registry in
+    List.iter
+      (fun entry ->
+        Format.printf "%-11s %-13s %s@." (R.name entry)
+          (if R.needs_future entry then "offline-only" else "offline+live")
+          (R.summary entry))
+      R.all
+  in
+  let term = Term.(const go $ const ()) in
+  let info =
+    Cmd.info "list"
+      ~doc:
+        "Print the unified policy registry, one line per core: name, whether \
+         it can run as a live manager or only in offline replay \
+         (clairvoyant cores need the future stream), and a one-line \
+         description. These names are what scenario $(b,manager) fields, \
+         $(b,acfc-run policies) and the bench tournament accept."
+  in
+  Cmd.v info term
+
+let policy_cmd =
+  let info =
+    Cmd.info "policy"
+      ~doc:"Inspect the unified replacement-policy registry"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Every replacement core — the eight stock policies and the three \
+             adaptive ones — registers once and runs identically as an \
+             offline trace-replay policy and (unless clairvoyant) as a live \
+             $(b,fbehavior) manager installed through a scenario workload's \
+             $(b,manager) field.";
+        ]
+  in
+  Cmd.group info [ policy_list_cmd ]
+
 let policies_cmd =
   let go pattern blocks capacity seed trace_file jobs =
     let rng = Acfc_sim.Rng.create seed in
@@ -748,4 +790,5 @@ let () =
             report_cmd;
             record_cmd;
             policies_cmd;
+            policy_cmd;
           ]))

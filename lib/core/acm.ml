@@ -16,6 +16,18 @@ type level = { prio : int; mutable policy : Policy.t; list : Ilist.t }
 
 type chooser = candidate:Block.t -> resident:Block.t list -> Block.t option
 
+(* An event-driven decision plug-in (the live half of the unified
+   policy core, see {!Acfc_policy}): plain callbacks so this module
+   does not depend on the policy library. The kernel streams every
+   membership change of the manager's block set to the plug-in and asks
+   it for victims before the priority-pool decision. *)
+type plugin = {
+  on_admit : Block.t -> unit;
+  on_reference : Block.t -> unit;
+  on_remove : Block.t -> invalidated:bool -> unit;
+  choose : missing:Block.t -> Block.t option;
+}
+
 type manager = {
   pid : Pid.t;
   levels : (int, level) Hashtbl.t;
@@ -24,6 +36,7 @@ type manager = {
   file_prio : (Block.file, int) Hashtbl.t;  (* only non-zero priorities stored *)
   blocks : (Block.t, int) Hashtbl.t;  (* every slot this manager holds *)
   mutable chooser : chooser option;  (* upcall replacement handler *)
+  mutable plugin : plugin option;  (* event-driven decision plug-in *)
   mutable decisions : int;
   mutable overrules : int;
   mutable mistakes : int;
@@ -134,6 +147,7 @@ let register t pid =
         file_prio = Hashtbl.create 8;
         blocks = Hashtbl.create 256;
         chooser = None;
+        plugin = None;
         decisions = 0;
         overrules = 0;
         mistakes = 0;
@@ -169,6 +183,23 @@ let consults t pid =
 
 let manager_count t = t.n_managers
 
+(* Plug-in notifications. Materialising the [Block.t] costs an
+   allocation, so every call is guarded by the plug-in's presence. *)
+let notify_admit t mgr s =
+  match mgr.plugin with
+  | Some p -> p.on_admit (Ctab.block t.tab s)
+  | None -> ()
+
+let notify_reference t mgr s =
+  match mgr.plugin with
+  | Some p -> p.on_reference (Ctab.block t.tab s)
+  | None -> ()
+
+let notify_remove t mgr s ~invalidated =
+  match mgr.plugin with
+  | Some p -> p.on_remove (Ctab.block t.tab s) ~invalidated
+  | None -> ()
+
 let new_block t ~pid ~prefetched s =
   let tab = t.tab in
   tab.Ctab.owner.(s) <- Pid.to_int pid;
@@ -188,13 +219,16 @@ let new_block t ~pid ~prefetched s =
        A read-ahead block has not been referenced yet, so it must not
        become an MRU policy's first victim; it enters at the end that is
        replaced later and earns its recency at its first real access. *)
-    if prefetched then link_replaced_later t mgr lvl s else link_recent t mgr lvl s
+    if prefetched then link_replaced_later t mgr lvl s else link_recent t mgr lvl s;
+    notify_admit t mgr s
 
-let block_gone t s =
+let block_gone ?(invalidated = false) t s =
   let m = t.tab.Ctab.managed.(s) in
   if m >= 0 then begin
     match find_manager t (Pid.make m) with
-    | Some mgr -> unlink t mgr s
+    | Some mgr ->
+      notify_remove t mgr s ~invalidated;
+      unlink t mgr s
     | None -> invalid_arg "Acm.block_gone: entry managed by unknown manager"
   end
 
@@ -219,7 +253,11 @@ let block_accessed t ~pid s =
     && (match target with Some m -> Pid.to_int m.pid <> managed | None -> true)
   then begin
     match find_manager t (Pid.make managed) with
-    | Some mgr -> unlink t mgr s
+    | Some mgr ->
+      (* An ownership transfer is not a replacement decision the losing
+         plug-in made, so it must not learn from it (no ghost entry). *)
+      notify_remove t mgr s ~invalidated:true;
+      unlink t mgr s
     | None -> invalid_arg "Acm.block_accessed: stale manager link"
   end;
   match target with
@@ -229,7 +267,8 @@ let block_accessed t ~pid s =
     if tab.Ctab.managed.(s) < 0 then begin
       (* Newly transferred to this manager. *)
       let lvl = match Hashtbl.find_opt mgr.levels lt_prio with Some l -> l | None -> assert false in
-      link_recent t mgr lvl s
+      link_recent t mgr lvl s;
+      notify_admit t mgr s
     end
     else if tab.Ctab.flags.(s) land Ctab.temp_bit <> 0 then begin
       (* A reference ends the temporary priority (paper Sec. 3). *)
@@ -239,12 +278,14 @@ let block_accessed t ~pid s =
       tab.Ctab.flags.(s) <- tab.Ctab.flags.(s) land lnot Ctab.temp_bit;
       let lvl = match Hashtbl.find_opt mgr.levels lt_prio with Some l -> l | None -> assert false in
       Ilist.push_front tab.Ctab.lvl lvl.list s;
-      tab.Ctab.level.(s) <- lvl.prio
+      tab.Ctab.level.(s) <- lvl.prio;
+      notify_reference t mgr s
     end
     else begin
-      match Hashtbl.find_opt mgr.levels tab.Ctab.level.(s) with
+      (match Hashtbl.find_opt mgr.levels tab.Ctab.level.(s) with
       | Some lvl -> Ilist.move_front tab.Ctab.lvl lvl.list s
-      | None -> assert false
+      | None -> assert false);
+      notify_reference t mgr s
     end
 
 (* Pick the victim the manager prefers: lowest-priority non-empty level,
@@ -293,7 +334,18 @@ let upcall_choice t mgr chooser ~candidate =
     | Some s when t.tab.Ctab.pinned.(s) = 0 -> s
     | Some _ | None -> -1)
 
-let replace_block t ~candidate ~missing:_ =
+(* Consult the event-driven plug-in. Cheaper than the upcall path — no
+   resident list is materialised — and validated the same way: an
+   unknown or pinned answer falls back to the next decision source. *)
+let plugin_choice t mgr plugin ~missing =
+  match plugin.choose ~missing with
+  | None -> -1
+  | Some key ->
+    (match Hashtbl.find_opt mgr.blocks key with
+    | Some s when t.tab.Ctab.pinned.(s) = 0 -> s
+    | Some _ | None -> -1)
+
+let replace_block t ~candidate ~missing =
   match slot_manager t candidate with
   | None -> candidate
   | Some mgr ->
@@ -301,11 +353,18 @@ let replace_block t ~candidate ~missing:_ =
     else begin
       mgr.decisions <- mgr.decisions + 1;
       let choice =
-        match mgr.chooser with
-        | Some chooser ->
-          let s = upcall_choice t mgr chooser ~candidate in
-          if s >= 0 then s else manager_choice t mgr
-        | None -> manager_choice t mgr
+        let from_plugin =
+          match mgr.plugin with
+          | Some p -> plugin_choice t mgr p ~missing
+          | None -> -1
+        in
+        if from_plugin >= 0 then from_plugin
+        else
+          match mgr.chooser with
+          | Some chooser ->
+            let s = upcall_choice t mgr chooser ~candidate in
+            if s >= 0 then s else manager_choice t mgr
+          | None -> manager_choice t mgr
       in
       if choice < 0 then candidate
       else begin
@@ -431,6 +490,16 @@ let set_chooser t pid chooser =
       if mgr.revoked then Error Error.Revoked
       else begin
         mgr.chooser <- chooser;
+        Ok ()
+      end)
+
+let set_plugin t pid plugin =
+  obs_call t pid "set_plugin" (fun () ->
+      if Option.is_some plugin then "install" else "remove");
+  with_manager t pid (fun mgr ->
+      if mgr.revoked then Error Error.Revoked
+      else begin
+        mgr.plugin <- plugin;
         Ok ()
       end)
 

@@ -20,6 +20,26 @@
 
 type t
 
+type plugin = {
+  on_admit : Block.t -> unit;
+      (** The block entered (or transferred into) the manager's set. *)
+  on_reference : Block.t -> unit;
+      (** The block, already in the set, was referenced. *)
+  on_remove : Block.t -> invalidated:bool -> unit;
+      (** The block left the set. [invalidated] marks departures that
+          were not replacement decisions (file invalidation, ownership
+          transfer): an adaptive plug-in must not learn from those. *)
+  choose : missing:Block.t -> Block.t option;
+      (** Name a victim so [missing] can come in; [None] or an invalid
+          (non-resident, pinned) answer falls back to the upcall
+          chooser / priority-pool decision. *)
+}
+(** An event-driven replacement plug-in (the live adapter of the
+    unified policy core, {!Acfc_policy.Live}). Expressed as plain
+    callbacks so the core library carries no dependency on the policy
+    library. Installed per manager via {!set_plugin}; consulted by
+    {!replace_block} before the upcall chooser. *)
+
 val create : Config.t -> tab:Ctab.t -> t
 (** [tab] is the columnar entry table shared with {!Buf} (built by
     {!Cache.create}). *)
@@ -61,8 +81,10 @@ val new_block : t -> pid:Pid.t -> prefetched:bool -> int -> unit
     yet, so it enters at the end its level's policy replaces later and
     gains recency only at its first real access. *)
 
-val block_gone : t -> int -> unit
-(** The slot left the cache; unlink it from any manager lists. *)
+val block_gone : ?invalidated:bool -> t -> int -> unit
+(** The slot left the cache; unlink it from any manager lists.
+    [invalidated] (default false) marks removals that were not
+    replacement decisions — see {!plugin.on_remove}. *)
 
 val block_accessed : t -> pid:Pid.t -> int -> unit
 (** The slot was referenced by [pid]: expire any temporary priority
@@ -118,6 +140,12 @@ val set_chooser :
     Sec. 4 — flexible, but it pays to materialise the resident set on
     every miss (the overhead the paper's primitive interface avoids;
     see the micro-benchmarks). *)
+
+val set_plugin : t -> Pid.t -> plugin option -> (unit, Error.t) result
+(** Install (or clear) an event-driven replacement {!plugin} for a
+    manager. The plug-in receives every membership change of the
+    manager's block set and is consulted first on every replacement;
+    an invalid answer falls back to the chooser / pool decision. *)
 
 (** {2 Statistics} *)
 

@@ -239,11 +239,11 @@ let add_placeholder t ~replaced ~target ~chooser =
    backend call so that re-entrant cache operations see a consistent
    state; the slot itself is released by the caller once it is done
    reading the columns. *)
-let detach t s =
+let detach ?(invalidated = false) t s =
   Itbl.remove t.table t.tab.Ctab.key.(s);
   Ilist.remove t.tab.Ctab.global t.global s;
   drop_placeholders_at t s;
-  Acm.block_gone t.acm s
+  Acm.block_gone ~invalidated t.acm s
 
 (* LRU-end candidate, skipping pinned blocks and — while anything else
    is available — not-yet-referenced read-ahead blocks.
@@ -613,7 +613,7 @@ let invalidate_file t ~file =
                  policy = policy_name t;
                  reason = "invalidate";
                }));
-        detach t s;
+        detach ~invalidated:true t s;
         incr dropped;
         t.backend.Backend.evicted key;
         Ctab.release tab s

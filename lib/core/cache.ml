@@ -55,6 +55,8 @@ let set_temppri t pid ~file ~first ~last ~prio =
 
 let set_chooser t pid chooser = Acm.set_chooser t.acm pid chooser
 
+let set_plugin t pid plugin = Acm.set_plugin t.acm pid plugin
+
 let hits t = Buf.hits t.buf
 let misses t = Buf.misses t.buf
 let evictions t = Buf.evictions t.buf

@@ -77,6 +77,9 @@ val set_chooser :
   (unit, Error.t) result
 (** Install an upcall replacement handler; see {!Acm.set_chooser}. *)
 
+val set_plugin : t -> Pid.t -> Acm.plugin option -> (unit, Error.t) result
+(** Install an event-driven replacement plug-in; see {!Acm.set_plugin}. *)
+
 (** {2 Statistics} *)
 
 val hits : t -> int

@@ -24,4 +24,6 @@ let set_temppri t ~file ~first ~last ~prio =
 
 let set_chooser t chooser = Cache.set_chooser t.cache t.pid chooser
 
+let set_plugin t plugin = Cache.set_plugin t.cache t.pid plugin
+
 let revoked t = Cache.manager_revoked t.cache t.pid

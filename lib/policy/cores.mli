@@ -1,0 +1,26 @@
+(** The replacement cores. Stock eight (victim behaviour pinned by the
+    record-twin lockstep in `bench check`): *)
+
+module Lru : Policy_core.CORE
+
+module Mru : Policy_core.CORE
+
+module Fifo : Policy_core.CORE
+
+module Clock : Policy_core.CORE
+
+module Lru_2 : Policy_core.CORE
+
+module Rand : Policy_core.CORE
+
+module Opt : Policy_core.CORE
+
+module Two_q : Policy_core.CORE
+
+(** Adaptive three: *)
+
+module Arc : Policy_core.CORE
+
+module Awrp : Policy_core.CORE
+
+module Perceptron : Policy_core.CORE

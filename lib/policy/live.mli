@@ -1,0 +1,31 @@
+(** The live adapter: runs any registered core as an [fbehavior]
+    manager, issuing Advise decisions through {!Acfc_core.Control} /
+    {!Acfc_core.Acm}.
+
+    The adapter numbers references exactly the way the offline replay
+    does — each admit and each reference consumes one position — so a
+    core driven by both adapters over the same demand stream sees the
+    identical event sequence and produces the identical victim
+    sequence. *)
+
+module Block = Acfc_core.Block
+
+type t
+
+val make : Registry.entry -> capacity:int -> ?future:Block.t array -> unit -> t
+(** Instantiate the core. [future] (default [[||]]) is only meaningful
+    for clairvoyant cores; {!Registry.needs_future} cores without a
+    future stream will fail at their first decision, so scenario
+    validation rejects them up front. *)
+
+val name : t -> string
+
+val stats : t -> (string * float) list
+
+val plugin : t -> Acfc_core.Acm.plugin
+(** The raw callback record, for installing via {!Acfc_core.Acm} in
+    kernel-level tests. *)
+
+val install : t -> Acfc_core.Control.t -> (unit, Acfc_core.Error.t) result
+(** Install the adapter as the replacement plug-in of the manager
+    behind [control]. *)

@@ -1,0 +1,104 @@
+(** The unified eviction-decision core.
+
+    One replacement policy = one state machine over typed cache events.
+    The same state answers victim queries for the offline trace-replay
+    lab ({!Acfc_replacement.Policy_sim}) and for the live two-level
+    kernel (installed as an [fbehavior] manager plug-in through
+    {!Live} / [Control.set_plugin]) — by construction the two adapters
+    feed the machine the identical event sequence for the same demand
+    stream, so both produce the identical victim sequence. That
+    determinism contract is asserted in [test/test_policy_core.ml].
+
+    Events carry the reference position [pos]: the index of the current
+    reference in the demand stream. Both adapters number references the
+    same way (hits and miss-admissions each consume one position), which
+    is what lets position-keyed policies (LRU-2, OPT) replay
+    identically at both levels. *)
+
+module Block = Acfc_core.Block
+
+type event =
+  | Reference of { pos : int; block : Block.t }
+      (** The resident [block] was referenced (a cache hit). *)
+  | Admit of { pos : int; block : Block.t }
+      (** [block] just entered the cache (a miss, after any eviction). *)
+  | Evict of { block : Block.t }
+      (** [block] left the cache to make room. Usually the block the
+          core just named in {!CORE.victim}, but a kernel may overrule;
+          cores must tolerate eviction of any resident block. *)
+  | Invalidate of { block : Block.t }
+      (** [block] left the cache because its contents died (file
+          invalidation) — not a replacement decision, so adaptive cores
+          must not learn from it (no ghost entry). *)
+  | Hint of { block : Block.t; level : int }
+      (** Advisory priority-level hint for [block]; cores may fold it
+          into their ranking (the perceptron uses it as a feature) or
+          ignore it. *)
+
+module type CORE = sig
+  type t
+
+  val name : string
+  (** Registry name, uppercase (e.g. "LRU", "ARC"). *)
+
+  val summary : string
+  (** One-line description for [acfc-run policy list]. *)
+
+  val adaptive : bool
+  (** True for the learned policies (ARC/AWRP/PERCEPTRON). *)
+
+  val needs_future : bool
+  (** True when {!create} requires the full future reference stream
+      (OPT). Such cores cannot run as live managers. *)
+
+  val create : capacity:int -> future:Block.t array -> t
+  (** [future] is the demand stream for clairvoyant policies; online
+      policies ignore it (the live adapter passes [[||]]). *)
+
+  val on_event : t -> event -> unit
+
+  val victim : t -> pos:int -> missing:Block.t -> Block.t
+  (** Name a resident block to give up so [missing] can be admitted at
+      reference position [pos]. Called only when the cache is full;
+      the caller evicts the returned block (or, for a live kernel that
+      overrules, some other resident) and reports it back as
+      {!Evict}. *)
+
+  val stats : t -> (string * float) list
+  (** Introspection for tests and reports (adaptation targets, ghost
+      sizes, learned weights). *)
+end
+
+(** Structural twin of [Acfc_replacement.Policy_sim.POLICY]; declared
+    here so this library does not depend on the replacement lab.
+    [Acfc_replacement.Policies] repacks these modules at type [POLICY]
+    (the match is structural: [Trace.t] is transparently
+    [Block.t array]). *)
+module type SIM = sig
+  type t
+
+  val name : string
+  val init : capacity:int -> Block.t array -> t
+  val hit : t -> pos:int -> Block.t -> unit
+  val choose_victim : t -> pos:int -> missing:Block.t -> Block.t
+  val inserted : t -> pos:int -> Block.t -> unit
+  val evicted : t -> Block.t -> unit
+end
+
+module Offline (C : CORE) : SIM with type t = C.t
+(** The offline adapter: [init] creates the core with the trace as
+    future, [hit]/[inserted]/[evicted] feed
+    {!Reference}/{!Admit}/{!Evict}, [choose_victim] asks {!CORE.victim}. *)
+
+type replay = {
+  hits : int;
+  misses : int;
+  victims : Block.t list;  (** in eviction order *)
+}
+
+val replay : (module CORE) -> capacity:int -> Block.t array -> replay
+(** Drive a core over a demand stream with the standard full-cache
+    eviction discipline (the same one [Policy_sim.run] and the live
+    kernel use) and record the victim sequence. Raises [Invalid_argument]
+    on non-positive capacity and [Failure] if the core names a
+    non-resident victim. *)

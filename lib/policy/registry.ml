@@ -1,0 +1,67 @@
+type entry = (module Policy_core.CORE)
+
+let all : entry list =
+  [
+    (module Cores.Lru);
+    (module Cores.Mru);
+    (module Cores.Fifo);
+    (module Cores.Clock);
+    (module Cores.Lru_2);
+    (module Cores.Two_q);
+    (module Cores.Rand);
+    (module Cores.Opt);
+    (module Cores.Arc);
+    (module Cores.Awrp);
+    (module Cores.Perceptron);
+  ]
+
+let name (module C : Policy_core.CORE) = C.name
+
+let summary (module C : Policy_core.CORE) = C.summary
+
+let adaptive (module C : Policy_core.CORE) = C.adaptive
+
+let needs_future (module C : Policy_core.CORE) = C.needs_future
+
+let names = List.map name all
+
+(* Classic dynamic-programming edit distance, for the unknown-name
+   suggestion. Inputs are policy-name sized, so O(nm) is nothing. *)
+let edit_distance a b =
+  let n = String.length a and m = String.length b in
+  let prev = Array.init (m + 1) Fun.id in
+  let cur = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    cur.(0) <- i;
+    for j = 1 to m do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <-
+        Stdlib.min (Stdlib.min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (m + 1)
+  done;
+  prev.(m)
+
+let find requested =
+  let target = String.uppercase_ascii requested in
+  match List.find_opt (fun e -> name e = target) all with
+  | Some e -> Ok e
+  | None ->
+    let suggestion =
+      List.fold_left
+        (fun best n ->
+          let d = edit_distance target n in
+          match best with
+          | Some (bd, _) when bd <= d -> best
+          | _ when d <= 2 -> Some (d, n)
+          | _ -> best)
+        None names
+    in
+    let hint =
+      match suggestion with
+      | Some (_, n) -> Printf.sprintf "; did you mean %S?" n
+      | None -> ""
+    in
+    Error
+      (Printf.sprintf "unknown policy %S (valid: %s)%s" requested
+         (String.concat ", " names) hint)

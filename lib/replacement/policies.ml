@@ -1,423 +1,34 @@
-module Block = Acfc_core.Block
-module Ilist = Acfc_core.Ilist
-module Itbl = Acfc_core.Itbl
-
-(* One recency list of blocks on columnar storage: free-listed slots
-   over an {!Ilist} store with an {!Itbl} index keyed by {!Block.pack}.
-   The policy-lab counterpart of the cache core's Ctab — every list
-   operation is O(1) and allocation-free at steady state, where the
-   old [Block.t Dll.t] + node Hashtbl boxed a node per insert and
-   hashed a record key per touch. *)
-module Islab = struct
-  type t = {
-    store : Ilist.store;
-    list : Ilist.t;
-    tbl : Itbl.t; (* Block.pack -> slot *)
-    mutable blocks : Block.t array; (* slot -> block *)
-    mutable free : int array; (* stack of free slots *)
-    mutable nfree : int;
-  }
-
-  let dummy = Block.make ~file:0 ~index:0
-
-  let create n =
-    let n = Stdlib.max 16 n in
-    {
-      store = Ilist.make_store n;
-      list = Ilist.create ();
-      tbl = Itbl.create n;
-      blocks = Array.make n dummy;
-      free = Array.init n (fun i -> n - 1 - i);
-      nfree = n;
-    }
-
-  let grow t =
-    let old = Array.length t.blocks in
-    let cap = 2 * old in
-    Ilist.grow_store t.store cap;
-    let blocks = Array.make cap dummy in
-    Array.blit t.blocks 0 blocks 0 old;
-    t.blocks <- blocks;
-    let free = Array.make cap 0 in
-    Array.blit t.free 0 free 0 t.nfree;
-    for i = 0 to old - 1 do
-      free.(t.nfree + i) <- old + i
-    done;
-    t.free <- free;
-    t.nfree <- t.nfree + old
-
-  let slot t block =
-    let s = Itbl.find t.tbl (Block.pack block) in
-    if s < 0 then failwith "Islab: block not resident";
-    s
-
-  let push_front t block =
-    if t.nfree = 0 then grow t;
-    let s = t.free.(t.nfree - 1) in
-    t.nfree <- t.nfree - 1;
-    t.blocks.(s) <- block;
-    Itbl.set t.tbl (Block.pack block) s;
-    Ilist.push_front t.store t.list s
-
-  let move_front t block = Ilist.move_front t.store t.list (slot t block)
-
-  let remove t block =
-    let key = Block.pack block in
-    let s = Itbl.find t.tbl key in
-    if s >= 0 then begin
-      Ilist.remove t.store t.list s;
-      Itbl.remove t.tbl key;
-      t.free.(t.nfree) <- s;
-      t.nfree <- t.nfree + 1
-    end
-
-  let is_empty t = Ilist.is_empty t.list
-
-  let front t = t.blocks.(Ilist.front t.list)
-
-  let back t = t.blocks.(Ilist.back t.list)
-end
-
-(* Shared recency-list state for LRU and MRU. *)
-module Recency = struct
-  type t = Islab.t
-
-  let init ~capacity _trace = Islab.create capacity
-
-  let hit t ~pos:_ block = Islab.move_front t block
-
-  let inserted t ~pos:_ block = Islab.push_front t block
-
-  let evicted t block = Islab.remove t block
-
-  let end_victim t ~front =
-    if Islab.is_empty t then failwith "Recency: empty list"
-    else if front then Islab.front t
-    else Islab.back t
-end
-
-module Lru = struct
-  include Recency
-
-  let name = "LRU"
-
-  let choose_victim t ~pos:_ ~missing:_ = end_victim t ~front:false
-end
-
-module Mru = struct
-  include Recency
-
-  let name = "MRU"
-
-  let choose_victim t ~pos:_ ~missing:_ = end_victim t ~front:true
-end
-
-module Fifo = struct
-  type t = { order : Block.t Queue.t; resident : (Block.t, unit) Hashtbl.t }
-
-  let name = "FIFO"
-
-  let init ~capacity:_ _trace = { order = Queue.create (); resident = Hashtbl.create 1024 }
-
-  let hit _ ~pos:_ _ = ()
-
-  let choose_victim t ~pos:_ ~missing:_ =
-    (* Entries for already-evicted blocks never occur: FIFO pops exactly
-       the block it reports, and the framework evicts it. *)
-    Queue.pop t.order
-
-  let inserted t ~pos:_ block =
-    Queue.push block t.order;
-    Hashtbl.replace t.resident block ()
-
-  let evicted t block = Hashtbl.remove t.resident block
-end
-
-module Clock = struct
-  type t = { ring : Block.t Queue.t; referenced : (Block.t, unit) Hashtbl.t }
-
-  let name = "CLOCK"
-
-  let init ~capacity:_ _trace = { ring = Queue.create (); referenced = Hashtbl.create 1024 }
-
-  let hit t ~pos:_ block = Hashtbl.replace t.referenced block ()
-
-  let rec choose_victim t ~pos ~missing =
-    let block = Queue.pop t.ring in
-    if Hashtbl.mem t.referenced block then begin
-      (* Second chance: clear the bit and move the hand on. *)
-      Hashtbl.remove t.referenced block;
-      Queue.push block t.ring;
-      choose_victim t ~pos ~missing
-    end
-    else block
-
-  let inserted t ~pos:_ block = Queue.push block t.ring
-
-  let evicted t block = Hashtbl.remove t.referenced block
-end
-
-(* Victim orderings for the indexed LRU-2 and OPT below. Both keys are
-   total orders: last-reference positions are unique across resident
-   blocks (each trace position references exactly one block), and the
-   OPT key carries the block identity for the never-used-again tier. *)
-module Pair_map = Map.Make (struct
-  type t = int * int
-
-  let compare (a1, b1) (a2, b2) =
-    match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
-end)
-
-module Lru_2 = struct
-  (* history: positions of the last two references, most recent first;
-     victims: the same entries keyed by (penultimate, last) so the
-     eviction choice — oldest penultimate reference, ties broken by the
-     older last reference — is the map's minimum binding instead of a
-     full-table scan per miss. *)
-  type t = {
-    history : (Block.t, int * int) Hashtbl.t;
-    mutable victims : Block.t Pair_map.t;
-  }
-
-  let name = "LRU-2"
-
-  let never = -1
-
-  let init ~capacity:_ _trace =
-    { history = Hashtbl.create 1024; victims = Pair_map.empty }
-
-  let record t ~pos block =
-    let last, penultimate =
-      Option.value (Hashtbl.find_opt t.history block) ~default:(never, never)
-    in
-    if last <> never then t.victims <- Pair_map.remove (penultimate, last) t.victims;
-    Hashtbl.replace t.history block (pos, last);
-    t.victims <- Pair_map.add (last, pos) block t.victims
-
-  let hit t ~pos block = record t ~pos block
-
-  let choose_victim t ~pos:_ ~missing:_ =
-    match Pair_map.min_binding_opt t.victims with
-    | Some (_, block) -> block
-    | None -> failwith "LRU-2: empty"
-
-  let inserted t ~pos block = record t ~pos block
-
-  let evicted t block =
-    match Hashtbl.find_opt t.history block with
-    | Some (last, penultimate) ->
-      t.victims <- Pair_map.remove (penultimate, last) t.victims;
-      Hashtbl.remove t.history block
-    | None -> ()
-end
-
-module Rand = struct
-  (* Swap-with-last dynamic array: uniform choice and eviction are both
-     O(1), instead of materialising the resident list into a fresh array
-     on every miss and filtering it on every eviction. The RNG draw
-     sequence is unchanged, but the array order differs from the old
-     insertion-ordered list, so individual victims (not the uniform
-     distribution) differ from the pre-indexed implementation. *)
-  type t = {
-    rng : Acfc_sim.Rng.t;
-    mutable arr : Block.t array;
-    mutable n : int;
-    index : (Block.t, int) Hashtbl.t;  (* block -> slot in [arr] *)
-  }
-
-  let name = "RAND"
-
-  let init ~capacity _trace =
-    {
-      rng = Acfc_sim.Rng.create (capacity + 7);
-      arr = [||];
-      n = 0;
-      index = Hashtbl.create 1024;
-    }
-
-  let hit _ ~pos:_ _ = ()
-
-  let choose_victim t ~pos:_ ~missing:_ =
-    if t.n = 0 then failwith "RAND: empty";
-    t.arr.(Acfc_sim.Rng.int t.rng t.n)
-
-  let inserted t ~pos:_ block =
-    if t.n = Array.length t.arr then begin
-      let cap = Stdlib.max 16 (2 * t.n) in
-      let arr = Array.make cap block in
-      Array.blit t.arr 0 arr 0 t.n;
-      t.arr <- arr
-    end;
-    t.arr.(t.n) <- block;
-    Hashtbl.replace t.index block t.n;
-    t.n <- t.n + 1
-
-  let evicted t block =
-    match Hashtbl.find_opt t.index block with
-    | None -> ()
-    | Some i ->
-      let last = t.n - 1 in
-      let moved = t.arr.(last) in
-      t.arr.(i) <- moved;
-      Hashtbl.replace t.index moved i;
-      Hashtbl.remove t.index block;
-      t.n <- last
-end
-
-module Opt_victims = Set.Make (struct
-  type t = int * Block.t  (* (next use, block) *)
-
-  let compare (u1, b1) (u2, b2) =
-    match Int.compare u1 u2 with 0 -> Block.compare b1 b2 | c -> c
-end)
-
-module Opt = struct
-  type t = {
-    (* For each block, the trace positions where it is referenced, in
-       order, with the already-consumed prefix removed. *)
-    future : (Block.t, int list ref) Hashtbl.t;
-    resident : (Block.t, int) Hashtbl.t;  (* block -> its key in [victims] *)
-    (* Resident blocks keyed by next use, so the farthest-future victim
-       is the maximum element instead of a full-table scan per miss.
-       Never-used-again blocks sit at max_int, tied; the block identity
-       in the key makes the choice deterministic, and any choice among
-       them yields the same miss count (none is referenced again). *)
-    mutable victims : Opt_victims.t;
-  }
-
-  let name = "OPT"
-
-  let init ~capacity:_ trace =
-    let future = Hashtbl.create 1024 in
-    Array.iteri
-      (fun pos block ->
-        match Hashtbl.find_opt future block with
-        | Some l -> l := pos :: !l
-        | None -> Hashtbl.replace future block (ref [ pos ]))
-      trace;
-    Hashtbl.iter (fun _ l -> l := List.rev !l) future;
-    { future; resident = Hashtbl.create 1024; victims = Opt_victims.empty }
-
-  let consume t ~pos block =
-    let l = Hashtbl.find t.future block in
-    match !l with
-    | p :: rest when p = pos -> l := rest
-    | _ -> failwith "OPT: trace position mismatch"
-
-  let next_use t block =
-    match !(Hashtbl.find t.future block) with [] -> max_int | p :: _ -> p
-
-  let reindex t block use =
-    Hashtbl.replace t.resident block use;
-    t.victims <- Opt_victims.add (use, block) t.victims
-
-  let hit t ~pos block =
-    (* The stored key is the block's next use, which is this reference:
-       drop it, consume the position, and re-key at the new next use. *)
-    (match Hashtbl.find_opt t.resident block with
-    | Some use -> t.victims <- Opt_victims.remove (use, block) t.victims
-    | None -> failwith "OPT: hit on non-resident block");
-    consume t ~pos block;
-    reindex t block (next_use t block)
-
-  let choose_victim t ~pos:_ ~missing:_ =
-    match Opt_victims.max_elt_opt t.victims with
-    | Some (_, block) -> block
-    | None -> failwith "OPT: empty"
-
-  let inserted t ~pos block =
-    consume t ~pos block;
-    reindex t block (next_use t block)
-
-  let evicted t block =
-    match Hashtbl.find_opt t.resident block with
-    | Some use ->
-      t.victims <- Opt_victims.remove (use, block) t.victims;
-      Hashtbl.remove t.resident block
-    | None -> ()
-end
-
-module Two_q = struct
-  (* Simplified full 2Q (Johnson & Shasha, VLDB '94 — contemporaneous
-     with the paper): new pages enter the FIFO probation queue A1in;
-     pages re-referenced after leaving it (tracked by the ghost queue
-     A1out) are promoted to the protected LRU queue Am. *)
-  type queue = A1in | Am
-
-  type t = {
-    kin : int;  (* A1in capacity *)
-    kout : int;  (* A1out ghost capacity *)
-    a1in : Block.t Queue.t;
-    am : Islab.t;
-    where : (Block.t, queue) Hashtbl.t;  (* resident pages only *)
-    a1out : Block.t Queue.t;  (* ghosts: identities only *)
-    ghost : (Block.t, unit) Hashtbl.t;
-  }
-
-  let name = "2Q"
-
-  let init ~capacity _trace =
-    {
-      kin = Stdlib.max 1 (capacity / 4);
-      kout = Stdlib.max 1 (capacity / 2);
-      a1in = Queue.create ();
-      am = Islab.create capacity;
-      where = Hashtbl.create 1024;
-      a1out = Queue.create ();
-      ghost = Hashtbl.create 1024;
-    }
-
-  let hit t ~pos:_ block =
-    match Hashtbl.find_opt t.where block with
-    | Some Am -> Islab.move_front t.am block
-    | Some A1in -> ()  (* classic 2Q: probation hits do not promote *)
-    | None -> assert false
-
-  let remember_ghost t block =
-    Queue.push block t.a1out;
-    Hashtbl.replace t.ghost block ();
-    while Queue.length t.a1out > t.kout do
-      Hashtbl.remove t.ghost (Queue.pop t.a1out)
-    done
-
-  let choose_victim t ~pos:_ ~missing:_ =
-    if Queue.length t.a1in > t.kin || Islab.is_empty t.am then begin
-      let victim = Queue.pop t.a1in in
-      remember_ghost t victim;
-      victim
-    end
-    else Islab.back t.am
-
-  let inserted t ~pos:_ block =
-    if Hashtbl.mem t.ghost block then begin
-      (* Seen recently: promote straight to the protected queue. *)
-      Hashtbl.replace t.where block Am;
-      Islab.push_front t.am block
-    end
-    else begin
-      Hashtbl.replace t.where block A1in;
-      Queue.push block t.a1in
-    end
-
-  let evicted t block =
-    (match Hashtbl.find_opt t.where block with
-    | Some Am -> Islab.remove t.am block
-    | Some A1in | None -> ()  (* A1in victims were already popped *));
-    Hashtbl.remove t.where block
-end
-
-let all : (module Policy_sim.POLICY) list =
-  [
-    (module Lru);
-    (module Mru);
-    (module Fifo);
-    (module Clock);
-    (module Lru_2);
-    (module Two_q);
-    (module Rand);
-    (module Opt);
-  ]
-
-let by_name name =
-  let target = String.uppercase_ascii name in
-  List.find_opt (fun (module P : Policy_sim.POLICY) -> P.name = target) all
+(* Offline faces of the unified policy cores.
+
+   Every policy lives in {!Acfc_policy.Cores} as an event-driven
+   decision core; this module is the thin adapter that lets the
+   trace-replay lab keep its {!Policy_sim.POLICY} view of them. The
+   per-policy bookkeeping that used to be duplicated here (and diverged
+   from the live manager path by construction) now exists exactly once —
+   the live adapter over the same cores is {!Acfc_policy.Live}, and
+   [test/test_policy_core.ml] asserts both adapters produce identical
+   victim sequences from the same demand stream. *)
+
+module Core = Acfc_policy.Policy_core
+module Cores = Acfc_policy.Cores
+module Registry = Acfc_policy.Registry
+
+module Lru = Core.Offline (Cores.Lru)
+module Mru = Core.Offline (Cores.Mru)
+module Fifo = Core.Offline (Cores.Fifo)
+module Clock = Core.Offline (Cores.Clock)
+module Lru_2 = Core.Offline (Cores.Lru_2)
+module Two_q = Core.Offline (Cores.Two_q)
+module Rand = Core.Offline (Cores.Rand)
+module Opt = Core.Offline (Cores.Opt)
+module Arc = Core.Offline (Cores.Arc)
+module Awrp = Core.Offline (Cores.Awrp)
+module Perceptron = Core.Offline (Cores.Perceptron)
+
+let of_core (module C : Core.CORE) : (module Policy_sim.POLICY) =
+  let module S = Core.Offline (C) in
+  (module S)
+
+let all : (module Policy_sim.POLICY) list = List.map of_core Registry.all
+
+let by_name name = Result.map of_core (Registry.find name)

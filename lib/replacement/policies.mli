@@ -1,9 +1,12 @@
-(** Stock replacement policies for the trace-driven simulator.
+(** Stock and adaptive replacement policies for the trace-driven
+    simulator — the offline faces of the unified policy cores in
+    {!Acfc_policy.Cores} (the live faces are {!Acfc_policy.Live}).
 
     [Lru] and [Mru] are the two policies the paper's interface offers
     applications; [Opt] is Belady's offline-optimal algorithm, the
     yardstick the companion paper proposes application policies should
-    approximate; the rest are classic baselines. *)
+    approximate; the rest are classic baselines plus the three adaptive
+    policies from the related work. *)
 
 module Lru : Policy_sim.POLICY
 
@@ -32,7 +35,23 @@ module Opt : Policy_sim.POLICY
     next use is farthest in the future. A lower bound on misses for
     every demand-paged policy. *)
 
-val all : (module Policy_sim.POLICY) list
-(** Every policy above, [Opt] last. *)
+module Arc : Policy_sim.POLICY
+(** Adaptive Replacement Cache: recency/frequency lists with
+    ghost-directed balance adaptation. *)
 
-val by_name : string -> (module Policy_sim.POLICY) option
+module Awrp : Policy_sim.POLICY
+(** Adaptive Weight Ranking Policy (arXiv:1107.4851): weighted
+    frequency+recency ranking with an online-adapted mix. *)
+
+module Perceptron : Policy_sim.POLICY
+(** LearnedCache-style perceptron eviction: learned linear scoring of
+    recency/frequency/level/file features, trained on ghost hits. *)
+
+val all : (module Policy_sim.POLICY) list
+(** Every registered policy, in registry order: the stock eight
+    ([Opt] last) followed by [Arc], [Awrp], [Perceptron]. *)
+
+val by_name : string -> ((module Policy_sim.POLICY), string) result
+(** Case-insensitive registry lookup. The error message lists the
+    valid names and suggests a near match — see
+    {!Acfc_policy.Registry.find}. *)

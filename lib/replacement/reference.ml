@@ -1,16 +1,183 @@
-(* Naive reference implementations of the indexed policies.
+(* Naive record-based reference twins of the core-ported policies.
 
-   These are the pre-indexing linear-scan algorithms, kept so that the
-   equivalence tests and the bench [check] replay can prove the indexed
-   LRU-2 and OPT in {!Policies} choose the same victims. Both scans use
-   the same deterministic total order as their indexed counterparts:
-   LRU-2's (penultimate, last) key was already total (last-reference
-   positions are unique); OPT's never-used-again tier is broken by the
-   block identity, where the old implementation depended on hash-table
-   iteration order (any choice in that tier yields the same miss
-   count). O(n) per miss — do not use outside tests and benches. *)
+   One twin per stock policy, each a deliberately boring list/scan
+   implementation, kept so the equivalence tests and the bench [check]
+   replay can prove the event-core ports in {!Policies} choose the
+   same victims. The scans use the same deterministic total orders as
+   their indexed counterparts: LRU-2's (penultimate, last) key was
+   already total (last-reference positions are unique); OPT's
+   never-used-again tier is broken by the block identity (any choice in
+   that tier yields the same miss count); RAND's twin replays the same
+   swap-with-last discipline over a plain list so the shared RNG draw
+   sequence lands on the same block. O(n) per miss — do not use outside
+   tests and benches. *)
 
 module Block = Acfc_core.Block
+
+(* Recency twin for LRU/MRU: most recent first, O(n) moves. *)
+module Recency_ref = struct
+  type t = { mutable order : Block.t list }
+
+  let init ~capacity:_ _trace = { order = [] }
+
+  let hit t ~pos:_ block =
+    t.order <- block :: List.filter (fun b -> not (Block.equal b block)) t.order
+
+  let inserted t ~pos:_ block = t.order <- block :: t.order
+
+  let evicted t block =
+    t.order <- List.filter (fun b -> not (Block.equal b block)) t.order
+end
+
+module Lru = struct
+  include Recency_ref
+
+  let name = "LRU-REF"
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    match List.rev t.order with
+    | oldest :: _ -> oldest
+    | [] -> failwith "LRU-REF: empty"
+end
+
+module Mru = struct
+  include Recency_ref
+
+  let name = "MRU-REF"
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    match t.order with newest :: _ -> newest | [] -> failwith "MRU-REF: empty"
+end
+
+module Fifo = struct
+  type t = { mutable order : Block.t list }  (* oldest admission first *)
+
+  let name = "FIFO-REF"
+
+  let init ~capacity:_ _trace = { order = [] }
+
+  let hit _ ~pos:_ _ = ()
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    match t.order with oldest :: _ -> oldest | [] -> failwith "FIFO-REF: empty"
+
+  let inserted t ~pos:_ block = t.order <- t.order @ [ block ]
+
+  let evicted t block =
+    t.order <- List.filter (fun b -> not (Block.equal b block)) t.order
+end
+
+module Clock = struct
+  type t = {
+    mutable ring : Block.t list;  (* hand position first *)
+    referenced : (Block.t, unit) Hashtbl.t;
+  }
+
+  let name = "CLOCK-REF"
+
+  let init ~capacity:_ _trace = { ring = []; referenced = Hashtbl.create 64 }
+
+  let hit t ~pos:_ block = Hashtbl.replace t.referenced block ()
+
+  let rec choose_victim t ~pos ~missing =
+    match t.ring with
+    | [] -> failwith "CLOCK-REF: empty"
+    | block :: rest ->
+      if Hashtbl.mem t.referenced block then begin
+        Hashtbl.remove t.referenced block;
+        t.ring <- rest @ [ block ];
+        choose_victim t ~pos ~missing
+      end
+      else block
+
+  let inserted t ~pos:_ block = t.ring <- t.ring @ [ block ]
+
+  let evicted t block =
+    t.ring <- List.filter (fun b -> not (Block.equal b block)) t.ring;
+    Hashtbl.remove t.referenced block
+end
+
+module Rand = struct
+  (* Same seed, same draws, same swap-with-last slot discipline as the
+     core — expressed over a plain list indexed positionally. *)
+  type t = { rng : Acfc_sim.Rng.t; mutable slots : Block.t list }
+
+  let name = "RAND-REF"
+
+  let init ~capacity _trace =
+    { rng = Acfc_sim.Rng.create (capacity + 7); slots = [] }
+
+  let hit _ ~pos:_ _ = ()
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    match t.slots with
+    | [] -> failwith "RAND-REF: empty"
+    | slots -> List.nth slots (Acfc_sim.Rng.int t.rng (List.length slots))
+
+  let inserted t ~pos:_ block = t.slots <- t.slots @ [ block ]
+
+  let evicted t block =
+    match List.rev t.slots with
+    | [] -> ()
+    | last :: _ when not (List.exists (Block.equal block) t.slots) -> ignore last
+    | last :: _ ->
+      let filled =
+        List.mapi
+          (fun _ b -> if Block.equal b block then last else b)
+          t.slots
+      in
+      (* Drop the (now duplicated) final slot. *)
+      let n = List.length filled - 1 in
+      t.slots <- List.filteri (fun i _ -> i < n) filled
+end
+
+module Two_q = struct
+  type t = {
+    kin : int;
+    kout : int;
+    mutable a1in : Block.t list;  (* oldest first *)
+    mutable am : Block.t list;  (* most recent first *)
+    mutable a1out : Block.t list;  (* oldest ghost first *)
+  }
+
+  let name = "2Q-REF"
+
+  let init ~capacity _trace =
+    {
+      kin = Stdlib.max 1 (capacity / 4);
+      kout = Stdlib.max 1 (capacity / 2);
+      a1in = [];
+      am = [];
+      a1out = [];
+    }
+
+  let hit t ~pos:_ block =
+    if List.exists (Block.equal block) t.am then
+      t.am <- block :: List.filter (fun b -> not (Block.equal b block)) t.am
+
+  let choose_victim t ~pos:_ ~missing:_ =
+    if List.length t.a1in > t.kin || t.am = [] then
+      match t.a1in with
+      | oldest :: _ -> oldest
+      | [] -> failwith "2Q-REF: empty"
+    else
+      match List.rev t.am with oldest :: _ -> oldest | [] -> assert false
+
+  (* A ghost entry survives promotion (it only leaves A1out by aging
+     past kout), exactly like the indexed ghost table. *)
+  let inserted t ~pos:_ block =
+    if List.exists (Block.equal block) t.a1out then t.am <- block :: t.am
+    else t.a1in <- t.a1in @ [ block ]
+
+  let evicted t block =
+    if List.exists (Block.equal block) t.a1in then begin
+      t.a1in <- List.filter (fun b -> not (Block.equal b block)) t.a1in;
+      t.a1out <- t.a1out @ [ block ];
+      let overflow = List.length t.a1out - t.kout in
+      if overflow > 0 then t.a1out <- List.filteri (fun i _ -> i >= overflow) t.a1out
+    end
+    else t.am <- List.filter (fun b -> not (Block.equal b block)) t.am
+end
 
 module Lru_2 = struct
   type t = { history : (Block.t, int * int) Hashtbl.t }

@@ -22,6 +22,10 @@ type workload = {
   smart : bool;
   disk : int;
   file_blocks : int option;
+  manager : string option;
+      (* registry name of a replacement policy run as this workload's
+         live manager; None = kernel replacement (+ the app's own
+         Advise calls when smart) *)
 }
 
 type obs_spec = { trace_path : string option; metrics_path : string option }
@@ -61,7 +65,27 @@ let no_obs = { trace_path = None; metrics_path = None }
 
 let blocks_of_mb = Runner.blocks_of_mb
 
-let workload ?smart ?disk ?file_blocks app =
+(* Shared by the constructors (invalid_arg) and the JSON parser
+   ($.path error): a manager must name a registered policy that can run
+   without the future stream. *)
+let check_manager = function
+  | None -> Ok ()
+  | Some name ->
+    (match Acfc_policy.Registry.find name with
+    | Error msg -> Error msg
+    | Ok entry ->
+      if Acfc_policy.Registry.needs_future entry then
+        Error
+          (Printf.sprintf
+             "policy %S needs the future reference stream and cannot run as a live \
+              manager"
+             (Acfc_policy.Registry.name entry))
+      else Ok ())
+
+let workload ?smart ?disk ?file_blocks ?manager app =
+  (match check_manager manager with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Scenario.workload: " ^ msg));
   match Catalog.resolve ?file_blocks app with
   | Error msg -> invalid_arg ("Scenario.workload: " ^ msg)
   | Ok entry ->
@@ -70,13 +94,17 @@ let workload ?smart ?disk ?file_blocks app =
       smart = Option.value smart ~default:entry.Catalog.smart_default;
       disk = Option.value disk ~default:entry.Catalog.disk;
       file_blocks;
+      manager;
     }
 
-let inline_workload ?(smart = true) ?(disk = 0) program =
+let inline_workload ?(smart = true) ?(disk = 0) ?manager program =
+  (match check_manager manager with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Scenario.inline_workload: " ^ msg));
   (match Wir.validate program with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Scenario.inline_workload: " ^ msg));
-  { app = Inline program; smart; disk; file_blocks = None }
+  { app = Inline program; smart; disk; file_blocks = None; manager }
 
 (* {2 Fleet} *)
 
@@ -299,7 +327,7 @@ let run_assembled machine ~update_interval specs =
       (fun i spec ->
         let pid = Pid.make i in
         let control =
-          if spec.Spec.smart then
+          if spec.Spec.smart || spec.Spec.manager <> None then
             match Control.attach cache pid with
             | Ok c -> Some c
             | Error e ->
@@ -307,12 +335,32 @@ let run_assembled machine ~update_interval specs =
                 ("Scenario: manager registration failed: " ^ Acfc_core.Error.to_string e)
           else None
         in
+        (* A named manager installs the unified policy core's live
+           adapter as this pid's replacement plug-in; the app itself
+           only sees a Control handle when it is smart. *)
+        (match spec.Spec.manager with
+        | None -> ()
+        | Some pname ->
+          let entry =
+            match Acfc_policy.Registry.find pname with
+            | Ok e -> e
+            | Error msg -> failwith ("Scenario: " ^ msg)
+          in
+          let adapter =
+            Acfc_policy.Live.make entry ~capacity:(Cache.capacity cache) ()
+          in
+          (match Acfc_policy.Live.install adapter (Option.get control) with
+          | Ok () -> ()
+          | Error e ->
+            failwith
+              ("Scenario: manager plug-in install failed: "
+              ^ Acfc_core.Error.to_string e)));
         let env =
           {
             Env.engine;
             fs;
             pid;
-            control;
+            control = (if spec.Spec.smart then control else None);
             cpu = Some machine.cpu;
             rng = Rng.split rng;
           }
@@ -384,10 +432,12 @@ let run_specs ?(seed = 0) ?disks ?disk_sched ?(update_interval = 30.0) ?hit_cost
 
 let spec_of_workload w =
   match w.app with
-  | Inline program -> Spec.make ~smart:w.smart ~disk:w.disk (App.of_program program)
+  | Inline program ->
+    Spec.make ~smart:w.smart ~disk:w.disk ?manager:w.manager (App.of_program program)
   | Named name ->
     (match Catalog.resolve ?file_blocks:w.file_blocks name with
-    | Ok entry -> Spec.make ~smart:w.smart ~disk:w.disk entry.Catalog.app
+    | Ok entry ->
+      Spec.make ~smart:w.smart ~disk:w.disk ?manager:w.manager entry.Catalog.app
     | Error msg -> failwith ("Scenario: " ^ msg))
 
 let inline_workloads t =
@@ -538,6 +588,7 @@ let to_json t =
            | Named name -> [ ("app", Json.Str name) ]
            | Inline program -> [ ("program", Wir.to_json program) ])
           @ [ ("smart", Json.Bool w.smart); ("disk", num_i w.disk) ]
+          @ opt "manager" (fun m -> Json.Str m) w.manager
           @ opt "file_blocks" num_i w.file_blocks))
       t.workloads
   in
@@ -805,7 +856,7 @@ let parse_disk ~path j =
 
 let parse_workload ~n_disks ~path j =
   let* members =
-    fields ~path ~known:[ "app"; "program"; "smart"; "disk"; "file_blocks" ] j
+    fields ~path ~known:[ "app"; "program"; "smart"; "disk"; "manager"; "file_blocks" ] j
   in
   let* file_blocks = opt_field ~path "file_blocks" as_int members in
   (* A workload is either a catalog name ("app") or an inline workload
@@ -842,11 +893,19 @@ let parse_workload ~n_disks ~path j =
     | None -> Ok disk_default
     | Some v -> as_int ~path:(path ^ ".disk") v
   in
+  let* manager = opt_field ~path "manager" as_str members in
+  (* The registry's own message (valid names, near-match suggestion)
+     is surfaced verbatim under this workload's manager path. *)
+  let* () =
+    match check_manager manager with
+    | Ok () -> Ok ()
+    | Error msg -> err (path ^ ".manager") msg
+  in
   if disk < 0 || disk >= n_disks then
     err (path ^ ".disk")
       (Printf.sprintf "disk index %d out of range (%d disk%s)" disk n_disks
          (if n_disks = 1 then "" else "s"))
-  else Ok { app; smart; disk; file_blocks }
+  else Ok { app; smart; disk; file_blocks; manager }
 
 let parse_obs ~path j =
   let* members = fields ~path ~known:[ "trace"; "metrics" ] j in

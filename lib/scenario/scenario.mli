@@ -42,6 +42,11 @@ type workload = {
   smart : bool;  (** register as a manager and apply its strategy *)
   disk : int;  (** index into {!t.disks} *)
   file_blocks : int option;  (** readN backing-file size knob (named only) *)
+  manager : string option;
+      (** registry name of a replacement policy
+          ({!Acfc_policy.Registry}) installed as this workload's live
+          [fbehavior] manager via the plug-in path; [None] = kernel
+          replacement (plus the app's own Advise calls when smart) *)
 }
 
 (** Side outputs baked into the scenario (both default to [None]). *)
@@ -108,16 +113,20 @@ val blocks_of_mb : float -> int
     default Ultrix cache of the paper's workstation). *)
 
 val workload :
-  ?smart:bool -> ?disk:int -> ?file_blocks:int -> string -> workload
+  ?smart:bool -> ?disk:int -> ?file_blocks:int -> ?manager:string -> string -> workload
 (** A workload referencing a {!Catalog} application by name. [smart]
     defaults to the catalog's [smart_default] (paper apps and readN!
     apply their strategies; plain readN is oblivious); [disk] defaults
-    to the catalog's paper disk assignment. Raises [Invalid_argument]
-    on an unknown name or a misapplied [file_blocks]. *)
+    to the catalog's paper disk assignment; [manager] names a registry
+    policy to run as the workload's live manager. Raises
+    [Invalid_argument] on an unknown name, a misapplied [file_blocks],
+    or an unknown/offline-only [manager]. *)
 
-val inline_workload : ?smart:bool -> ?disk:int -> Acfc_wir.Wir.t -> workload
+val inline_workload :
+  ?smart:bool -> ?disk:int -> ?manager:string -> Acfc_wir.Wir.t -> workload
 (** A workload carrying its own IR program ([smart] defaults to true,
-    [disk] to 0). Raises [Invalid_argument] on an invalid program
+    [disk] to 0; [manager] as in {!workload}). Raises
+    [Invalid_argument] on an invalid program
     (see {!Acfc_wir.Wir.validate}). *)
 
 val inline_workloads : t -> t

@@ -2,9 +2,13 @@ module Pid = Acfc_core.Pid
 module Params = Acfc_disk.Params
 
 module Spec = struct
-  type t = { app : App.t; smart : bool; disk : int }
+  (* [manager] names a replacement policy from the unified registry
+     ({!Acfc_policy.Registry}) to install as this workload's live
+     [fbehavior] manager; [None] leaves replacement to the kernel (and
+     to whatever Advise calls a smart app makes itself). *)
+  type t = { app : App.t; smart : bool; disk : int; manager : string option }
 
-  let make ?(smart = true) ?(disk = 0) app = { app; smart; disk }
+  let make ?(smart = true) ?(disk = 0) ?manager app = { app; smart; disk; manager }
 end
 
 type app_result = {

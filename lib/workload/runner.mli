@@ -14,10 +14,13 @@ module Spec : sig
     app : App.t;
     smart : bool;  (** register as a manager and apply its strategy *)
     disk : int;  (** index into the run's disk list *)
+    manager : string option;
+        (** registry name of a replacement policy to install as this
+            workload's live manager (see {!Acfc_policy.Registry}) *)
   }
 
-  val make : ?smart:bool -> ?disk:int -> App.t -> t
-  (** Defaults: [smart = true], [disk = 0]. *)
+  val make : ?smart:bool -> ?disk:int -> ?manager:string -> App.t -> t
+  (** Defaults: [smart = true], [disk = 0], [manager = None]. *)
 end
 
 type app_result = {

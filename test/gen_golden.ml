@@ -27,8 +27,16 @@ let () =
   (* The committed fleet example is generated from the same definition
      the fleet_small.txt golden pins, so the two can never drift. Only
      written when run from the repo root. *)
-  let example = "examples/scenarios/fleet_small.json" in
-  if Sys.file_exists (Filename.dirname example) then begin
-    Acfc_scenario.Scenario.save (Golden_defs.fleet_small ()) example;
-    Printf.printf "wrote %s\n%!" example
-  end
+  let examples =
+    [
+      ("examples/scenarios/fleet_small.json", Golden_defs.fleet_small);
+      ("examples/scenarios/adaptive_arc.json", Golden_defs.adaptive_arc_small);
+    ]
+  in
+  List.iter
+    (fun (example, scenario) ->
+      if Sys.file_exists (Filename.dirname example) then begin
+        Acfc_scenario.Scenario.save (scenario ()) example;
+        Printf.printf "wrote %s\n%!" example
+      end)
+    examples

@@ -49,6 +49,30 @@ let fleet_small () =
 let fleet ~jobs () =
   Acfc_fleet.Fleet.to_string (Acfc_fleet.Fleet.run ~jobs (fleet_small ()))
 
+(* The committed examples/scenarios/adaptive_arc.json: ARC installed as
+   the first workload's live replacement manager through the unified
+   policy core, next to an unmanaged workload sharing the cache. The
+   golden pins the CLI output of `acfc-run scenario` on it, so the
+   whole plug-in decision path (Control -> Acm -> Policy_core) is
+   byte-stable. *)
+let adaptive_arc_small () =
+  Acfc_scenario.Scenario.make ~seed:13 ~cache_blocks:96
+    [
+      Acfc_scenario.Scenario.workload ~smart:false ~disk:0 ~manager:"arc"
+        "read120";
+      Acfc_scenario.Scenario.workload ~smart:false ~disk:0 "read80";
+    ]
+
+(* Byte-for-byte the output of [execute_scenario] in bin/acfc_run.ml. *)
+let adaptive_arc () =
+  let result = Acfc_scenario.Scenario.run (adaptive_arc_small ()) in
+  Format.asprintf "%a" Runner.pp result
+  ^ Format.asprintf
+      "cache: %d hits, %d misses; %d overrules, %d placeholders (%d used)@."
+      result.Runner.cache_hits result.Runner.cache_misses
+      result.Runner.overrules result.Runner.placeholders_created
+      result.Runner.placeholders_used
+
 let snapshots ~jobs =
   [
     ("fig5_cs3_ldk.txt", fig5 ~jobs);
@@ -56,4 +80,5 @@ let snapshots ~jobs =
     ("criteria3_din.txt", criteria ~jobs);
     ("metrics_readn.json", fun () -> metrics ());
     ("fleet_small.txt", fleet ~jobs);
+    ("adaptive_arc.txt", fun () -> adaptive_arc ());
   ]

@@ -252,12 +252,23 @@ let framework_validation () =
   | _ -> Alcotest.fail "bad policy accepted"
   | exception Failure _ -> ()
 
+let contains = contains_sub
+
 let by_name_lookup () =
-  chk_bool "finds OPT" true (Option.is_some (Policies.by_name "opt"));
-  chk_bool "finds LRU" true (Option.is_some (Policies.by_name "LRU"));
-  chk_bool "unknown" true (Policies.by_name "nope" = None);
-  chk_bool "finds 2Q" true (Option.is_some (Policies.by_name "2q"));
-  chk_int "eight policies" 8 (List.length Policies.all)
+  chk_bool "finds OPT" true (Result.is_ok (Policies.by_name "opt"));
+  chk_bool "finds LRU" true (Result.is_ok (Policies.by_name "LRU"));
+  chk_bool "finds 2Q" true (Result.is_ok (Policies.by_name "2q"));
+  chk_bool "finds ARC" true (Result.is_ok (Policies.by_name "arc"));
+  (match Policies.by_name "nope" with
+  | Ok _ -> Alcotest.fail "unknown name accepted"
+  | Error msg ->
+    chk_bool "error lists names" true
+      (contains ~sub:"LRU" msg && contains ~sub:"PERCEPTRON" msg));
+  (match Policies.by_name "lru3" with
+  | Ok _ -> Alcotest.fail "near-miss accepted"
+  | Error msg ->
+    chk_bool "suggests near match" true (contains ~sub:"did you mean" msg));
+  chk_int "eleven policies" 11 (List.length Policies.all)
 
 let miss_ratio () =
   let t = Trace.cyclic ~file:0 ~blocks:4 ~passes:2 in
