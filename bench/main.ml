@@ -65,9 +65,74 @@ module Scenario = Acfc_scenario.Scenario
 module Cache_ref = Acfc_core.Cache_ref
 module Wir = Acfc_wir.Wir
 module Wirgen = Acfc_wirgen.Wirgen
+module Store = Acfc_store.Store
+module Kind = Acfc_store.Kind
 open Acfc_experiments
 
 let pid0 = Acfc_core.Pid.make 0
+
+(* {2 Scratch space and the artifact store}
+
+   Every intermediate file bench creates lives under one per-run temp
+   directory, removed at exit — at_exit also runs on the gates' [exit
+   1]/[exit 2] paths, so failing runs clean up too, and nothing ever
+   lands in the CWD. *)
+
+let rec remove_tree path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun name -> remove_tree (Filename.concat path name))
+      (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let temp_root = ref None
+
+let temp_dir () =
+  match !temp_root with
+  | Some d -> d
+  | None ->
+    let d = Filename.temp_dir "acfc-bench" "" in
+    temp_root := Some d;
+    at_exit (fun () -> remove_tree d);
+    d
+
+(* The content-addressed store every artifact path resolves through:
+   recorded traces and wirgen corpora are looked up by digest (cold
+   runs generate and ingest, warm runs hit), and every emitted JSON
+   report is ingested. [--store DIR] (or ACFC_STORE) makes it
+   persistent so history accumulates across runs; the default is an
+   ephemeral store inside the per-run temp dir — same code path,
+   cleaned up at exit. *)
+
+let store_dir : string option ref = ref (Sys.getenv_opt "ACFC_STORE")
+let store_handle = ref None
+
+let store () =
+  match !store_handle with
+  | Some s -> s
+  | None ->
+    let dir =
+      match !store_dir with
+      | Some d -> d
+      | None -> Filename.concat (temp_dir ()) "store"
+    in
+    (match Store.open_ dir with
+    | Ok s ->
+      store_handle := Some s;
+      s
+    | Error e -> failwith ("bench: " ^ e))
+
+(* Corpora resolve through the store by their deterministic label:
+   first run of a (spec, seed, count) triple generates and ingests,
+   every later run loads the stored bytes — bit-identical either way,
+   since generation is a pure function and the codec round-trips. *)
+let stored_corpus spec ~seed ~count =
+  match Wirgen.stored_corpus (store ()) spec ~seed ~count with
+  | Ok (programs, _) -> programs
+  | Error e -> failwith ("bench: " ^ e)
 
 (* {2 Micro-benchmarks} *)
 
@@ -594,7 +659,7 @@ let bench_cache_churn_ref () =
    block reference; the corpus is a pure function of (default spec,
    seed 1), so the row is comparable across runs. *)
 let bench_wir_corpus () =
-  let corpus = Wirgen.corpus Wirgen.default ~seed:1 ~count:4 in
+  let corpus = stored_corpus Wirgen.default ~seed:1 ~count:4 in
   let trace =
     let next_file = ref 0 in
     Array.concat
@@ -777,17 +842,39 @@ let check_disk_queues () =
     [ ("fcfs", Sq.Fcfs); ("scan", Sq.Scan) ]
 
 (* A block-reference trace recorded from a live workload run: the same
-   stream the cache saw, replayed through old-vs-new policy code. *)
-let recorded_trace () =
-  let recorder = Acfc_replacement.Recorder.create () in
-  let sink = Acfc_obs.Sink.create ~backend:Acfc_obs.Sink.Null () in
-  ignore
-    (Acfc_scenario.Scenario.run ~obs:sink
-       ~tracer:(Acfc_replacement.Recorder.tracer recorder)
-       (Acfc_scenario.Scenario.make ~seed:11 ~cache_blocks:256
-          ~alloc_policy:Config.Lru_sp
-          [ Acfc_scenario.Scenario.workload ~smart:false ~disk:0 "read400" ]));
-  Acfc_replacement.Recorder.to_trace recorder
+   stream the cache saw, replayed through old-vs-new policy code. The
+   recording resolves through the store by the scenario's hash — the
+   first run records and ingests, later runs (and other families in
+   the same run) read the stored bytes back. *)
+let recorded_scenario () =
+  Acfc_scenario.Scenario.make ~seed:11 ~cache_blocks:256
+    ~alloc_policy:Config.Lru_sp
+    [ Acfc_scenario.Scenario.workload ~smart:false ~disk:0 "read400" ]
+
+let recorded_stream () =
+  let st = store () in
+  let scenario = recorded_scenario () in
+  let label = "refstream:" ^ Acfc_scenario.Scenario.hash scenario in
+  match Store.resolve st ~label with
+  | Some entry ->
+    (match
+       Store.read st ~kind:Kind.Refstream ~digest:entry.Acfc_store.Manifest.digest
+     with
+    | Ok content -> Acfc_replacement.Refstream.parse content
+    | Error e -> failwith ("bench: " ^ e))
+  | None ->
+    let recorder = Acfc_replacement.Recorder.create () in
+    let sink = Acfc_obs.Sink.create ~backend:Acfc_obs.Sink.Null () in
+    ignore
+      (Acfc_scenario.Scenario.run ~obs:sink
+         ~tracer:(Acfc_replacement.Recorder.tracer recorder)
+         scenario);
+    (match Acfc_replacement.Recorder.ingest ~label recorder st with
+    | Ok _ -> ()
+    | Error e -> failwith ("bench: " ^ e));
+    Acfc_replacement.Recorder.stream recorder
+
+let recorded_trace () = Acfc_replacement.Refstream.demand (recorded_stream ())
 
 let check_policies () =
   let rng = Acfc_sim.Rng.create 7 in
@@ -857,30 +944,22 @@ let lockstep_report what = function
          Lockstep.pp_divergence d)
 
 let lockstep_recorded () =
-  let recorder = Acfc_replacement.Recorder.create () in
-  let sink = Acfc_obs.Sink.create ~backend:Acfc_obs.Sink.Null () in
-  ignore
-    (Acfc_scenario.Scenario.run ~obs:sink
-       ~tracer:(Acfc_replacement.Recorder.tracer recorder)
-       (Acfc_scenario.Scenario.make ~seed:11 ~cache_blocks:256
-          ~alloc_policy:Config.Lru_sp
-          [ Acfc_scenario.Scenario.workload ~smart:false ~disk:0 "read400" ]));
   let ops =
     Array.map
       (fun e ->
         Lockstep.Read
           {
-            pid = e.Acfc_replacement.Recorder.pid;
+            pid = e.Acfc_replacement.Refstream.pid;
             block = e.block;
             prefetch = e.prefetch;
           })
-      (Acfc_replacement.Recorder.entries recorder)
+      (recorded_stream ())
   in
   lockstep_report "recorded/readn-400"
     (Lockstep.run (Config.make ~capacity_blocks:256 ()) ops)
 
 let lockstep_wirgen () =
-  let corpus = Wirgen.corpus Wirgen.default ~seed:3 ~count:16 in
+  let corpus = stored_corpus Wirgen.default ~seed:3 ~count:16 in
   let next_file = ref 0 in
   let trace =
     Array.concat
@@ -1140,9 +1219,22 @@ let run_wirgen ~quick ~corpus_seed ~jobs =
   let count = if quick then 4 else 12 in
   Format.printf "Generated corpus: spec %s (%s), seed %d, %d programs@."
     spec.Wirgen.name (Wirgen.hash spec) corpus_seed count;
-  let corpus = Wirgen.corpus spec ~seed:corpus_seed ~count in
+  let corpus = stored_corpus spec ~seed:corpus_seed ~count in
   let scenario = Wirgen.scenario spec ~seed:corpus_seed ~count in
   wirgen_fingerprint := Some (Acfc_scenario.Scenario.hash scenario, corpus_seed);
+  (* Spec and generated scenario land in the store too, so a stored
+     corpus is always traceable back to the exact family that drew it. *)
+  (match Wirgen.ingest_spec (store ()) spec with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench: " ^ e));
+  (let shash = Acfc_scenario.Scenario.hash scenario in
+   match
+     Store.add (store ()) ~kind:Kind.Scenario ~label:("scenario:" ^ shash)
+       ~expect:shash
+       (Acfc_scenario.Scenario.to_string scenario)
+   with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench: " ^ e));
   (* Each program's demand stream, fast-forwarded with the same RNG its
      workload fiber gets, then disjoint file ids so the concatenation
      is one coherent multi-program trace. Each member owns its private
@@ -1221,7 +1313,7 @@ let tournament_families =
    fast-forwarded with the RNG its workload fiber would get, then
    disjoint file ids. *)
 let tournament_trace spec ~seed ~count =
-  let corpus = Wirgen.corpus spec ~seed ~count in
+  let corpus = stored_corpus spec ~seed ~count in
   let scenario = Wirgen.scenario spec ~seed ~count in
   let streams =
     List.map
@@ -1453,11 +1545,45 @@ let write_json ~path ~quick ~runs ~jobs ~opts ~artifacts ~micro ~perf ~total_wal
         ("total_wall_s", num total_wall_s);
       ]
   in
+  let contents = J.to_string doc ^ "\n" in
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (J.to_string doc);
-      output_char oc '\n');
-  Format.printf "[bench results -> %s]@." path
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents);
+  (* Every emitted report is also ingested (exact file bytes, so
+     [store add FILE] on the artifact reproduces the digest); the
+     stored history is what [bench timeline] scans. No label: a
+     report's identity is its content, and each run's bytes differ. *)
+  (match Store.add (store ()) ~kind:Kind.Bench_report contents with
+  | Ok outcome ->
+    let digest =
+      match outcome with
+      | Store.Created e | Store.Exists e -> e.Acfc_store.Manifest.digest
+    in
+    Format.printf "[bench results -> %s (stored as %s)]@." path digest
+  | Error e -> failwith ("bench: " ^ e))
+
+(* {2 Regression timeline (timeline)}
+
+   Scans the store's bench-report history and prints each perf row's
+   ops/sec and words/op across stored runs, flagging >30% consecutive
+   ops/sec drops; [--gate] turns flagged rows into a nonzero exit.
+   History only accumulates in a persistent store (--store/ACFC_STORE);
+   an ephemeral run sees just the reports it ingested itself. *)
+
+let timeline_failures = ref 0
+
+let run_timeline () =
+  Format.printf "@.%s@." (String.make 74 '=');
+  Format.printf "Bench regression timeline over stored acfc-bench/1 reports@.";
+  match Acfc_store.Timeline.scan (store ()) with
+  | Error e -> failwith ("bench: " ^ e)
+  | Ok rows ->
+    Acfc_store.Timeline.render Format.std_formatter rows;
+    let flagged = Acfc_store.Timeline.regressions rows in
+    timeline_failures := List.length flagged;
+    if flagged <> [] then
+      Format.printf "[timeline: %d row(s) regressed >%.0f%%]@."
+        (List.length flagged)
+        (Acfc_store.Timeline.default_threshold *. 100.0)
 
 (* {2 Sequential vs parallel (fig5-par)} *)
 
@@ -1495,10 +1621,18 @@ let () =
   let baseline = ref None in
   let tournament_baseline = ref None in
   let corpus_seed = ref 0 in
+  let gate = ref false in
   let selected = ref [] in
   let spec =
     [
       ("--quick", Arg.Set quick, "1 run, 2 cache sizes per artifact");
+      ( "--store",
+        Arg.String (fun d -> store_dir := Some d),
+        "DIR persistent content-addressed artifact store (default ACFC_STORE, \
+         else an ephemeral per-run store)" );
+      ( "--gate",
+        Arg.Set gate,
+        "with timeline: exit non-zero on any row with a >30% ops/sec drop" );
       ("--runs", Arg.Set_int runs, "N cold-start runs per data point (default 3)");
       ( "--corpus-seed",
         Arg.Set_int corpus_seed,
@@ -1521,8 +1655,8 @@ let () =
   in
   let usage =
     "main.exe [--quick] [--runs N] [--jobs N] [--json FILE] [--baseline FILE] \
-     [--tournament-baseline FILE] [--corpus-seed N] \
-     [all|micro|perf|check|wirgen|tournament|ablations|criteria|fig5-par|fig4|fig5|fig6|table1..table6]*"
+     [--tournament-baseline FILE] [--corpus-seed N] [--store DIR] [--gate] \
+     [all|micro|perf|check|wirgen|tournament|timeline|ablations|criteria|fig5-par|fig4|fig5|fig6|table1..table6]*"
   in
   Arg.parse spec (fun a -> selected := a :: !selected) usage;
   let selected = if !selected = [] then [ "all"; "micro" ] else List.rev !selected in
@@ -1546,6 +1680,7 @@ let () =
         run_wirgen ~quick:!quick ~corpus_seed:!corpus_seed ~jobs:opts.Report.jobs
       | "tournament" ->
         run_tournament ~corpus_seed:!corpus_seed ~jobs:opts.Report.jobs
+      | "timeline" -> run_timeline ()
       | "ablations" ->
         Format.printf "@.%s@.@." (String.make 74 '=');
         Ablations.print_all ?jobs:opts.Report.jobs ~runs:opts.Report.runs
@@ -1591,11 +1726,16 @@ let () =
       exit 2
     end;
     check_tournament_baseline ~path !tournament_rows);
-  match !baseline with
+  (match !baseline with
   | None -> ()
   | Some path ->
     if !perf_rows = [] then begin
       Format.printf "[--baseline requires the perf family to have run]@.";
       exit 2
     end;
-    check_baseline ~path !perf_rows
+    check_baseline ~path !perf_rows);
+  if !gate && !timeline_failures > 0 then begin
+    Format.printf "[timeline gate FAILED: %d row(s) regressed]@."
+      !timeline_failures;
+    exit 1
+  end

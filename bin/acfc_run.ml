@@ -9,7 +9,9 @@
      report     regenerate the paper's tables and figures
      record     run applications and record the block reference trace
      policies   trace-driven replacement-policy comparison
-     policy     inspect the unified replacement-policy registry *)
+     policy     inspect the unified replacement-policy registry
+     store      the content-addressed artifact store (add/get/list/verify/gc)
+     monitor    tail a live run's metrics stream (acfc-monitor/1 JSONL) *)
 
 open Cmdliner
 module Config = Acfc_core.Config
@@ -21,6 +23,9 @@ module Wirgen = Acfc_wirgen.Wirgen
 module Fuzz = Acfc_wirgen.Fuzz
 module Experiments = Acfc_experiments
 module Obs = Acfc_obs
+module Store = Acfc_store.Store
+module Kind = Acfc_store.Kind
+module Manifest = Acfc_store.Manifest
 
 (* {2 Shared arguments} *)
 
@@ -71,6 +76,75 @@ let dump_scenario =
      proceeds unchanged."
   in
   Arg.(value & opt (some string) None & info [ "dump-scenario" ] ~docv:"FILE" ~doc)
+
+(* {2 Artifact store plumbing} *)
+
+let store_env = Cmd.Env.info "ACFC_STORE" ~doc:"Default artifact store directory."
+
+let store_dir =
+  let doc =
+    "Content-addressed artifact store directory (created if missing). \
+     Commands that produce artifacts ingest them here; $(b,acfc-run store) \
+     inspects it."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~env:store_env ~docv:"DIR" ~doc)
+
+let open_store_opt = function
+  | None -> None
+  | Some dir ->
+    (match Store.open_ dir with
+    | Ok s -> Some s
+    | Error msg ->
+      prerr_endline ("acfc-run: " ^ msg);
+      exit 1)
+
+let open_store_req = function
+  | Some dir ->
+    (match Store.open_ dir with
+    | Ok s -> s
+    | Error msg ->
+      prerr_endline ("acfc-run: " ^ msg);
+      exit 1)
+  | None ->
+    prerr_endline
+      "acfc-run: no store directory (pass --store DIR or set ACFC_STORE)";
+    exit 1
+
+let report_outcome ppf what = function
+  | Store.Created e ->
+    Format.fprintf ppf "%s: stored %s/%s (%d bytes)@." what
+      (Kind.to_string e.Manifest.kind) e.Manifest.digest e.Manifest.bytes
+  | Store.Exists e ->
+    Format.fprintf ppf "%s: already stored as %s/%s@." what
+      (Kind.to_string e.Manifest.kind) e.Manifest.digest
+
+(* Implicit ingestion (a run that also happens to carry --store) is a
+   status notice: stderr, so golden stdout comparisons stay exact. *)
+let ingest_or_die ?(ppf = Format.err_formatter) what = function
+  | Ok outcome -> report_outcome ppf what outcome
+  | Error msg ->
+    prerr_endline ("acfc-run: " ^ msg);
+    exit 1
+
+(* Ingest a scenario's canonical bytes under its hash label. *)
+let ingest_scenario store scenario =
+  let hash = Scenario.hash scenario in
+  ingest_or_die "scenario"
+    (Store.add store ~kind:Kind.Scenario ~label:("scenario:" ^ hash) ~expect:hash
+       (Scenario.to_string scenario))
+
+(* {2 Live monitoring plumbing} *)
+
+let monitor_out =
+  let doc =
+    "Stream metrics snapshots to $(docv) as acfc-monitor/1 JSON Lines while \
+     the run executes; tail it live with $(b,acfc-run monitor) $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "monitor" ] ~docv:"FILE" ~doc)
+
+let monitor_every =
+  let doc = "Seconds of simulated time between monitor snapshots." in
+  Arg.(value & opt float 1.0 & info [ "monitor-every" ] ~docv:"SECONDS" ~doc)
 
 (* {2 run} *)
 
@@ -147,11 +221,31 @@ let maybe_dump scenario = function
   | None -> ()
   | Some path -> Scenario.save scenario path
 
+(* Monitoring needs a live metrics registry: keep the scenario's own
+   sink when it has one, otherwise conjure a Null-backend sink that
+   exists only to be sampled. *)
+let wire_monitor scenario obs = function
+  | None -> (obs, None)
+  | Some (path, every) ->
+    let obs =
+      match obs with
+      | Some _ -> obs
+      | None -> Some (Obs.Sink.create ~backend:Obs.Sink.Null ())
+    in
+    let producer =
+      Obs.Monitor.producer ~path
+        ~info:[ ("scenario", Obs.Json.Str (Scenario.hash scenario)) ]
+        ()
+    in
+    Format.eprintf "monitor: streaming snapshots -> %s@." path;
+    (obs, Some (producer, every))
+
 (* Execute a scenario exactly as [run] does: wire its trace/metrics
    outputs, run, print the per-app results and the cache summary. *)
-let execute_scenario scenario =
+let execute_scenario ?monitor scenario =
   let obs, finish_obs = make_obs scenario.Scenario.obs in
-  let result = Scenario.run ?obs scenario in
+  let obs, monitor = wire_monitor scenario obs monitor in
+  let result = Scenario.run ?obs ?monitor scenario in
   Format.printf "%a" Runner.pp result;
   Format.printf
     "cache: %d hits, %d misses; %d overrules, %d placeholders (%d used)@."
@@ -163,9 +257,10 @@ let execute_scenario scenario =
 (* Execute a fleet scenario through the domain-parallel fleet engine:
    the report is byte-identical at every [jobs] value, so the golden
    smoke can diff --jobs 1 against --jobs 4. *)
-let execute_fleet ?jobs scenario =
+let execute_fleet ?jobs ?monitor scenario =
   let obs, finish_obs = make_obs scenario.Scenario.obs in
-  let report = Acfc_fleet.Fleet.run ?jobs ?obs scenario in
+  let obs, monitor = wire_monitor scenario obs monitor in
+  let report = Acfc_fleet.Fleet.run ?jobs ?obs ?monitor scenario in
   Format.printf "%a" Acfc_fleet.Fleet.pp report;
   finish_obs ();
   report
@@ -179,7 +274,8 @@ let cli_workloads ~oblivious names =
     names
 
 let run_cmd =
-  let go cache_mb alloc_policy seed oblivious trace_out metrics_out dump names =
+  let go cache_mb alloc_policy seed oblivious trace_out metrics_out dump store
+      monitor_path monitor_every names =
     let scenario =
       Scenario.make ~seed ~cache_blocks:(Scenario.blocks_of_mb cache_mb)
         ~alloc_policy
@@ -187,12 +283,14 @@ let run_cmd =
         (cli_workloads ~oblivious names)
     in
     maybe_dump scenario dump;
-    ignore (execute_scenario scenario)
+    Option.iter (fun s -> ingest_scenario s scenario) (open_store_opt store);
+    let monitor = Option.map (fun path -> (path, monitor_every)) monitor_path in
+    ignore (execute_scenario ?monitor scenario)
   in
   let term =
     Term.(
       const go $ cache_mb $ alloc_policy $ seed $ oblivious $ trace_out $ metrics_out
-      $ dump_scenario $ app_names)
+      $ dump_scenario $ store_dir $ monitor_out $ monitor_every $ app_names)
   in
   let info =
     Cmd.info "run" ~doc:"Run applications over the application-controlled cache"
@@ -223,7 +321,7 @@ let check_flag =
   Arg.(value & flag & info [ "check" ] ~doc)
 
 let scenario_cmd =
-  let go dump inline check jobs file =
+  let go dump inline check jobs store monitor_out monitor_every file =
     match Scenario.load file with
     | Error msg ->
       prerr_endline ("acfc-run: " ^ msg);
@@ -244,13 +342,17 @@ let scenario_cmd =
       end
       else begin
         maybe_dump scenario dump;
+        Option.iter (fun s -> ingest_scenario s scenario) (open_store_opt store);
+        let monitor = Option.map (fun path -> (path, monitor_every)) monitor_out in
         match scenario.Scenario.fleet with
-        | Some _ -> ignore (execute_fleet ?jobs scenario)
-        | None -> ignore (execute_scenario scenario)
+        | Some _ -> ignore (execute_fleet ?jobs ?monitor scenario)
+        | None -> ignore (execute_scenario ?monitor scenario)
       end
   in
   let term =
-    Term.(const go $ dump_scenario $ inline_flag $ check_flag $ jobs $ scenario_file)
+    Term.(
+      const go $ dump_scenario $ inline_flag $ check_flag $ jobs $ store_dir
+      $ monitor_out $ monitor_every $ scenario_file)
   in
   let info =
     Cmd.info "scenario"
@@ -376,7 +478,9 @@ let workload_replay_cmd =
   Cmd.v info term
 
 let workload_list_cmd =
-  let go () = List.iter print_endline Catalog.app_names in
+  let go () =
+    List.iter print_endline (List.sort String.compare Catalog.app_names)
+  in
   let term = Term.(const go $ const ()) in
   let info =
     Cmd.info "list"
@@ -424,9 +528,16 @@ let wirgen_gen_cmd =
     let doc = "Write the program here instead of standard output." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let go spec seed out =
+  let go spec seed out store =
     let spec = load_spec spec in
     let program = Wirgen.generate spec ~seed in
+    (match open_store_opt store with
+    | None -> ()
+    | Some s ->
+      ingest_or_die "wirgen-spec" (Wirgen.ingest_spec s spec);
+      ingest_or_die "wir"
+        (Store.add s ~kind:Kind.Wir_program ~expect:(Wir.hash program)
+           (Wir.to_string program)));
     match out with
     | Some path ->
       Wir.save program path;
@@ -434,7 +545,7 @@ let wirgen_gen_cmd =
         (Wirgen.hash spec) seed
     | None -> print_endline (Wir.to_string program)
   in
-  let term = Term.(const go $ spec_arg $ seed $ out) in
+  let term = Term.(const go $ spec_arg $ seed $ out $ store_dir) in
   let info =
     Cmd.info "gen"
       ~doc:
@@ -452,19 +563,33 @@ let wirgen_corpus_cmd =
     let doc = "Directory to write the corpus into (created if missing)." in
     Arg.(value & opt string "corpus" & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
   in
-  let go spec_file seed count dir =
+  let go spec_file seed count dir store =
     let spec = load_spec spec_file in
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    let programs =
+      match open_store_opt store with
+      | None -> Wirgen.corpus spec ~seed ~count
+      | Some s ->
+        (* Resolve the whole corpus through the store: warm runs decode
+           the stored artifact instead of regenerating. *)
+        ingest_or_die "wirgen-spec" (Wirgen.ingest_spec s spec);
+        let programs, origin = or_die (Wirgen.stored_corpus s spec ~seed ~count) in
+        (match origin with
+        | `Loaded digest -> Format.printf "corpus: loaded from store (%s)@." digest
+        | `Generated digest ->
+          Format.printf "corpus: generated and stored (%s)@." digest);
+        programs
+    in
     List.iter
       (fun program ->
         let path = Filename.concat dir (program.Wir.name ^ ".json") in
         Wir.save program path;
         Format.printf "%s  %s@." (Wir.hash program) path)
-      (Wirgen.corpus spec ~seed ~count);
+      programs;
     Format.printf "corpus: %d programs; spec %s (%s), seed %d@." count spec.Wirgen.name
       (Wirgen.hash spec) seed
   in
-  let term = Term.(const go $ spec_arg $ seed $ count $ dir) in
+  let term = Term.(const go $ spec_arg $ seed $ count $ dir $ store_dir) in
   let info =
     Cmd.info "corpus"
       ~doc:
@@ -621,7 +746,9 @@ let report_cmd =
     if list then
       List.iter
         (fun (name, doc) -> Format.printf "%-10s %s@." name doc)
-        Experiments.Registry.experiments
+        (List.sort
+           (fun (a, _) (b, _) -> String.compare a b)
+           Experiments.Registry.experiments)
     else begin
       let opts =
         if quick then Experiments.Report.quick
@@ -651,7 +778,7 @@ let record_cmd =
     let doc = "Output trace file." in
     Cmdliner.Arg.(value & opt string "acfc.trace" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let go cache_mb alloc_policy seed oblivious out dump names =
+  let go cache_mb alloc_policy seed oblivious out dump store names =
     let recorder = Acfc_replacement.Recorder.create () in
     let scenario =
       Scenario.make ~seed ~cache_blocks:(Scenario.blocks_of_mb cache_mb)
@@ -668,12 +795,22 @@ let record_cmd =
     Format.printf "%a" Runner.pp result;
     Format.printf "recorded %d references to %s@."
       (Acfc_replacement.Recorder.length recorder)
-      out
+      out;
+    (* --store: ingest the trace under the recorded scenario's hash so
+       consumers (bench, policies --trace-file) can resolve it by label. *)
+    match open_store_opt store with
+    | None -> ()
+    | Some s ->
+      ingest_scenario s scenario;
+      ingest_or_die "refstream"
+        (Acfc_replacement.Recorder.ingest
+           ~label:("refstream:" ^ Scenario.hash scenario)
+           recorder s)
   in
   let term =
     Term.(
       const go $ cache_mb $ alloc_policy $ seed $ oblivious $ out $ dump_scenario
-      $ app_names)
+      $ store_dir $ app_names)
   in
   let info =
     Cmd.info "record" ~doc:"Run applications and record the block reference trace"
@@ -704,7 +841,7 @@ let policy_list_cmd =
         Format.printf "%-11s %-13s %s@." (R.name entry)
           (if R.needs_future entry then "offline-only" else "offline+live")
           (R.summary entry))
-      R.all
+      (List.sort (fun a b -> String.compare (R.name a) (R.name b)) R.all)
   in
   let term = Term.(const go $ const ()) in
   let info =
@@ -774,6 +911,251 @@ let policies_cmd =
   in
   Cmd.v info term
 
+(* {2 store} *)
+
+let kind_conv =
+  let parse s =
+    match Kind.of_string s with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown artifact kind %S (expected one of %s)" s
+             (String.concat ", " (List.map Kind.to_string Kind.all))))
+  in
+  Arg.conv (parse, Kind.pp)
+
+let kind_arg =
+  let doc =
+    "Artifact kind: " ^ String.concat ", " (List.map Kind.to_string Kind.all) ^ "."
+  in
+  Arg.(required & opt (some kind_conv) None & info [ "k"; "kind" ] ~docv:"KIND" ~doc)
+
+let label_arg =
+  let doc =
+    "Also register a resolution label for the entry (e.g. \
+     $(b,refstream:<scenario-hash>)). One label maps to one digest; relabelling \
+     an existing entry to a different digest is an error."
+  in
+  Arg.(value & opt (some string) None & info [ "label" ] ~docv:"LABEL" ~doc)
+
+let pp_entry ppf (e : Manifest.entry) =
+  Format.fprintf ppf "%4d  %-13s  %s  %8d%s" e.Manifest.seq
+    (Kind.to_string e.Manifest.kind)
+    e.Manifest.digest e.Manifest.bytes
+    (match e.Manifest.label with None -> "" | Some l -> "  " ^ l)
+
+let store_add_cmd =
+  let file =
+    let doc = "File whose exact bytes to ingest." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let go store kind label file =
+    let s = open_store_req store in
+    let ic = open_in_bin file in
+    let content =
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    ingest_or_die ~ppf:Format.std_formatter file (Store.add s ~kind ?label content)
+  in
+  let term = Term.(const go $ store_dir $ kind_arg $ label_arg $ file) in
+  let info =
+    Cmd.info "add"
+      ~doc:
+        "Ingest a file's bytes into the store under their MD5 digest \
+         (verify-then-rename; idempotent)"
+  in
+  Cmd.v info term
+
+let store_get_cmd =
+  let key =
+    let doc = "An entry digest, or a resolution label (anything non-hex)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIGEST|LABEL" ~doc)
+  in
+  let out =
+    let doc = "Write the artifact bytes here instead of standard output." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let kind_opt =
+    let doc =
+      "Artifact kind (required when fetching by digest; ignored for labels)."
+    in
+    Arg.(value & opt (some kind_conv) None & info [ "k"; "kind" ] ~docv:"KIND" ~doc)
+  in
+  let is_digest s =
+    String.length s = 32
+    && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+  in
+  let go store kind_opt out key =
+    let s = open_store_req store in
+    let kind, digest =
+      if is_digest key then
+        match kind_opt with
+        | Some k -> (k, key)
+        | None ->
+          (* A digest names the bytes, not their kind; scan the manifest. *)
+          (match
+             List.find_opt
+               (fun (e : Manifest.entry) -> String.equal e.Manifest.digest key)
+               (Store.entries s)
+           with
+          | Some e -> (e.Manifest.kind, e.Manifest.digest)
+          | None ->
+            prerr_endline ("acfc-run: store: no entry with digest " ^ key);
+            exit 1)
+      else
+        match Store.resolve s ~label:key with
+        | Some e -> (e.Manifest.kind, e.Manifest.digest)
+        | None ->
+          prerr_endline ("acfc-run: store: no entry labelled " ^ key);
+          exit 1
+    in
+    let content = or_die (Store.read s ~kind ~digest) in
+    match out with
+    | None -> print_string content
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc content);
+      Format.printf "%s/%s -> %s (%d bytes)@." (Kind.to_string kind) digest path
+        (String.length content)
+  in
+  let term = Term.(const go $ store_dir $ kind_opt $ out $ key) in
+  let info =
+    Cmd.info "get"
+      ~doc:
+        "Fetch stored bytes by digest or label (bytes are re-verified against \
+         the digest on the way out)"
+  in
+  Cmd.v info term
+
+let store_list_cmd =
+  let go store =
+    let s = open_store_req store in
+    match Store.entries s with
+    | [] -> Format.printf "store: empty (%s)@." (Store.root s)
+    | entries ->
+      List.iter (fun e -> Format.printf "%a@." pp_entry e) entries;
+      Format.printf "store: %d entries (%s)@." (List.length entries) (Store.root s)
+  in
+  let term = Term.(const go $ store_dir) in
+  let info =
+    Cmd.info "list"
+      ~doc:"Print the manifest: seq, kind, digest, size and label of every entry"
+  in
+  Cmd.v info term
+
+let store_verify_cmd =
+  let go store =
+    let s = open_store_req store in
+    match Store.verify s with
+    | Ok n -> Format.printf "store: ok; %d entries verified (%s)@." n (Store.root s)
+    | Error problems ->
+      List.iter (fun p -> Format.eprintf "store: %s@." p) problems;
+      Format.eprintf "store: %d problem(s)@." (List.length problems);
+      exit 1
+  in
+  let term = Term.(const go $ store_dir) in
+  let info =
+    Cmd.info "verify"
+      ~doc:
+        "Re-digest every manifest entry's bytes; non-zero exit listing each \
+         missing or corrupted entry"
+  in
+  Cmd.v info term
+
+let store_gc_cmd =
+  let go store =
+    let s = open_store_req store in
+    match Store.gc s with
+    | [] -> Format.printf "store: nothing to collect (%s)@." (Store.root s)
+    | removed ->
+      List.iter (fun p -> Format.printf "removed %s@." p) removed;
+      Format.printf "store: removed %d unreferenced file(s)@." (List.length removed)
+  in
+  let term = Term.(const go $ store_dir) in
+  let info =
+    Cmd.info "gc"
+      ~doc:
+        "Remove files the manifest does not reference: unindexed kind-directory \
+         files and staging leftovers"
+  in
+  Cmd.v info term
+
+let store_cmd =
+  let info =
+    Cmd.info "store"
+      ~doc:"Inspect and maintain the content-addressed artifact store"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Artifacts — recorded reference traces, workload IR programs, \
+             wirgen specs and corpora, scenarios, bench reports — live under \
+             $(b,<root>/<kind>/<digest>), where the digest is the MD5 of the \
+             exact stored bytes (the same fingerprints $(b,scenario --check) \
+             and $(b,wirgen gen) already print). Ingestion is \
+             verify-then-rename and atomic; entries are immutable once \
+             published. The store root comes from $(b,--store) or \
+             \\$ACFC_STORE.";
+        ]
+  in
+  Cmd.group info
+    [ store_add_cmd; store_get_cmd; store_list_cmd; store_verify_cmd; store_gc_cmd ]
+
+(* {2 monitor} *)
+
+let monitor_cmd =
+  let file =
+    let doc = "An acfc-monitor/1 JSON Lines stream, possibly still being written." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let poll =
+    let doc = "Polling interval at end-of-file, in seconds." in
+    Arg.(value & opt float 0.02 & info [ "poll" ] ~docv:"SECONDS" ~doc)
+  in
+  let timeout =
+    let doc =
+      "Give up after $(docv) seconds without new data (also bounds the wait \
+       for the file to appear)."
+    in
+    Arg.(value & opt float 10.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let go poll timeout file =
+    let r = Obs.Monitor.renderer () in
+    match
+      Obs.Monitor.follow ~path:file ~poll_s:poll ~timeout_s:timeout
+        ~on_event:(fun event ->
+          Obs.Monitor.render r Format.std_formatter event;
+          Format.pp_print_flush Format.std_formatter ();
+          `Continue)
+        ()
+    with
+    | Ok () -> ()
+    | Error msg ->
+      prerr_endline ("acfc-run: " ^ msg);
+      exit 1
+  in
+  let term = Term.(const go $ poll $ timeout $ file) in
+  let info =
+    Cmd.info "monitor"
+      ~doc:"Tail a live run's metrics stream with follow semantics"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Start a run with $(b,--monitor FILE) (on $(b,run) or \
+             $(b,scenario)), then, from another terminal, \
+             $(b,acfc-run monitor FILE): snapshots appear as the simulation \
+             emits them — cache hit rate with its delta against the previous \
+             snapshot, and per-client gauges for fleet scenarios. Exits when \
+             the run writes its end record, or non-zero after $(b,--timeout) \
+             seconds of silence.";
+        ]
+  in
+  Cmd.v info term
+
 let () =
   let info =
     Cmd.info "acfc-run" ~version:"1.0.0"
@@ -791,4 +1173,6 @@ let () =
             record_cmd;
             policies_cmd;
             policy_cmd;
+            store_cmd;
+            monitor_cmd;
           ]))

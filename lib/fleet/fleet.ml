@@ -322,7 +322,7 @@ let programs_of scn =
   let wdisk = Array.map (fun w -> w.Scenario.disk) workloads in
   (programs, wdisk)
 
-let run ?jobs ?obs scn =
+let run ?jobs ?obs ?monitor scn =
   let fleet =
     match scn.Scenario.fleet with
     | Some f -> f
@@ -427,6 +427,25 @@ let run ?jobs ?obs scn =
     Metrics.gauge m "fleet.server.hits" (fun () -> float_of_int server.s_hits);
     Metrics.gauge m "fleet.server.disk_busy_s" (fun () -> server.s_busy);
     Metrics.gauge m "fleet.server.queue_wait_s" (fun () -> server.s_wait));
+  (* Monitor samples are taken at epoch barriers, after [serve]: the
+     worker domains are parked inside [Team.run] between epochs, so the
+     coordinator reads every cross-domain gauge race-free, and the
+     sample perturbs neither event counts nor the schedule. *)
+  let monitor =
+    match (monitor, obs) with
+    | None, _ -> None
+    | Some (p, every), Some sink ->
+      Some (p, Acfc_obs.Sink.metrics sink, every, ref 0.0)
+    | Some _, None ->
+      invalid_arg "Fleet.run: a monitor needs an observability sink (obs)"
+  in
+  let monitor_sample now =
+    match monitor with
+    | Some (p, metrics, every, next) when now >= !next ->
+      Acfc_obs.Monitor.sample p ~metrics ~now;
+      next := now +. every
+    | _ -> ()
+  in
   let total = nclients * nwld in
   let finished () = Array.fold_left (fun acc c -> acc + c.finished) 0 clients in
   let k = ref 0 in
@@ -442,6 +461,7 @@ let run ?jobs ?obs scn =
     incr epochs;
     gather server outboxes;
     serve server clients lat xfer;
+    monitor_sample h;
     if finished () < total then begin
       (* Jump over epochs in which no engine has work (all responses
          are scheduled by now, so the minimum is exact). *)
@@ -474,13 +494,21 @@ let run ?jobs ?obs scn =
         })
       clients
   in
+  let makespan =
+    Array.fold_left (fun acc (c : client_stats) -> Float.max acc c.finish_s) 0.0
+      client_stats
+  in
+  (match monitor with
+  | None -> ()
+  | Some (p, metrics, _, _) ->
+    Acfc_obs.Monitor.sample p ~metrics ~now:makespan;
+    Acfc_obs.Monitor.finish p ~now:makespan);
   {
     client_stats;
     epochs = !epochs;
     lookahead_s;
     events = Array.fold_left (fun acc (c : client_stats) -> acc + c.events) 0 client_stats;
-    makespan_s =
-      Array.fold_left (fun acc (c : client_stats) -> Float.max acc c.finish_s) 0.0 client_stats;
+    makespan_s = makespan;
     server_requests = Array.fold_left ( + ) 0 server.req_by_client;
     server_hits = server.s_hits;
     server_busy_s = server.s_busy;

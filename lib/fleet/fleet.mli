@@ -55,16 +55,25 @@ type report = {
 }
 
 val run :
-  ?jobs:int -> ?obs:Acfc_obs.Sink.t -> Acfc_scenario.Scenario.t -> report
+  ?jobs:int ->
+  ?obs:Acfc_obs.Sink.t ->
+  ?monitor:Acfc_obs.Monitor.producer * float ->
+  Acfc_scenario.Scenario.t ->
+  report
 (** Simulate the fleet to completion. [jobs] (default
     {!Acfc_par.Pool.default_jobs}, clamped to the client count) only
     changes wall-clock time, never the report. [obs], when given,
     receives per-client labelled gauges ([fleet.client.*{client=N}]),
     their {!Acfc_obs.Metrics.gauge_sum} roll-ups, and [fleet.server.*]
-    gauges. Raises [Invalid_argument] if the scenario has no [fleet]
-    section or [shared_files] exceeds the workload file slots;
-    [Failure] if the fleet stalls (a lost response — a bug, not a
-    scenario error). *)
+    gauges. [monitor], as [(producer, every)], streams a metrics
+    snapshot at the first epoch barrier past each [every] simulated
+    seconds — sampled while the worker domains are parked, so a
+    monitored run's report is byte-identical to an unmonitored one —
+    then a final snapshot, closing the stream; it requires [obs]
+    (raises [Invalid_argument] otherwise). Raises [Invalid_argument]
+    if the scenario has no [fleet] section or [shared_files] exceeds
+    the workload file slots; [Failure] if the fleet stalls (a lost
+    response — a bug, not a scenario error). *)
 
 val pp : Format.formatter -> report -> unit
 (** Deterministic rendering: contains nothing worker- or wall-clock-

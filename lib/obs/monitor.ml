@@ -1,0 +1,220 @@
+let schema = "acfc-monitor/1"
+
+(* Producing *)
+
+type producer = { oc : out_channel; mutable closed : bool }
+
+let write_line p j =
+  output_string p.oc (Json.to_string j);
+  output_char p.oc '\n';
+  flush p.oc
+
+let producer ~path ?(info = []) () =
+  let oc = open_out_bin path in
+  let p = { oc; closed = false } in
+  write_line p (Json.Obj ([ ("schema", Json.Str schema); ("type", Json.Str "start") ] @ info));
+  p
+
+let sample p ~metrics ~now =
+  if not p.closed then
+    write_line p
+      (Json.Obj
+         [ ("type", Json.Str "snapshot"); ("metrics", Metrics.snapshot metrics ~now) ])
+
+let finish p ~now =
+  if not p.closed then begin
+    write_line p (Json.Obj [ ("type", Json.Str "end"); ("now", Json.Num now) ]);
+    p.closed <- true;
+    close_out p.oc
+  end
+
+(* Consuming *)
+
+type event =
+  | Start of Json.t
+  | Snapshot of Json.t
+  | End of Json.t
+
+let parse_line line =
+  match Json.of_string line with
+  | Error e -> Error ("monitor: invalid JSON record: " ^ e)
+  | Ok j ->
+    (match Option.bind (Json.member "type" j) Json.to_str with
+    | Some "start" ->
+      (match Option.bind (Json.member "schema" j) Json.to_str with
+      | Some s when s = schema -> Ok (Start j)
+      | Some s ->
+        Error
+          (Printf.sprintf "monitor: unsupported schema %S (expected %s)" s schema)
+      | None -> Error "monitor: start record without a schema")
+    | Some "snapshot" ->
+      (match Json.member "metrics" j with
+      | Some m -> Ok (Snapshot m)
+      | None -> Error "monitor: snapshot record without metrics")
+    | Some "end" -> Ok (End j)
+    | Some s -> Error (Printf.sprintf "monitor: unknown record type %S" s)
+    | None -> Error "monitor: record without a type")
+
+let follow ~path ?(poll_s = 0.02) ?(timeout_s = 10.0) ~on_event () =
+  let start = Unix.gettimeofday () in
+  let rec wait_file () =
+    if Sys.file_exists path then Ok ()
+    else if Unix.gettimeofday () -. start > timeout_s then
+      Error (Printf.sprintf "monitor: timed out waiting for %s to appear" path)
+    else begin
+      Unix.sleepf poll_s;
+      wait_file ()
+    end
+  in
+  match wait_file () with
+  | Error _ as e -> e
+  | Ok () ->
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let partial = Buffer.create 256 in
+        let last_data = ref (Unix.gettimeofday ()) in
+        (* Deliver every complete line currently buffered; the return
+           value says whether the stream is finished. *)
+        let deliver chunk =
+          Buffer.add_string partial chunk;
+          let s = Buffer.contents partial in
+          Buffer.clear partial;
+          let rec go from =
+            match String.index_from_opt s from '\n' with
+            | None ->
+              Buffer.add_string partial (String.sub s from (String.length s - from));
+              Ok `More
+            | Some nl ->
+              let line = String.sub s from (nl - from) in
+              if String.trim line = "" then go (nl + 1)
+              else
+                (match parse_line line with
+                | Error _ as e -> e
+                | Ok ev ->
+                  let stop = on_event ev = `Stop in
+                  (match ev with
+                  | End _ -> Ok `Finished
+                  | _ -> if stop then Ok `Finished else go (nl + 1)))
+          in
+          go 0
+        in
+        let rec loop () =
+          let len = in_channel_length ic in
+          let pos = pos_in ic in
+          if len > pos then begin
+            let chunk = really_input_string ic (len - pos) in
+            last_data := Unix.gettimeofday ();
+            match deliver chunk with
+            | Ok `Finished -> Ok ()
+            | Ok `More -> loop ()
+            | Error _ as e -> e
+          end
+          else if Unix.gettimeofday () -. !last_data > timeout_s then
+            Error
+              (Printf.sprintf "monitor: no new data in %s for %.1fs" path timeout_s)
+          else begin
+            Unix.sleepf poll_s;
+            loop ()
+          end
+        in
+        loop ())
+
+(* Rendering *)
+
+type renderer = {
+  mutable prev_ratio : float option;
+  mutable snapshots : int;
+}
+
+let renderer () = { prev_ratio = None; snapshots = 0 }
+
+let gauges_of snapshot =
+  match Json.member "gauges" snapshot with
+  | Some (Json.Obj members) ->
+    List.filter_map
+      (fun (name, v) -> Option.map (fun x -> (name, x)) (Json.to_num v))
+      members
+  | _ -> []
+
+(* ["fleet.client.hits{client=3}"] -> [Some ("fleet.client.hits", "3")] *)
+let client_gauge name =
+  match String.index_opt name '{' with
+  | Some i when String.length name > i && name.[String.length name - 1] = '}' ->
+    let family = String.sub name 0 i in
+    let inner = String.sub name (i + 1) (String.length name - i - 2) in
+    (match String.split_on_char '=' inner with
+    | [ "client"; id ] -> Some (family, id)
+    | _ -> None)
+  | _ -> None
+
+let find gauges name = List.assoc_opt name gauges
+
+let render r ppf = function
+  | Start j ->
+    let extra =
+      match Option.bind (Json.member "scenario" j) Json.to_str with
+      | Some s -> Printf.sprintf " scenario %s" s
+      | None -> ""
+    in
+    Format.fprintf ppf "monitor: stream started%s@." extra
+  | End j ->
+    let now = Option.value ~default:0.0 (Option.bind (Json.member "now" j) Json.to_num) in
+    Format.fprintf ppf "monitor: run complete at t=%.3fs (%d snapshots)@." now
+      r.snapshots
+  | Snapshot s ->
+    r.snapshots <- r.snapshots + 1;
+    let now = Option.value ~default:0.0 (Option.bind (Json.member "now" s) Json.to_num) in
+    let gauges = gauges_of s in
+    (match (find gauges "cache.hits", find gauges "cache.misses") with
+    | Some hits, Some misses ->
+      let total = hits +. misses in
+      let ratio = if total > 0.0 then hits /. total else 0.0 in
+      let delta =
+        match r.prev_ratio with
+        | Some p -> Printf.sprintf " (%+.1fpp)" ((ratio -. p) *. 100.0)
+        | None -> ""
+      in
+      r.prev_ratio <- Some ratio;
+      Format.fprintf ppf "t=%8.3fs  cache %.0f hits / %.0f misses  hit-rate %5.1f%%%s@."
+        now hits misses (ratio *. 100.0) delta
+    | _ -> Format.fprintf ppf "t=%8.3fs@." now);
+    (* Per-client fleet gauges, when the stream comes from a fleet run. *)
+    let clients = Hashtbl.create 8 in
+    List.iter
+      (fun (name, v) ->
+        match client_gauge name with
+        | Some (family, id) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt clients id) in
+          Hashtbl.replace clients id ((family, v) :: prev)
+        | None -> ())
+      gauges;
+    let ids =
+      Hashtbl.fold (fun id _ acc -> id :: acc) clients []
+      |> List.sort (fun a b ->
+             match (int_of_string_opt a, int_of_string_opt b) with
+             | Some x, Some y -> compare x y
+             | _ -> String.compare a b)
+    in
+    List.iter
+      (fun id ->
+        let fam = Hashtbl.find clients id in
+        let g name = Option.value ~default:0.0 (List.assoc_opt name fam) in
+        let hits = g "fleet.client.hits" and misses = g "fleet.client.misses" in
+        let total = hits +. misses in
+        let ratio = if total > 0.0 then hits /. total *. 100.0 else 0.0 in
+        Format.fprintf ppf
+          "  client %s: %.0f events  %.0f hits / %.0f misses (%.1f%%)  remote %.0f  disk %.0f@."
+          id
+          (g "fleet.client.events")
+          hits misses ratio
+          (g "fleet.client.remote_requests")
+          (g "fleet.client.disk_reads"))
+      ids;
+    match find gauges "fleet.server.requests" with
+    | Some reqs ->
+      Format.fprintf ppf "  server: %.0f requests  %.0f hits  disk busy %.3fs@." reqs
+        (Option.value ~default:0.0 (find gauges "fleet.server.hits"))
+        (Option.value ~default:0.0 (find gauges "fleet.server.disk_busy_s"))
+    | None -> ()

@@ -32,6 +32,13 @@ let to_trace ?pid ?include_prefetch t = Refstream.demand ?pid ?include_prefetch 
 
 let save t oc = Refstream.save (entries t) oc
 
+let ingest ?label t store =
+  Acfc_store.Store.add store ~kind:Acfc_store.Kind.Refstream ?label
+    (Refstream.render (entries t))
+
+let of_stream entries =
+  { entries = List.rev (Array.to_list entries); length = Array.length entries }
+
 let load ic =
   let entries = Refstream.load ic in
   { entries = List.rev (Array.to_list entries); length = Array.length entries }

@@ -48,5 +48,19 @@ val save : t -> out_channel -> unit
 (** One line per reference: ["<pid> <file> <index> <h|m> <d|p>"],
     preceded by a header line. *)
 
+val ingest :
+  ?label:string ->
+  t ->
+  Acfc_store.Store.t ->
+  (Acfc_store.Store.outcome, string) result
+(** Ingest the recording into a content-addressed store — the bytes
+    are exactly what {!save} writes, so the stored digest identifies
+    the trace. [label] registers a resolution key (conventionally
+    ["refstream:<scenario-hash>"]) for digest-free lookup. *)
+
+val of_stream : Refstream.t -> t
+(** A recorder pre-filled with an existing stream (e.g. one read back
+    from a store), for code paths that expect a recording. *)
+
 val load : in_channel -> t
 (** Raises [Failure] on a malformed trace file. *)

@@ -20,54 +20,70 @@ let of_blocks ?(pid = Pid.make 0) trace =
 
 let magic = "acfc-trace-v1"
 
-let save t oc =
-  output_string oc (magic ^ "\n");
+let render t =
+  let b = Buffer.create (64 + (Array.length t * 16)) in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
   Array.iter
     (fun e ->
-      Printf.fprintf oc "%d %d %d %c %c\n" (Pid.to_int e.pid) (Block.file e.block)
-        (Block.index e.block)
-        (if e.hit then 'h' else 'm')
-        (if e.prefetch then 'p' else 'd'))
-    t
+      Buffer.add_string b
+        (Printf.sprintf "%d %d %d %c %c\n" (Pid.to_int e.pid) (Block.file e.block)
+           (Block.index e.block)
+           (if e.hit then 'h' else 'm')
+           (if e.prefetch then 'p' else 'd')))
+    t;
+  Buffer.contents b
+
+let save t oc = output_string oc (render t)
+
+let parse_entry line =
+  match String.split_on_char ' ' line with
+  | [ pid; file; index; hm; dp ] ->
+    let int_of s =
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> failwith "Refstream.load: bad integer"
+    in
+    let hit =
+      match hm with
+      | "h" -> true
+      | "m" -> false
+      | _ -> failwith "Refstream.load: bad hit flag"
+    in
+    let prefetch =
+      match dp with
+      | "p" -> true
+      | "d" -> false
+      | _ -> failwith "Refstream.load: bad prefetch flag"
+    in
+    {
+      pid = Pid.make (int_of pid);
+      block = Block.make ~file:(int_of file) ~index:(int_of index);
+      hit;
+      prefetch;
+    }
+  | _ -> failwith "Refstream.load: bad line"
+
+let parse s =
+  match String.split_on_char '\n' s with
+  | header :: rest when header = magic ->
+    rest
+    |> List.filter (fun line -> line <> "")
+    |> List.map parse_entry
+    |> Array.of_list
+  | _ :: _ -> failwith "Refstream.load: bad trace header"
+  | [] -> failwith "Refstream.load: empty file"
 
 let load ic =
+  let entries = ref [] in
   (match input_line ic with
   | header when header = magic -> ()
   | _ -> failwith "Refstream.load: bad trace header"
   | exception End_of_file -> failwith "Refstream.load: empty file");
-  let entries = ref [] in
   (try
      while true do
        let line = input_line ic in
-       if line <> "" then
-         match String.split_on_char ' ' line with
-         | [ pid; file; index; hm; dp ] ->
-           let int_of s =
-             match int_of_string_opt s with
-             | Some n -> n
-             | None -> failwith "Refstream.load: bad integer"
-           in
-           let hit =
-             match hm with
-             | "h" -> true
-             | "m" -> false
-             | _ -> failwith "Refstream.load: bad hit flag"
-           in
-           let prefetch =
-             match dp with
-             | "p" -> true
-             | "d" -> false
-             | _ -> failwith "Refstream.load: bad prefetch flag"
-           in
-           entries :=
-             {
-               pid = Pid.make (int_of pid);
-               block = Block.make ~file:(int_of file) ~index:(int_of index);
-               hit;
-               prefetch;
-             }
-             :: !entries
-         | _ -> failwith "Refstream.load: bad line"
+       if line <> "" then entries := parse_entry line :: !entries
      done
    with End_of_file -> ());
   Array.of_list (List.rev !entries)

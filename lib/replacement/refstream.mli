@@ -41,6 +41,13 @@ val of_blocks : ?pid:Acfc_core.Pid.t -> Trace.t -> t
 val magic : string
 (** ["acfc-trace-v1"]. *)
 
+val render : t -> string
+(** The complete trace file as one string — the exact bytes {!save}
+    writes, and the canonical content the artifact store digests. *)
+
+val parse : string -> t
+(** Inverse of {!render}. Raises [Failure] on a malformed trace. *)
+
 val save : t -> out_channel -> unit
 
 val load : in_channel -> t

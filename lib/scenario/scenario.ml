@@ -318,7 +318,7 @@ let assemble ?tracer ?obs ~seed ~disks ~update_interval:_ ~hit_cost ~io_cpu_cost
       specs);
   { engine; bus; disk_array; cpu; fs; cache; rng }
 
-let run_assembled machine ~update_interval specs =
+let run_assembled ?monitor machine ~update_interval specs =
   let { engine; disk_array; fs; cache; rng; _ } = machine in
   let stop_daemon = Acfc_fs.Fs.spawn_update_daemon fs ~interval:update_interval () in
   let finish_times = Array.make (List.length specs) 0.0 in
@@ -373,13 +373,36 @@ let run_assembled machine ~update_interval specs =
         iv)
       specs
   in
+  (* The live-monitoring fiber follows the update daemon's pattern: a
+     periodic loop the coordinator stops once the workloads are done.
+     Only spawned when a monitor is attached, so unmonitored runs keep
+     their exact event counts. *)
+  let stop_monitor = ref (fun () -> ()) in
+  (match monitor with
+  | None -> ()
+  | Some (p, metrics, every) ->
+    let stopped = ref false in
+    stop_monitor := (fun () -> stopped := true);
+    Engine.spawn engine ~name:"monitor" (fun () ->
+        while not !stopped do
+          Engine.delay engine every;
+          if not !stopped then
+            Acfc_obs.Monitor.sample p ~metrics ~now:(Engine.now engine)
+        done));
   Engine.spawn engine ~name:"coordinator" (fun () ->
       List.iter Ivar.read done_ivars;
       (* Flush what the applications left dirty so write I/Os are fully
          accounted, then let the update daemon exit. *)
       ignore (Acfc_fs.Fs.sync fs);
-      stop_daemon ());
+      stop_daemon ();
+      !stop_monitor ());
   Engine.run engine;
+  (match monitor with
+  | None -> ()
+  | Some (p, metrics, _) ->
+    let now = Engine.now engine in
+    Acfc_obs.Monitor.sample p ~metrics ~now;
+    Acfc_obs.Monitor.finish p ~now);
   let apps =
     List.mapi
       (fun i spec ->
@@ -408,9 +431,18 @@ let run_assembled machine ~update_interval specs =
     engine_events = Engine.events_processed engine;
   }
 
+(* Pair a CLI-facing [?monitor:(producer, every)] with the sink's
+   metrics registry; a monitor without a sink has nothing to sample. *)
+let monitor_with_metrics ~who monitor obs =
+  match (monitor, obs) with
+  | None, _ -> None
+  | Some (p, every), Some sink -> Some (p, Acfc_obs.Sink.metrics sink, every)
+  | Some _, None ->
+    invalid_arg (who ^ ": a monitor needs an observability sink (obs)")
+
 let run_specs ?(seed = 0) ?disks ?disk_sched ?(update_interval = 30.0) ?hit_cost
     ?io_cpu_cost ?write_cluster ?readahead ?(scattered_layout = false) ?revocation
-    ?shared_files ?tracer ?obs ~cache_blocks ~alloc_policy specs =
+    ?shared_files ?tracer ?obs ?monitor ~cache_blocks ~alloc_policy specs =
   let disks =
     match disks with
     | None -> default_disks
@@ -428,7 +460,9 @@ let run_specs ?(seed = 0) ?disks ?disk_sched ?(update_interval = 30.0) ?hit_cost
     assemble ?tracer ?obs ~seed ~disks ~update_interval ~hit_cost ~io_cpu_cost
       ~write_cluster ~readahead ~scattered_layout ~config specs
   in
-  run_assembled machine ~update_interval specs
+  run_assembled
+    ?monitor:(monitor_with_metrics ~who:"Scenario.run_specs" monitor obs)
+    machine ~update_interval specs
 
 let spec_of_workload w =
   match w.app with
@@ -473,7 +507,7 @@ let build ?tracer ?obs t =
     ~hit_cost:t.hit_cost ~io_cpu_cost:t.io_cpu_cost ~write_cluster:t.write_cluster
     ~readahead:t.readahead ~scattered_layout:t.scattered_layout ~config:t.config specs
 
-let run ?tracer ?obs t =
+let run ?tracer ?obs ?monitor t =
   let specs = List.map spec_of_workload t.workloads in
   let machine =
     assemble ?tracer ?obs ~seed:t.seed ~disks:t.disks
@@ -482,7 +516,9 @@ let run ?tracer ?obs t =
       ~readahead:t.readahead ~scattered_layout:t.scattered_layout ~config:t.config
       specs
   in
-  run_assembled machine ~update_interval:t.update_interval specs
+  run_assembled
+    ?monitor:(monitor_with_metrics ~who:"Scenario.run" monitor obs)
+    machine ~update_interval:t.update_interval specs
 
 (* {2 Serialisation} *)
 

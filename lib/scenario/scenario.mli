@@ -226,6 +226,7 @@ val workload_rngs : t -> Acfc_sim.Rng.t list
 val run :
   ?tracer:(Acfc_core.Event.t -> unit) ->
   ?obs:Acfc_obs.Sink.t ->
+  ?monitor:Acfc_obs.Monitor.producer * float ->
   t ->
   Acfc_workload.Runner.t
 (** {!build}, spawn one fiber per workload, run the simulation to
@@ -233,8 +234,13 @@ val run :
     [obs], when given, is threaded through every layer and additionally
     carries per-application gauges named [app.<index>.<name>.*]; it
     takes precedence over [t.obs] (which {!run} does {e not} open —
-    file side outputs are the CLI's job). Raises [Failure] if a
-    workload name no longer resolves. *)
+    file side outputs are the CLI's job). [monitor], when given as
+    [(producer, every)], spawns a sampler fiber that streams a metrics
+    snapshot to the producer every [every] simulated seconds while the
+    workloads run, then emits a final snapshot and closes the stream;
+    it requires [obs] (raises [Invalid_argument] otherwise) and does
+    not perturb unmonitored runs. Raises [Failure] if a workload name
+    no longer resolves. *)
 
 val run_specs :
   ?seed:int ->
@@ -250,6 +256,7 @@ val run_specs :
   ?shared_files:Acfc_core.Config.shared_files ->
   ?tracer:(Acfc_core.Event.t -> unit) ->
   ?obs:Acfc_obs.Sink.t ->
+  ?monitor:Acfc_obs.Monitor.producer * float ->
   cache_blocks:int ->
   alloc_policy:Acfc_core.Config.alloc_policy ->
   Spec.t list ->

@@ -1,0 +1,31 @@
+type t =
+  | Refstream
+  | Wir_program
+  | Wirgen_spec
+  | Wirgen_corpus
+  | Scenario
+  | Bench_report
+
+let all =
+  [ Refstream; Wir_program; Wirgen_spec; Wirgen_corpus; Scenario; Bench_report ]
+
+let to_string = function
+  | Refstream -> "refstream"
+  | Wir_program -> "wir"
+  | Wirgen_spec -> "wirgen-spec"
+  | Wirgen_corpus -> "wirgen-corpus"
+  | Scenario -> "scenario"
+  | Bench_report -> "bench-report"
+
+let of_string = function
+  | "refstream" -> Some Refstream
+  | "wir" -> Some Wir_program
+  | "wirgen-spec" -> Some Wirgen_spec
+  | "wirgen-corpus" -> Some Wirgen_corpus
+  | "scenario" -> Some Scenario
+  | "bench-report" -> Some Bench_report
+  | _ -> None
+
+let dir = to_string
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)

@@ -1,0 +1,45 @@
+(** The typed artifact kinds the content-addressed store holds.
+
+    Every serialised artifact the toolchain produces belongs to exactly
+    one kind, and each kind names the canonical byte representation its
+    entries are digests of:
+
+    - {!Refstream}: a recorded reference trace in the [acfc-trace-v1]
+      text format ({!Acfc_replacement.Refstream}).
+    - {!Wir_program}: one workload IR program as canonical single-line
+      [acfc-wir/1] JSON (no trailing newline), so the entry digest {e is}
+      [Acfc_wir.Wir.hash].
+    - {!Wirgen_spec}: an [acfc-wirgen/1] spec in canonical form; the
+      digest is [Acfc_wirgen.Wirgen.hash].
+    - {!Wirgen_corpus}: a whole generated corpus as JSON Lines, one
+      canonical [acfc-wir/1] document per member, in member order.
+    - {!Scenario}: an [acfc-scenario/1] machine description in canonical
+      form; the digest is [Acfc_scenario.Scenario.hash].
+    - {!Bench_report}: an [acfc-bench/1] results document as emitted by
+      [bench --json].
+
+    The on-disk directory of a kind is {!dir}; {!to_string} is the
+    stable enum value used by the manifest codec and the CLI. *)
+
+type t =
+  | Refstream
+  | Wir_program
+  | Wirgen_spec
+  | Wirgen_corpus
+  | Scenario
+  | Bench_report
+
+val all : t list
+(** Every kind, in the fixed order above. *)
+
+val to_string : t -> string
+(** Stable identifier: ["refstream"], ["wir"], ["wirgen-spec"],
+    ["wirgen-corpus"], ["scenario"], ["bench-report"]. *)
+
+val of_string : string -> t option
+
+val dir : t -> string
+(** Directory name under the store root holding this kind's entries
+    (equal to {!to_string}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+(** Content-addressed artifact store.
+
+    Artifacts live under [root/<kind>/<digest>] where [digest] is the
+    MD5 hex of the exact stored bytes — the same digests the rest of
+    the codebase already computes ([Scenario.hash], [Wir.hash],
+    [Wirgen.hash]). A manifest ([root/manifest.json], {!Manifest})
+    indexes every ingestion with a sequence number and an optional
+    resolution label; a scratch area [root/tmp] stages writes.
+
+    Ingestion is verify-then-rename, after 0install's store: the bytes
+    are written to a staging file, the digest of what actually landed
+    on disk is recomputed, and the file is published with [Unix.link]
+    — an atomic create-if-absent, so when two writers race on one
+    digest exactly one observes [`Created] and the other [`Exists].
+    Entries are never mutated after publication. *)
+
+type t
+
+type outcome =
+  | Created of Manifest.entry  (** this call published the bytes *)
+  | Exists of Manifest.entry  (** an identical entry was already present *)
+
+val open_ : string -> (t, string) result
+(** [open_ root] opens (creating directories as needed) the store at
+    [root]. Fails if an existing manifest is unreadable or invalid. *)
+
+val root : t -> string
+
+val manifest_path : t -> string
+
+val manifest : t -> Manifest.t
+(** A fresh snapshot of the on-disk manifest. *)
+
+val digest_of : string -> string
+(** MD5 hex of a byte string — the store's content key. *)
+
+val add :
+  t -> kind:Kind.t -> ?label:string -> ?expect:string -> string ->
+  (outcome, string) result
+(** [add t ~kind content] ingests [content]. [?expect] asserts the
+    digest the caller believes the bytes have (mismatch fails without
+    writing anything); [?label] registers a resolution label for later
+    {!resolve} calls. Idempotent: re-adding identical bytes yields
+    [Exists]. *)
+
+val path : t -> kind:Kind.t -> digest:string -> string
+(** Where an entry with this digest would live (whether or not it does). *)
+
+val lookup : t -> kind:Kind.t -> digest:string -> string option
+(** Path of the stored artifact, if present on disk. *)
+
+val contains : t -> kind:Kind.t -> digest:string -> bool
+
+val read : t -> kind:Kind.t -> digest:string -> (string, string) result
+(** The stored bytes; fails on absence or digest mismatch (a corrupted
+    entry is reported, not returned). *)
+
+val resolve : t -> label:string -> Manifest.entry option
+(** Look a digest up by its producer-registered label. *)
+
+val entries : t -> Manifest.entry list
+(** Manifest entries, ascending ingestion order. *)
+
+val available_digests : t -> Kind.t -> string list
+(** Digests actually present on disk for one kind (a directory scan —
+    filesystem truth, independent of the manifest), sorted. *)
+
+val verify : t -> (int, string list) result
+(** Re-digest every manifest entry's bytes. [Ok n] means all [n]
+    entries check out; [Error problems] lists each missing or
+    corrupted entry. *)
+
+val gc : t -> string list
+(** Remove files not referenced by the manifest — unindexed files in
+    kind directories and staging leftovers in [tmp]. Returns the
+    removed paths. *)

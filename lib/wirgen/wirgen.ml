@@ -399,3 +399,56 @@ let load path =
   | contents -> of_string contents
 
 let hash spec = Digest.to_hex (Digest.string (to_string spec))
+
+(* {2 Content-addressed corpora} *)
+
+let corpus_label spec ~seed ~count =
+  Printf.sprintf "corpus:%s:s%d:n%d" (hash spec) seed count
+
+let corpus_to_string programs =
+  String.concat "" (List.map (fun p -> Wir.to_string p ^ "\n") programs)
+
+let corpus_of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go (i + 1) acc rest
+    | line :: rest ->
+      (match Wir.of_string line with
+      | Ok p -> go (i + 1) (p :: acc) rest
+      | Error e -> Error (Printf.sprintf "wirgen: corpus line %d: %s" i e))
+  in
+  go 1 [] lines
+
+let ingest_spec store spec =
+  Acfc_store.Store.add store ~kind:Acfc_store.Kind.Wirgen_spec
+    ~label:("wirgen-spec:" ^ hash spec)
+    ~expect:(hash spec) (to_string spec)
+
+let stored_corpus store spec ~seed ~count =
+  let ( let* ) = Result.bind in
+  let label = corpus_label spec ~seed ~count in
+  match Acfc_store.Store.resolve store ~label with
+  | Some entry ->
+    let* content =
+      Acfc_store.Store.read store ~kind:Acfc_store.Kind.Wirgen_corpus
+        ~digest:entry.Acfc_store.Manifest.digest
+    in
+    let* programs = corpus_of_string content in
+    if List.length programs <> count then
+      Error
+        (Printf.sprintf "wirgen: stored corpus %s has %d members, expected %d"
+           entry.Acfc_store.Manifest.digest (List.length programs) count)
+    else Ok (programs, `Loaded entry.Acfc_store.Manifest.digest)
+  | None ->
+    let programs = corpus spec ~seed ~count in
+    let* outcome =
+      Acfc_store.Store.add store ~kind:Acfc_store.Kind.Wirgen_corpus ~label
+        (corpus_to_string programs)
+    in
+    let digest =
+      match outcome with
+      | Acfc_store.Store.Created e | Acfc_store.Store.Exists e ->
+        e.Acfc_store.Manifest.digest
+    in
+    Ok (programs, `Generated digest)

@@ -120,3 +120,37 @@ val load : string -> (spec, string) result
 val hash : spec -> string
 (** Hex digest of the canonical JSON — the corpus-family fingerprint
     recorded in bench artifacts next to the corpus seed. *)
+
+(** {2 Content-addressed corpora}
+
+    A corpus is a pure function of [(spec, seed, count)], so it earns a
+    deterministic resolution label computable {e before} generation;
+    {!stored_corpus} uses it to hit the store on warm runs and to
+    generate-and-ingest on cold ones, bit-identically either way. *)
+
+val corpus_label : spec -> seed:int -> count:int -> string
+(** ["corpus:<spec-hash>:s<seed>:n<count>"]. *)
+
+val corpus_to_string : Acfc_wir.Wir.t list -> string
+(** The corpus artifact: JSON Lines — each member's canonical
+    [acfc-wir/1] document on its own line, in member order. *)
+
+val corpus_of_string : string -> (Acfc_wir.Wir.t list, string) result
+(** Inverse of {!corpus_to_string}; strict per-line [acfc-wir/1]
+    parsing, errors carry the offending line number. *)
+
+val ingest_spec :
+  Acfc_store.Store.t -> spec -> (Acfc_store.Store.outcome, string) result
+(** Store the spec's canonical bytes; the entry digest is {!hash}. *)
+
+val stored_corpus :
+  Acfc_store.Store.t ->
+  spec ->
+  seed:int ->
+  count:int ->
+  (Acfc_wir.Wir.t list * [ `Loaded of string | `Generated of string ], string)
+  result
+(** Resolve {!corpus_label} in the store: on a hit, decode the stored
+    corpus ([`Loaded digest]); on a miss, {!corpus}, ingest under the
+    label and return [`Generated digest]. Both paths yield the same
+    programs (generation is deterministic and the codec round-trips). *)

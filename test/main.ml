@@ -1,3 +1,10 @@
+(* Re-executions of this binary with the race-root variable set are
+   children of the cross-process store race test, not test runs. *)
+let () =
+  match Sys.getenv_opt Test_store.race_env with
+  | Some root -> Test_store.race_child root
+  | None -> ()
+
 let () =
   Alcotest.run "acfc"
     (List.concat
@@ -30,5 +37,8 @@ let () =
          Test_par.suites;
          Test_fleet.suites;
          Test_sched_queue.suites;
+         Test_store.suites;
+         Test_monitor.suites;
+         Test_listings.suites;
          Test_golden.suites;
        ])
